@@ -1,0 +1,1 @@
+bin/flux_cli.ml: Arg Array Cmd Cmdliner Flux_baseline Flux_cmb Flux_core Flux_json Flux_kap Flux_kvs Flux_modules Flux_sim Flux_trace Flux_util Format Fun List Printf String Term

@@ -1,0 +1,1 @@
+bin/flux_cli.mli:

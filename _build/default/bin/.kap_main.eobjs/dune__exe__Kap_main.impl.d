@@ -1,0 +1,1 @@
+bin/kap_main.ml: Arg Cmd Cmdliner Flux_kap Printf Term

@@ -1,0 +1,1 @@
+bin/kap_main.mli:

@@ -1,0 +1,63 @@
+(* Standalone KAP driver mirroring the paper's tester command line. *)
+
+module Kap = Flux_kap.Kap
+open Cmdliner
+
+let run nodes ppn producers consumers nputs ngets vsize redundant dirs stride sync fanout =
+  let total = nodes * ppn in
+  let cfg =
+    {
+      Kap.nodes;
+      procs_per_node = ppn;
+      producers = (if producers = 0 then total else producers);
+      consumers = (if consumers = 0 then total else consumers);
+      nputs;
+      ngets;
+      value_size = vsize;
+      value_kind = (if redundant then Kap.Redundant else Kap.Unique);
+      dir_layout = (if dirs <= 1 then Kap.Single_dir else Kap.Multi_dir dirs);
+      sync = (match sync with "fence" -> Kap.Fence | "commit" -> Kap.Commit_wait | s -> failwith ("unknown sync " ^ s));
+      access_stride = stride;
+      fanout;
+      net_config = None;
+      kvs_config = None;
+    }
+  in
+  let r = Kap.run cfg in
+  Printf.printf "phase       max(s)      mean(s)     min(s)\n";
+  let row name (m : Kap.phase_metrics) =
+    Printf.printf "%-10s %.6f   %.6f   %.6f\n" name m.Kap.ph_max m.Kap.ph_mean m.Kap.ph_min
+  in
+  row "setup" r.Kap.r_setup;
+  row "producer" r.Kap.r_producer;
+  row "sync" r.Kap.r_sync;
+  row "consumer" r.Kap.r_consumer;
+  Printf.printf
+    "objects=%d root_ingress=%dB rpc_msgs=%d loads=%d virtual_time=%.3fs\n"
+    r.Kap.r_total_objects r.Kap.r_root_ingress_bytes r.Kap.r_rpc_messages r.Kap.r_loads_issued
+    r.Kap.r_wallclock
+
+let cmd =
+  let open Arg in
+  let nodes = value & opt int 64 & info [ "N"; "nodes" ] ~doc:"Compute nodes." in
+  let ppn = value & opt int 16 & info [ "ppn" ] ~doc:"Processes per node." in
+  let producers = value & opt int 0 & info [ "producers" ] ~doc:"Producers (0 = all)." in
+  let consumers = value & opt int 0 & info [ "consumers" ] ~doc:"Consumers (0 = all)." in
+  let nputs = value & opt int 1 & info [ "nputs" ] ~doc:"Objects put per producer." in
+  let ngets = value & opt int 1 & info [ "ngets" ] ~doc:"Objects read per consumer." in
+  let vsize = value & opt int 8 & info [ "vsize" ] ~doc:"Value size in bytes." in
+  let redundant = value & flag & info [ "redundant" ] ~doc:"Identical values across producers." in
+  let dirs =
+    value & opt int 1 & info [ "dir-size" ] ~doc:"Max objects per KVS directory (1 = single dir)."
+  in
+  let stride = value & opt int 1 & info [ "stride" ] ~doc:"Consumer access stride." in
+  let sync = value & opt string "fence" & info [ "sync" ] ~doc:"fence | commit." in
+  let fanout = value & opt int 2 & info [ "k"; "fanout" ] ~doc:"CMB tree fan-out." in
+  Cmd.v
+    (Cmd.info "flux-kap" ~version:"0.1.0"
+       ~doc:"KVS Access Patterns tester on a simulated cluster")
+    Term.(
+      const run $ nodes $ ppn $ producers $ consumers $ nputs $ ngets $ vsize $ redundant
+      $ dirs $ stride $ sync $ fanout)
+
+let () = exit (Cmd.eval cmd)

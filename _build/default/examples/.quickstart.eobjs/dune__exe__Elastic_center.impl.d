@@ -1,0 +1,1 @@
+examples/elastic_center.ml: Flux_core Flux_json Flux_sim Flux_trace List Printf String

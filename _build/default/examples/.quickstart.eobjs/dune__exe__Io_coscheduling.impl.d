@@ -1,0 +1,1 @@
+examples/io_coscheduling.ml: Float Flux_core Flux_sim List Printf

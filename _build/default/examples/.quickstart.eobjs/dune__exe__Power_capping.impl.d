@@ -1,0 +1,1 @@
+examples/power_capping.ml: Flux_core Flux_sim List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flux_cmb Flux_json Flux_kvs Flux_modules Flux_sim Printf

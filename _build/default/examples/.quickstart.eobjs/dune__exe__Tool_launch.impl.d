@@ -1,0 +1,1 @@
+examples/tool_launch.ml: Array Flux_cmb Flux_core Flux_json Flux_kvs Flux_modules Flux_sim List Printf

@@ -1,0 +1,1 @@
+examples/tool_launch.mli:

@@ -1,0 +1,1 @@
+examples/uq_ensemble.ml: Float Flux_baseline Flux_core Flux_sim Flux_util List Printf

@@ -1,0 +1,1 @@
+examples/uq_ensemble.mli:

@@ -1,0 +1,86 @@
+(* Co-scheduling compute nodes with the shared parallel file system.
+
+   The paper's motivating failure mode: a handful of unrelated
+   I/O-intensive jobs, each individually fine, overlap their bursts and
+   saturate the center-wide file system. A traditional RJMS schedules
+   nodes only; Flux's generalized resource model makes filesystem
+   bandwidth a first-class scheduled resource, so the I/O-heavy jobs
+   are serialized against the bandwidth budget instead.
+
+   Run with: dune exec examples/io_coscheduling.exe *)
+
+module Engine = Flux_sim.Engine
+module Center = Flux_core.Center
+module Instance = Flux_core.Instance
+module Job = Flux_core.Job
+module Jobspec = Flux_core.Jobspec
+module Pool = Flux_core.Pool
+
+let nodes = 32
+let fs_capacity = 100.0 (* GB/s *)
+
+(* Six jobs; three are I/O bursts demanding 60 GB/s each. *)
+let workload () =
+  let io n = Jobspec.make ~nnodes:n ~fs_bandwidth:60.0 ~walltime_est:30.0 () in
+  let cpu n = Jobspec.make ~nnodes:n ~walltime_est:30.0 () in
+  [
+    (io 4, 20.0); (cpu 8, 25.0); (io 4, 20.0); (cpu 8, 25.0); (io 4, 20.0); (cpu 4, 15.0);
+  ]
+
+let run ~coschedule =
+  let c =
+    if coschedule then Center.create ~nodes ~fs_bandwidth:fs_capacity ()
+    else Center.create ~nodes ()
+  in
+  let jobs =
+    List.map
+      (fun (spec, d) -> Instance.submit c.Center.root ~spec ~payload:(Job.Sleep d))
+      (workload ())
+  in
+  (* Sample the aggregate I/O demand while running. *)
+  let peak_demand = ref 0.0 in
+  let h =
+    Engine.every c.Center.eng ~period:0.5 (fun () ->
+        peak_demand := Float.max !peak_demand (Pool.bandwidth_in_use (Instance.pool c.Center.root)))
+  in
+  (* When bandwidth is not a scheduled resource, track what the jobs
+     WOULD demand. *)
+  let naive_peak = ref 0.0 in
+  let h2 =
+    Engine.every c.Center.eng ~period:0.5 (fun () ->
+        let running =
+          List.filter (fun (j : Job.t) -> j.Job.jstate = Job.Running) jobs
+        in
+        let demand =
+          List.fold_left
+            (fun acc (j : Job.t) -> acc +. j.Job.spec.Jobspec.fs_bandwidth)
+            0.0 running
+        in
+        naive_peak := Float.max !naive_peak demand)
+  in
+  ignore
+    (Engine.schedule c.Center.eng ~delay:200.0 (fun () ->
+         Engine.cancel h;
+         Engine.cancel h2)
+      : Engine.handle);
+  Center.run c;
+  let st = Instance.stats c.Center.root in
+  (st, !naive_peak)
+
+let () =
+  Printf.printf "shared file system capacity: %.0f GB/s; three jobs burst 60 GB/s each\n\n"
+    fs_capacity;
+  let naive, naive_demand = run ~coschedule:false in
+  Printf.printf
+    "traditional (nodes only) : makespan=%5.1fs  peak fs demand=%5.1f GB/s  -> %s\n"
+    naive.Instance.st_makespan naive_demand
+    (if naive_demand > fs_capacity then "FILE SYSTEM OVERSUBSCRIBED (center-wide I/O disruption)"
+     else "ok");
+  let cosched, cosched_demand = run ~coschedule:true in
+  Printf.printf
+    "flux co-scheduling       : makespan=%5.1fs  peak fs demand=%5.1f GB/s  -> %s\n"
+    cosched.Instance.st_makespan cosched_demand
+    (if cosched_demand > fs_capacity then "oversubscribed" else "bursts serialized, fs protected");
+  Printf.printf
+    "\nthe bandwidth-aware schedule trades %.1fs of makespan for a file system that never exceeds capacity\n"
+    (cosched.Instance.st_makespan -. naive.Instance.st_makespan)

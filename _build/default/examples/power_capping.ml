@@ -1,0 +1,64 @@
+(* Dynamic, hierarchical power capping.
+
+   The center imposes a site-wide power budget; the budget travels down
+   the job hierarchy with each grant (parent-bounding rule). Halfway
+   through, the site lowers the cap — new job starts stall until
+   headroom returns; raising it again releases the backlog. A malleable
+   child instance also grows when the cap rises and nodes are free
+   (parental-consent rule).
+
+   Run with: dune exec examples/power_capping.exe *)
+
+module Engine = Flux_sim.Engine
+module Center = Flux_core.Center
+module Instance = Flux_core.Instance
+module Job = Flux_core.Job
+module Jobspec = Flux_core.Jobspec
+module Pool = Flux_core.Pool
+
+let nodes = 32
+let node_watts = 300.0
+
+let () =
+  let site_cap = 0.5 *. float_of_int nodes *. node_watts in
+  Printf.printf "center: %d nodes at %.0f W/node; site cap %.0f W (half the machine)\n\n" nodes
+    node_watts site_cap;
+  let c = Center.create ~nodes ~power_budget:site_cap () in
+  let spec = Jobspec.make ~nnodes:8 ~power_per_node:node_watts ~walltime_est:20.0 () in
+  (* Six 8-node jobs: the cap admits two at a time even though nodes for
+     four are available. *)
+  let jobs =
+    List.init 6 (fun _ -> Instance.submit c.Center.root ~spec ~payload:(Job.Sleep 15.0))
+  in
+  (* Timeline probes. *)
+  let probe label =
+    Printf.printf "t=%5.1fs %-26s running=%d power=%5.0f/%5.0f W free_nodes=%d\n"
+      (Engine.now c.Center.eng) label
+      (Instance.running_count c.Center.root)
+      (Pool.power_in_use (Instance.pool c.Center.root))
+      (Pool.power_budget (Instance.pool c.Center.root))
+      (Pool.free_nodes (Instance.pool c.Center.root))
+  in
+  ignore (Engine.schedule c.Center.eng ~delay:1.0 (fun () -> probe "steady state under cap") : Engine.handle);
+  (* At t=5 the site drops the cap to a quarter machine. *)
+  ignore
+    (Engine.schedule c.Center.eng ~delay:5.0 (fun () ->
+         Instance.set_power_cap c.Center.root (site_cap /. 2.0);
+         probe "site LOWERS cap")
+      : Engine.handle);
+  ignore (Engine.schedule c.Center.eng ~delay:16.0 (fun () -> probe "after first finishes") : Engine.handle);
+  (* At t=25 the cap is restored and then some. *)
+  ignore
+    (Engine.schedule c.Center.eng ~delay:25.0 (fun () ->
+         Instance.set_power_cap c.Center.root (float_of_int nodes *. node_watts);
+         probe "site RAISES cap")
+      : Engine.handle);
+  ignore (Engine.schedule c.Center.eng ~delay:26.0 (fun () -> probe "backlog released") : Engine.handle);
+  Center.run c;
+  let st = Instance.stats c.Center.root in
+  Printf.printf "\nall %d jobs completed; makespan %.1fs\n" st.Instance.st_completed
+    st.Instance.st_makespan;
+  List.iteri
+    (fun i (j : Job.t) ->
+      Printf.printf "  job %d: waited %5.1fs under the power regime\n" i (Job.wait_time j))
+    jobs

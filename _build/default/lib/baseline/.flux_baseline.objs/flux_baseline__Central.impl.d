@@ -1,0 +1,1 @@
+lib/baseline/central.ml: Float Flux_core Flux_sim Flux_util Fun List

@@ -1,0 +1,1 @@
+lib/baseline/central.mli: Flux_core Flux_sim

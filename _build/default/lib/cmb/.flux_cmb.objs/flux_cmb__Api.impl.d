@@ -1,0 +1,1 @@
+lib/cmb/api.ml: Flux_json Flux_sim Message Session

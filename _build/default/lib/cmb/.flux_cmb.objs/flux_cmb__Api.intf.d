@@ -1,0 +1,1 @@
+lib/cmb/api.mli: Flux_json Session

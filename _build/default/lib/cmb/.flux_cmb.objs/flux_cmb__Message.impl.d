@@ -1,0 +1,1 @@
+lib/cmb/message.ml: Flux_json Format List Printf String Topic

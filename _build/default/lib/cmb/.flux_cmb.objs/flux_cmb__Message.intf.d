@@ -1,0 +1,1 @@
+lib/cmb/message.mli: Flux_json Format

@@ -1,0 +1,1 @@
+lib/cmb/session.mli: Flux_json Flux_sim Flux_trace Message

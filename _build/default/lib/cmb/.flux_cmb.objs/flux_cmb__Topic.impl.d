@@ -1,0 +1,1 @@
+lib/cmb/topic.ml: List Printf String

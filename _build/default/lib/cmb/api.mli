@@ -1,0 +1,33 @@
+(** Client access to a local CMB broker.
+
+    In the prototype, external programs (the [flux] utility, PMI
+    libraries, tools) talk to the broker on their node over a UNIX
+    domain socket; this module models that hop with the configured
+    local-delivery cost and exposes blocking RPC wrappers for use inside
+    {!Flux_sim.Proc} process bodies. *)
+
+type t
+(** A client connection to the broker at one rank. *)
+
+val connect : Session.t -> rank:int -> t
+val rank : t -> int
+val session : t -> Session.t
+
+val rpc : t -> topic:string -> Flux_json.Json.t -> Session.reply
+(** Blocking RPC injected at the local broker and routed upstream. Only
+    valid inside a process body. *)
+
+val rpc_async :
+  t -> topic:string -> Flux_json.Json.t -> reply:(Session.reply -> unit) -> unit
+
+val rpc_rank : t -> dst:int -> topic:string -> Flux_json.Json.t -> Session.reply
+(** Blocking rank-addressed RPC over the ring plane. *)
+
+val publish : t -> topic:string -> Flux_json.Json.t -> unit
+
+val subscribe : t -> prefix:string -> (topic:string -> Flux_json.Json.t -> unit) -> unit
+(** Register an event callback; fires for every event whose topic has
+    the given component-wise prefix. *)
+
+val next_event : t -> prefix:string -> string * Flux_json.Json.t
+(** Block until the next matching event; returns (topic, payload). *)

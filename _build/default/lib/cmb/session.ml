@@ -1,0 +1,544 @@
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Net = Flux_sim.Net
+module Treemath = Flux_util.Treemath
+module Ring_buffer = Flux_util.Ring_buffer
+module Idgen = Flux_util.Idgen
+
+type rank_topology = Ring | Direct
+
+type reply = (Json.t, string) result
+
+type handled = Consumed | Pass
+
+type module_instance = {
+  mod_name : string;
+  on_request : Message.t -> handled;
+  on_event : Message.t -> unit;
+}
+
+type t = {
+  eng : Engine.t;
+  n : int;
+  k : int; (* RPC tree fan-out *)
+  rank_topo : rank_topology;
+  rpc_net : Message.t Net.t;
+  event_net : Message.t Net.t;
+  ring_net : Message.t Net.t;
+  mutable brokers : broker array;
+  down : bool array;
+  parent_of : int option array; (* effective topology, recomputed by heal *)
+  children_of : int list array;
+  mutable next_seq : int; (* event sequence, assigned at the root *)
+  mutable tracer : Flux_trace.Tracer.t option;
+  mutable parent : (t * int list) option; (* parent session + host ranks *)
+  mutable children : t list; (* creation order, live only *)
+  mutable destroyed : bool;
+}
+
+and broker = {
+  b_rank : int;
+  b_session : t;
+  mutable modules : module_instance list; (* in load order *)
+  pending : (int, reply -> unit) Hashtbl.t;
+  mutable subs : (string * (Message.t -> unit)) list;
+  mutable last_seq : int;
+  event_log : Message.t Ring_buffer.t;
+  stashed : (int, Message.t) Hashtbl.t; (* out-of-order events by seq *)
+  mutable resync_in_flight : bool;
+  nonces : Idgen.t;
+}
+
+and module_factory = broker -> module_instance
+
+let set_tracer t tr = t.tracer <- tr
+
+let trace t ~name ?rank ?fields () =
+  match t.tracer with
+  | Some tr -> Flux_trace.Tracer.emit tr ~cat:"cmb" ~name ?rank ?fields ()
+  | None -> ()
+
+let engine t = t.eng
+let size t = t.n
+let fanout t = t.k
+let broker t r = t.brokers.(r)
+let rank b = b.b_rank
+let session_of b = b.b_session
+let b_engine b = b.b_session.eng
+let b_size b = b.b_session.n
+
+let tree_parent b = b.b_session.parent_of.(b.b_rank)
+let tree_children b = b.b_session.children_of.(b.b_rank)
+
+let find_module b name =
+  List.find_opt (fun m -> String.equal m.mod_name name) b.modules
+
+let last_event_seq b = b.last_seq
+
+let is_down t r = t.down.(r)
+
+let alive_ranks t =
+  List.filter (fun r -> not t.down.(r)) (List.init t.n Fun.id)
+
+(* Effective topology: each live rank's parent is its nearest live
+   ancestor in the static k-ary tree. *)
+let heal t =
+  Array.fill t.children_of 0 t.n [];
+  for r = 0 to t.n - 1 do
+    if t.down.(r) then t.parent_of.(r) <- None
+    else begin
+      let rec find_live_ancestor rank =
+        match Treemath.parent ~k:t.k rank with
+        | None -> None
+        | Some p -> if t.down.(p) then find_live_ancestor p else Some p
+      in
+      t.parent_of.(r) <- find_live_ancestor r
+    end
+  done;
+  for r = t.n - 1 downto 0 do
+    if not t.down.(r) then
+      match t.parent_of.(r) with
+      | Some p -> t.children_of.(p) <- r :: t.children_of.(p)
+      | None -> ()
+  done
+
+(* --- Sending primitives ------------------------------------------- *)
+
+let send_on net ~src ~dst msg = Net.send net ~src ~dst ~size:(Message.size msg) msg
+
+(* --- Event serialization (for resync payloads) --------------------- *)
+
+let event_to_json (m : Message.t) =
+  Json.obj
+    [
+      ("topic", Json.string m.Message.topic);
+      ("origin", Json.int m.Message.origin);
+      ("seq", Json.int m.Message.seq);
+      ("payload", m.Message.payload);
+    ]
+
+let event_of_json j =
+  let open Message in
+  {
+    kind = Event;
+    topic = Json.to_string_v (Json.member "topic" j);
+    nonce = 0;
+    origin = Json.to_int (Json.member "origin" j);
+    dst = None;
+    seq = Json.to_int (Json.member "seq" j);
+    route = [];
+    error = None;
+    payload = Json.member "payload" j;
+  }
+
+(* --- Ring hop selection ---------------------------------------------- *)
+
+let ring_next_live t from =
+  let rec go r steps =
+    if steps > t.n then None
+    else
+      let nxt = Treemath.ring_next ~size:t.n r in
+      if t.down.(nxt) then go nxt (steps + 1) else Some nxt
+  in
+  go from 0
+
+(* --- Request routing ------------------------------------------------ *)
+
+let rec route_request b (msg : Message.t) =
+  match find_module b (Topic.service msg.Message.topic) with
+  | Some m -> (
+    match m.on_request msg with Consumed -> () | Pass -> forward_up b msg)
+  | None -> forward_up b msg
+
+and forward_up b msg =
+  match tree_parent b with
+  | Some p ->
+    send_on b.b_session.rpc_net ~src:b.b_rank ~dst:p (Message.push_hop msg b.b_rank)
+  | None ->
+    (* At the root with no matching module: fail the RPC. *)
+    deliver_response b
+      (Message.error_response ~of_:msg
+         (Printf.sprintf "unknown service %S" (Topic.service msg.Message.topic)))
+
+and deliver_response b (resp : Message.t) =
+  match Message.pop_hop resp with
+  | Some (hop, resp') -> send_on b.b_session.rpc_net ~src:b.b_rank ~dst:hop resp'
+  | None ->
+    if resp.Message.origin <> b.b_rank then
+      (* No route back yet the origin is remote: the request arrived
+         over the ring plane, so the response circulates forward around
+         the ring to its origin. *)
+      ring_forward b { resp with Message.dst = Some resp.Message.origin }
+    else begin
+      (* Route exhausted at the origin: complete the local RPC. *)
+      match Hashtbl.find_opt b.pending resp.Message.nonce with
+      | Some cb ->
+        Hashtbl.remove b.pending resp.Message.nonce;
+        (match resp.Message.error with
+        | Some e -> cb (Error e)
+        | None -> cb (Ok resp.Message.payload))
+      | None -> ()
+    end
+
+and ring_forward b msg =
+  match b.b_session.rank_topo with
+  | Direct -> (
+    (* One hop straight to the destination. *)
+    match msg.Message.dst with
+    | Some d when not b.b_session.down.(d) ->
+      send_on b.b_session.ring_net ~src:b.b_rank ~dst:d msg
+    | Some _ | None -> ())
+  | Ring -> (
+    match ring_next_live b.b_session b.b_rank with
+    | Some nxt -> send_on b.b_session.ring_net ~src:b.b_rank ~dst:nxt msg
+    | None -> ())
+
+let respond b req payload = deliver_response b (Message.response ~of_:req payload)
+let respond_error b req err = deliver_response b (Message.error_response ~of_:req err)
+
+let fresh_nonce b =
+  (* Nonces are unique per originating broker; responses are matched in
+     the origin broker's pending table only. *)
+  Idgen.next_int b.nonces + 1
+
+let request_up b ~topic payload ~reply =
+  let nonce = fresh_nonce b in
+  let reply =
+    match b.b_session.tracer with
+    | None -> reply
+    | Some _ ->
+      let t0 = Engine.now b.b_session.eng in
+      fun r ->
+        trace b.b_session ~name:"rpc.done" ~rank:b.b_rank
+          ~fields:
+            [
+              ("topic", Json.string topic);
+              ("dur", Json.float (Engine.now b.b_session.eng -. t0));
+              ("ok", Json.bool (match r with Ok _ -> true | Error _ -> false));
+            ]
+          ();
+        reply r
+  in
+  Hashtbl.replace b.pending nonce reply;
+  route_request b (Message.request ~topic ~origin:b.b_rank ~nonce payload)
+
+let request_from_module b ~topic payload ~reply =
+  let nonce = fresh_nonce b in
+  Hashtbl.replace b.pending nonce reply;
+  forward_up b (Message.request ~topic ~origin:b.b_rank ~nonce payload)
+
+(* --- Ring plane ------------------------------------------------------ *)
+
+let rec rpc_rank b ~dst ~topic payload ~reply =
+  let nonce = fresh_nonce b in
+  Hashtbl.replace b.pending nonce reply;
+  let msg = Message.request ~dst ~topic ~origin:b.b_rank ~nonce payload in
+  if dst = b.b_rank then
+    (* Loop-back: deliver to the local module directly. *)
+    ignore
+      (Engine.schedule b.b_session.eng ~delay:(Net.config b.b_session.ring_net).Net.local_delivery
+         (fun () -> handle_ring_arrival b msg)
+        : Engine.handle)
+  else ring_forward b msg
+
+and handle_ring_arrival b (msg : Message.t) =
+  match msg.Message.kind with
+  | Message.Request ->
+    if msg.Message.dst = Some b.b_rank then begin
+      match find_module b (Topic.service msg.Message.topic) with
+      | Some m -> (
+        match m.on_request msg with
+        | Consumed -> ()
+        | Pass -> deliver_response b (Message.error_response ~of_:msg "not handled"))
+      | None ->
+        deliver_response b
+          (Message.error_response ~of_:msg
+             (Printf.sprintf "no module %S at rank %d"
+                (Topic.service msg.Message.topic)
+                b.b_rank))
+    end
+    else ring_forward b msg
+  | Message.Response ->
+    if msg.Message.dst = Some b.b_rank then
+      deliver_response b { msg with Message.route = [] }
+    else ring_forward b msg
+  | Message.Event -> ()
+
+(* --- Event plane ----------------------------------------------------- *)
+
+let dispatch_event_local b (ev : Message.t) =
+  List.iter (fun m -> m.on_event ev) b.modules;
+  List.iter
+    (fun (prefix, cb) -> if Topic.prefixed ~prefix ev.Message.topic then cb ev)
+    b.subs
+
+let rec deliver_event b (ev : Message.t) =
+  let seq = ev.Message.seq in
+  if seq > b.last_seq then begin
+    if seq = b.last_seq + 1 then begin
+      b.last_seq <- seq;
+      Ring_buffer.push b.event_log ev;
+      trace b.b_session ~name:"event.deliver" ~rank:b.b_rank
+        ~fields:[ ("topic", Json.string ev.Message.topic); ("seq", Json.int seq) ]
+        ();
+      dispatch_event_local b ev;
+      List.iter
+        (fun c -> send_on b.b_session.event_net ~src:b.b_rank ~dst:c ev)
+        (tree_children b);
+      drain_stash b
+    end
+    else begin
+      Hashtbl.replace b.stashed seq ev;
+      request_resync b
+    end
+  end
+
+and drain_stash b =
+  match Hashtbl.find_opt b.stashed (b.last_seq + 1) with
+  | Some ev ->
+    Hashtbl.remove b.stashed (b.last_seq + 1);
+    deliver_event b ev
+  | None -> ()
+
+and request_resync b =
+  if not b.resync_in_flight then begin
+    b.resync_in_flight <- true;
+    request_from_module b ~topic:"cmb.resync"
+      (Json.obj [ ("from", Json.int (b.last_seq + 1)) ])
+      ~reply:(fun r ->
+        b.resync_in_flight <- false;
+        match r with
+        | Ok payload ->
+          let evs = List.map event_of_json (Json.to_list (Json.member "events" payload)) in
+          List.iter (deliver_event b) evs;
+          drain_stash b;
+          (* Still behind (e.g. the parent's log had been trimmed):
+             keep asking while there is a known gap. *)
+          if Hashtbl.length b.stashed > 0 then request_resync b
+        | Error _ -> ())
+  end
+
+let publish_msg b (ev : Message.t) =
+  match tree_parent b with
+  | Some p -> send_on b.b_session.event_net ~src:b.b_rank ~dst:p ev
+  | None ->
+    (* This broker is the session root: stamp and multicast. *)
+    let t = b.b_session in
+    t.next_seq <- t.next_seq + 1;
+    deliver_event b { ev with Message.seq = t.next_seq }
+
+let publish b ~topic payload =
+  trace b.b_session ~name:"event.publish" ~rank:b.b_rank
+    ~fields:[ ("topic", Json.string topic) ]
+    ();
+  publish_msg b (Message.event ~topic ~origin:b.b_rank payload)
+
+let subscribe b ~prefix cb = b.subs <- b.subs @ [ (prefix, cb) ]
+
+(* --- Plane dispatch --------------------------------------------------- *)
+
+let on_rpc_plane b ~src:_ (msg : Message.t) =
+  match msg.Message.kind with
+  | Message.Request -> route_request b msg
+  | Message.Response -> deliver_response b msg
+  | Message.Event -> ()
+
+let on_event_plane b ~src:_ (msg : Message.t) =
+  match msg.Message.kind with
+  | Message.Event ->
+    if msg.Message.seq = 0 then publish_msg b msg (* still ascending *)
+    else deliver_event b msg
+  | Message.Request | Message.Response -> ()
+
+let on_ring_plane b ~src:_ msg = handle_ring_arrival b msg
+
+(* --- Built-in cmb module ---------------------------------------------- *)
+
+let cmb_module b =
+  let handle (msg : Message.t) =
+    match Topic.method_ msg.Message.topic with
+    | "ping" ->
+      respond b msg (Json.obj [ ("rank", Json.int b.b_rank) ]);
+      Consumed
+    | "resync" ->
+      (* Serve from our event log. Requests for our own resync must come
+         from children, never loop locally (they use request_from_module). *)
+      let from = Json.to_int (Json.member "from" msg.Message.payload) in
+      let evs =
+        List.filter
+          (fun (e : Message.t) -> e.Message.seq >= from)
+          (Ring_buffer.to_list b.event_log)
+      in
+      respond b msg (Json.obj [ ("events", Json.list (List.map event_to_json evs)) ]);
+      Consumed
+    | "topo" ->
+      respond b msg
+        (Json.obj
+           [
+             ("rank", Json.int b.b_rank);
+             ("size", Json.int b.b_session.n);
+             ("fanout", Json.int b.b_session.k);
+             ( "parent",
+               match tree_parent b with Some p -> Json.int p | None -> Json.null );
+             ("children", Json.list (List.map Json.int (tree_children b)));
+           ]);
+      Consumed
+    | _ -> Pass
+  in
+  { mod_name = "cmb"; on_request = handle; on_event = (fun _ -> ()) }
+
+(* --- Session construction --------------------------------------------- *)
+
+let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring) ~size () =
+  if size <= 0 then invalid_arg "Session.create: size must be positive";
+  if fanout < 2 then invalid_arg "Session.create: fanout must be >= 2";
+  let mk_net () =
+    match net_config with
+    | Some config -> Net.create eng ~config ~nodes:size ()
+    | None -> Net.create eng ~nodes:size ()
+  in
+  let t =
+    {
+      eng;
+      n = size;
+      k = fanout;
+      rank_topo = rank_topology;
+      rpc_net = mk_net ();
+      event_net = mk_net ();
+      ring_net = mk_net ();
+      brokers = [||];
+      down = Array.make size false;
+      parent_of = Array.make size None;
+      children_of = Array.make size [];
+      next_seq = 0;
+      tracer = None;
+      parent = None;
+      children = [];
+      destroyed = false;
+    }
+  in
+  t.brokers <-
+    Array.init size (fun r ->
+        {
+          b_rank = r;
+          b_session = t;
+          modules = [];
+          pending = Hashtbl.create 16;
+          subs = [];
+          last_seq = 0;
+          event_log = Ring_buffer.create ~capacity:4096;
+          stashed = Hashtbl.create 8;
+          resync_in_flight = false;
+          nonces = Idgen.create ();
+        });
+  heal t;
+  Array.iteri
+    (fun r b ->
+      Net.set_handler t.rpc_net r (on_rpc_plane b);
+      Net.set_handler t.event_net r (on_event_plane b);
+      Net.set_handler t.ring_net r (on_ring_plane b);
+      b.modules <- [ cmb_module b ])
+    t.brokers;
+  t
+
+let load_module t ?ranks factory =
+  let targets = match ranks with Some rs -> rs | None -> List.init t.n Fun.id in
+  List.iter
+    (fun r ->
+      let b = t.brokers.(r) in
+      let m = factory b in
+      if find_module b m.mod_name <> None then
+        invalid_arg (Printf.sprintf "Session.load_module: %S already loaded at rank %d" m.mod_name r);
+      b.modules <- b.modules @ [ m ])
+    targets
+
+(* --- Session hierarchy --------------------------------------------------- *)
+
+let parent_session t = match t.parent with Some (p, _) -> Some p | None -> None
+
+let child_sessions t = List.rev t.children
+
+let rec session_depth t =
+  match t.parent with Some (p, _) -> 1 + session_depth p | None -> 0
+
+let hosted_on t r =
+  if r < 0 || r >= t.n then invalid_arg "Session.hosted_on: rank out of range";
+  match t.parent with Some (_, hosts) -> List.nth hosts r | None -> r
+
+let create_child parent ?fanout ?rank_topology ~nodes () =
+  if parent.destroyed then invalid_arg "Session.create_child: parent destroyed";
+  if nodes = [] then invalid_arg "Session.create_child: empty node list";
+  if List.length (List.sort_uniq compare nodes) <> List.length nodes then
+    invalid_arg "Session.create_child: duplicate ranks";
+  List.iter
+    (fun r ->
+      if r < 0 || r >= parent.n then
+        invalid_arg (Printf.sprintf "Session.create_child: rank %d out of range" r);
+      if parent.down.(r) then
+        invalid_arg (Printf.sprintf "Session.create_child: parent rank %d is down" r))
+    nodes;
+  let child =
+    match (fanout, rank_topology) with
+    | Some k, Some rt ->
+      create parent.eng ~fanout:k ~rank_topology:rt ~size:(List.length nodes) ()
+    | Some k, None -> create parent.eng ~fanout:k ~size:(List.length nodes) ()
+    | None, Some rt -> create parent.eng ~rank_topology:rt ~size:(List.length nodes) ()
+    | None, None -> create parent.eng ~size:(List.length nodes) ()
+  in
+  child.parent <- Some (parent, nodes);
+  parent.children <- child :: parent.children;
+  child
+
+let rec destroy t =
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    List.iter destroy t.children;
+    t.children <- [];
+    for r = 0 to t.n - 1 do
+      crash_rank t r
+    done;
+    match t.parent with
+    | Some (p, _) ->
+      p.children <- List.filter (fun c -> c != t) p.children;
+      t.parent <- None
+    | None -> ()
+  end
+
+and crash_rank t r =
+  Net.fail_node t.rpc_net r;
+  Net.fail_node t.event_net r;
+  Net.fail_node t.ring_net r
+
+let is_destroyed t = t.destroyed
+
+(* --- Failure injection ------------------------------------------------- *)
+
+let crash t r = crash_rank t r
+
+let mark_down t r =
+  if not t.down.(r) then begin
+    trace t ~name:"mark_down" ~rank:r ();
+    crash t r;
+    t.down.(r) <- true;
+    let old_parents = Array.copy t.parent_of in
+    heal t;
+    (* Brokers adopted by a new parent may have missed events; resync. *)
+    Array.iteri
+      (fun rr b ->
+        if (not t.down.(rr)) && old_parents.(rr) <> t.parent_of.(rr) && t.parent_of.(rr) <> None
+        then request_resync b)
+      t.brokers
+  end
+
+(* --- Accounting --------------------------------------------------------- *)
+
+let rpc_net_stats t = Net.stats t.rpc_net
+let event_net_stats t = Net.stats t.event_net
+let ring_net_stats t = Net.stats t.ring_net
+
+let root_rpc_ingress_bytes t =
+  let total = ref 0 in
+  for src = 1 to t.n - 1 do
+    total := !total + Net.link_bytes t.rpc_net ~src ~dst:0
+  done;
+  !total

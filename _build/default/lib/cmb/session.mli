@@ -1,0 +1,179 @@
+(** A comms session: one CMB broker per node, interconnected by three
+    persistent overlay planes.
+
+    Mirrors the paper's Figure 1 wire-up:
+    - an event plane (modeled PGM bus) carrying publish-subscribe events
+      with guaranteed, in-order delivery;
+    - a request-response tree (configurable fan-out) for scalable RPCs,
+      barriers and reductions — requests travel upstream to the first
+      comms module that matches their topic, responses retrace the hops;
+    - a ring overlay for rank-addressed RPCs reaching any rank without
+      routing tables.
+
+    Comms modules are plugins loaded into a broker; they receive the
+    requests and events that arrive at their broker and may respond,
+    aggregate-and-forward (reductions), or publish. *)
+
+type t
+(** A comms session over ranks [0 .. size-1]. *)
+
+type broker
+(** Per-rank broker state. *)
+
+type reply = (Flux_json.Json.t, string) result
+(** RPC outcome: payload of the response, or the error string. *)
+
+type handled = Consumed | Pass
+(** A module's verdict on a request: [Consumed] stops routing (the
+    module owns the eventual response); [Pass] lets the request continue
+    upstream. *)
+
+type module_instance = {
+  mod_name : string;  (** must equal the topic service component it serves *)
+  on_request : Message.t -> handled;
+  on_event : Message.t -> unit;
+}
+
+type module_factory = broker -> module_instance
+
+(** {1 Session lifecycle} *)
+
+type rank_topology =
+  | Ring  (** store-and-forward around a ring: trivial routing, O(n) hops
+              (the prototype's choice, fine for debugging tools) *)
+  | Direct  (** a full point-to-point overlay: one hop to any rank (the
+                "configurable topology" knob of the secondary overlay) *)
+
+val create :
+  Flux_sim.Engine.t ->
+  ?net_config:Flux_sim.Net.config ->
+  ?fanout:int ->
+  ?rank_topology:rank_topology ->
+  size:int ->
+  unit ->
+  t
+(** [create eng ~size ()] wires up a session of [size] brokers with the
+    given RPC-tree fan-out (default 2, the paper's binary tree) and
+    rank-addressed overlay topology (default {!Ring}). *)
+
+val engine : t -> Flux_sim.Engine.t
+val size : t -> int
+val fanout : t -> int
+val broker : t -> int -> broker
+
+val load_module : t -> ?ranks:int list -> module_factory -> unit
+(** [load_module t f] instantiates the module on every rank (or on
+    [ranks] only, to load at a configurable tree depth). *)
+
+(** {1 Broker context — used by modules and the client API} *)
+
+val rank : broker -> int
+val session_of : broker -> t
+val b_engine : broker -> Flux_sim.Engine.t
+val b_size : broker -> int
+
+val tree_parent : broker -> int option
+(** Effective parent after healing; [None] at the root. *)
+
+val tree_children : broker -> int list
+(** Effective children after healing. *)
+
+val find_module : broker -> string -> module_instance option
+
+val respond : broker -> Message.t -> Flux_json.Json.t -> unit
+(** [respond b req payload] sends the response back along [req]'s
+    recorded route. *)
+
+val respond_error : broker -> Message.t -> string -> unit
+
+val request_up :
+  broker -> topic:string -> Flux_json.Json.t -> reply:(reply -> unit) -> unit
+(** Inject a request at this broker destined upstream: local modules are
+    consulted first, then it ascends hop by hop. *)
+
+val request_from_module :
+  broker -> topic:string -> Flux_json.Json.t -> reply:(reply -> unit) -> unit
+(** Like {!request_up} but skips this broker's own modules — used by a
+    module instance forwarding aggregated work toward its upstream peer. *)
+
+val rpc_rank :
+  broker -> dst:int -> topic:string -> Flux_json.Json.t -> reply:(reply -> unit) -> unit
+(** Rank-addressed RPC over the ring plane. *)
+
+val publish : broker -> topic:string -> Flux_json.Json.t -> unit
+(** Publish an event: it ascends to the session root, receives a session
+    sequence number, and is multicast down the event plane to every
+    live broker. Delivery at each broker is in sequence order. *)
+
+val subscribe : broker -> prefix:string -> (Message.t -> unit) -> unit
+(** Local event subscription with component-wise topic prefix match. *)
+
+val last_event_seq : broker -> int
+
+(** {1 Session hierarchy}
+
+    New comms sessions are created, destroyed and monitored by existing
+    ones in a parent-child relationship: a child session covers a
+    subset of the parent's nodes (the parent's session assists its
+    bootstrap, which is why nested-instance creation is charged only a
+    small cost), and destroying a parent tears down its descendants. *)
+
+val create_child : t -> ?fanout:int -> ?rank_topology:rank_topology -> nodes:int list -> unit -> t
+(** [create_child parent ~nodes ()] builds a session over the given
+    parent ranks (child rank [i] runs on parent rank [List.nth nodes i]).
+    Raises [Invalid_argument] on an empty list, duplicate ranks, ranks
+    out of range, or dead parent ranks. *)
+
+val parent_session : t -> t option
+val child_sessions : t -> t list
+(** Live children, in creation order. *)
+
+val session_depth : t -> int
+(** 0 at the root session. *)
+
+val hosted_on : t -> int -> int
+(** [hosted_on child r] is the parent-session rank carrying child rank
+    [r] (identity for a root session). *)
+
+val destroy : t -> unit
+(** Tear a session down: every broker stops (all traffic dropped), its
+    descendants are destroyed recursively, and it is unlinked from its
+    parent. Idempotent. *)
+
+val is_destroyed : t -> bool
+
+(** {1 Failure injection and healing} *)
+
+val crash : t -> int -> unit
+(** [crash t r] makes rank [r] drop all traffic (the node has died) but
+    does {e not} rewire: detection is the live module's job. *)
+
+val mark_down : t -> int -> unit
+(** [mark_down t r] records [r] as dead and rewires the overlays: orphan
+    subtrees reattach to their nearest live ancestor; brokers whose
+    parent changed resynchronize their event streams. Idempotent. *)
+
+val heal : t -> unit
+(** Recompute effective topology from liveness (called by {!mark_down}). *)
+
+val is_down : t -> int -> bool
+
+val alive_ranks : t -> int list
+
+(** {1 Tracing} *)
+
+val set_tracer : t -> Flux_trace.Tracer.t option -> unit
+(** Attach a tracer: the session emits category ["cmb"] events —
+    [rpc.done] (with [topic] and [dur]) for every completed client RPC,
+    [event.publish] and [event.deliver] on the event plane, and
+    [heal]/[mark_down] on topology changes. *)
+
+(** {1 Accounting} *)
+
+val rpc_net_stats : t -> Flux_sim.Net.stats
+val event_net_stats : t -> Flux_sim.Net.stats
+val ring_net_stats : t -> Flux_sim.Net.stats
+
+val root_rpc_ingress_bytes : t -> int
+(** Payload bytes that crossed the links into rank 0 on the RPC plane —
+    the fence bottleneck the paper analyzes. *)

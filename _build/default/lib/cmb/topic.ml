@@ -1,0 +1,29 @@
+let word_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+  | _ -> false
+
+let is_valid s =
+  String.length s > 0
+  && (not (String.exists (fun c -> not (word_char c || c = '.')) s))
+  && List.for_all (fun comp -> String.length comp > 0) (String.split_on_char '.' s)
+
+let service s =
+  if not (is_valid s) then invalid_arg (Printf.sprintf "Topic.service: invalid topic %S" s);
+  match String.index_opt s '.' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let method_ s =
+  if not (is_valid s) then invalid_arg (Printf.sprintf "Topic.method_: invalid topic %S" s);
+  match String.index_opt s '.' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> ""
+
+let matches ~module_name topic = is_valid topic && String.equal (service topic) module_name
+
+let prefixed ~prefix topic =
+  String.length prefix = 0
+  || String.equal prefix topic
+  || String.length topic > String.length prefix
+     && String.sub topic 0 (String.length prefix) = prefix
+     && topic.[String.length prefix] = '.'

@@ -1,0 +1,26 @@
+(** Hierarchical message topic namespace.
+
+    A message sent to ["kvs.put"] is routed to the [kvs] comms module
+    and internally to its handler for [put]. Topics are dot-separated,
+    non-empty words. *)
+
+val is_valid : string -> bool
+(** Non-empty, dot-separated, each component non-empty, characters from
+    [a-z A-Z 0-9 _ -]. *)
+
+val service : string -> string
+(** [service "kvs.put"] is ["kvs"] — the comms-module name component.
+    Raises [Invalid_argument] on an invalid topic. *)
+
+val method_ : string -> string
+(** [method_ "kvs.put"] is ["put"]; the empty string when the topic has
+    a single component. *)
+
+val matches : module_name:string -> string -> bool
+(** [matches ~module_name topic] is true when [topic]'s service equals
+    [module_name]. Invalid topics match nothing. *)
+
+val prefixed : prefix:string -> string -> bool
+(** [prefixed ~prefix topic] is component-wise prefix matching:
+    ["hb"] prefixes ["hb.pulse"] but not ["hbx.pulse"]. An empty prefix
+    matches everything. *)

@@ -1,0 +1,1 @@
+lib/core/center.ml: Flux_cmb Flux_kvs Flux_modules Flux_sim Instance Resource

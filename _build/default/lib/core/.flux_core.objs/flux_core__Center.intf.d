@@ -1,0 +1,1 @@
+lib/core/center.mli: Flux_cmb Flux_kvs Flux_sim Instance Resource

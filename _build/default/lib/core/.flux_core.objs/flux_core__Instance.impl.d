@@ -1,0 +1,1 @@
+lib/core/instance.ml: Float Flux_cmb Flux_json Flux_kvs Flux_modules Flux_sim Flux_trace Flux_util Fun Job Jobspec List Policy Pool Printf String

@@ -1,0 +1,1 @@
+lib/core/instance.mli: Flux_cmb Flux_trace Job Jobspec Pool

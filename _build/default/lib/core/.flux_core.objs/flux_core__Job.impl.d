@@ -1,0 +1,1 @@
+lib/core/job.ml: Float Flux_json Format Jobspec Printf

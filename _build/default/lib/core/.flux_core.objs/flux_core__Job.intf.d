@@ -1,0 +1,1 @@
+lib/core/job.mli: Flux_json Format Jobspec

@@ -1,0 +1,1 @@
+lib/core/jobspec.mli: Format

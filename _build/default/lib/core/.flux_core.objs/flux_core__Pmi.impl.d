@@ -1,0 +1,1 @@
+lib/core/pmi.ml: Flux_cmb Flux_json Flux_kvs Flux_modules Printf

@@ -1,0 +1,1 @@
+lib/core/pmi.mli: Flux_cmb

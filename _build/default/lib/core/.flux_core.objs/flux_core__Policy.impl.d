@@ -1,0 +1,1 @@
+lib/core/policy.ml: Hashtbl Job Jobspec List Pool Printf

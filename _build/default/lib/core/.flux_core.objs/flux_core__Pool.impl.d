@@ -1,0 +1,1 @@
+lib/core/pool.ml: Float Format Jobspec List Printf

@@ -1,0 +1,1 @@
+lib/core/resource.ml: Flux_json Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/rmatch.ml: Hashtbl Jobspec List Printf Resource

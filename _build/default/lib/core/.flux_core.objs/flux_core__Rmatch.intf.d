@@ -1,0 +1,1 @@
+lib/core/rmatch.mli: Jobspec Resource

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Float Flux_util Job Jobspec List

@@ -1,0 +1,37 @@
+module Engine = Flux_sim.Engine
+module Session = Flux_cmb.Session
+module Kvs = Flux_kvs.Kvs_module
+
+type t = {
+  eng : Engine.t;
+  sess : Session.t;
+  kvs : Kvs.t array;
+  resources : Resource.t;
+  root : Instance.t;
+}
+
+let create ?(nodes = 64) ?(fanout = 2) ?(policy = "fcfs") ?power_budget ?fs_bandwidth
+    ?cost_model ?(provenance = false) ?(name = "center") () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~fanout ~size:nodes () in
+  let kvs = Kvs.load sess () in
+  ignore (Flux_modules.Barrier.load sess () : Flux_modules.Barrier.t array);
+  ignore (Flux_modules.Wexec.load sess () : Flux_modules.Wexec.t array);
+  let resources =
+    Resource.center ~name
+      [
+        Resource.cluster ~nnodes:nodes ~name:(name ^ "-cluster") ();
+        Resource.filesystem ~name:(name ^ "-lustre") ();
+      ]
+  in
+  let root =
+    Instance.create_root sess ~policy ?power_budget ?fs_bandwidth ?cost_model ~provenance
+      ~name ()
+  in
+  { eng; sess; kvs; resources; root }
+
+let run ?until t = Engine.run ?until t.eng
+
+let kvs_client t ~rank = Flux_kvs.Client.connect t.sess ~rank
+
+let api t ~rank = Flux_cmb.Api.connect t.sess ~rank

@@ -1,0 +1,31 @@
+(** One-call assembly of a simulated HPC center: the comms session, the
+    standard comms modules, the resource inventory, and a root Flux
+    instance managing the whole facility under one framework. *)
+
+type t = {
+  eng : Flux_sim.Engine.t;
+  sess : Flux_cmb.Session.t;
+  kvs : Flux_kvs.Kvs_module.t array;
+  resources : Resource.t;
+  root : Instance.t;
+}
+
+val create :
+  ?nodes:int ->
+  ?fanout:int ->
+  ?policy:string ->
+  ?power_budget:float ->
+  ?fs_bandwidth:float ->
+  ?cost_model:Instance.cost_model ->
+  ?provenance:bool ->
+  ?name:string ->
+  unit ->
+  t
+(** Build a center of [nodes] nodes (default 64) with kvs, barrier and
+    wexec loaded and the resource tree registered. *)
+
+val run : ?until:float -> t -> unit
+(** Drive the simulation (wraps {!Flux_sim.Engine.run}). *)
+
+val kvs_client : t -> rank:int -> Flux_kvs.Client.t
+val api : t -> rank:int -> Flux_cmb.Api.t

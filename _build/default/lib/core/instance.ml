@@ -1,0 +1,529 @@
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Proc = Flux_sim.Proc
+module Session = Flux_cmb.Session
+module Api = Flux_cmb.Api
+module Wexec = Flux_modules.Wexec
+
+type cost_model = {
+  decision_base : float;
+  decision_per_node : float;
+  decision_per_job : float;
+  start_cost : float;
+  bootstrap_base : float;
+  bootstrap_per_node : float;
+}
+
+let default_cost_model =
+  {
+    decision_base = 500e-6;
+    decision_per_node = 2e-6;
+    decision_per_job = 20e-6;
+    start_cost = 10e-3;
+    bootstrap_base = 2e-3;
+    bootstrap_per_node = 100e-6;
+  }
+
+type t = {
+  i_name : string;
+  eng : Engine.t;
+  sess : Session.t;
+  i_pool : Pool.t;
+  mutable i_policy : (module Policy.S);
+  cost : cost_model;
+  provenance : bool;
+  i_parent : t option;
+  mutable i_children : t list;
+  mutable queue : Job.t list; (* pending, submission order *)
+  mutable running : (Job.t * Pool.grant) list;
+  mutable all_jobs : Job.t list; (* reversed *)
+  mutable pending_submissions : int;
+  mutable sched_armed : bool;
+  mutable cpu_free_at : float; (* the instance's scheduler CPU *)
+  mutable sched_cycles : int;
+  mutable idle_cbs : (unit -> unit) list;
+  jids : Flux_util.Idgen.t;
+  (* Child bookkeeping: the parent-side job that a child instance
+     realizes, so completion releases the right grant. *)
+  mutable child_grant : Pool.grant option;
+  mutable child_job : Job.t option;
+  i_nested : bool; (* owns a dedicated comms session; pool ranks are session-local *)
+  mutable tracer : Flux_trace.Tracer.t option;
+}
+
+let name t = t.i_name
+let pool t = t.i_pool
+let parent t = t.i_parent
+let children t = t.i_children
+
+let rec depth t = match t.i_parent with None -> 0 | Some p -> 1 + depth p
+
+let policy_name t =
+  let module P = (val t.i_policy) in
+  P.name
+
+let jobs t = List.rev t.all_jobs
+let queue_length t = List.length t.queue
+let running_count t = List.length t.running
+
+(* --- Provenance ------------------------------------------------------- *)
+
+let record_state t (job : Job.t) =
+  if t.provenance then begin
+    let b = Session.broker t.sess 0 in
+    Session.request_up b ~topic:"kvs.mput"
+      (Json.obj
+         [
+           ( "bindings",
+             Json.list
+               [
+                 Json.obj
+                   [
+                     ("key", Json.string (Printf.sprintf "lwj.%s.state" job.Job.jid));
+                     ("v", Json.string (Job.state_to_string job.Job.jstate));
+                   ];
+               ] );
+         ])
+      ~reply:(fun _ -> ())
+  end
+
+let set_tracer t tr = t.tracer <- tr
+
+let trace t ~name ?fields () =
+  match t.tracer with
+  | Some tr -> Flux_trace.Tracer.emit tr ~cat:"sched" ~name ?fields ()
+  | None -> ()
+
+let transition t job s =
+  Job.set_state job ~now:(Engine.now t.eng) s;
+  trace t
+    ~name:("job." ^ (match s with
+          | Job.Pending -> "pending"
+          | Job.Allocated -> "allocated"
+          | Job.Running -> "running"
+          | Job.Complete -> "complete"
+          | Job.Failed _ -> "failed"
+          | Job.Cancelled -> "cancelled"))
+    ~fields:
+      [
+        ("jid", Flux_json.Json.string job.Job.jid);
+        ("nodes", Flux_json.Json.int (List.length job.Job.granted_nodes));
+      ]
+    ();
+  record_state t job
+
+(* --- Idle detection ------------------------------------------------------ *)
+
+let is_idle t = t.queue = [] && t.running = [] && t.pending_submissions = 0
+
+let check_idle t = if is_idle t then List.iter (fun f -> f ()) t.idle_cbs
+
+let on_idle t f = t.idle_cbs <- t.idle_cbs @ [ f ]
+
+(* --- Scheduling cycle ------------------------------------------------------ *)
+
+let rec kick t =
+  if not t.sched_armed then begin
+    t.sched_armed <- true;
+    let cost =
+      t.cost.decision_base
+      +. (t.cost.decision_per_node *. float_of_int (Pool.total_nodes t.i_pool))
+      +. (t.cost.decision_per_job *. float_of_int (List.length t.queue))
+    in
+    let start = Float.max (Engine.now t.eng) t.cpu_free_at in
+    t.cpu_free_at <- start +. cost;
+    ignore
+      (Engine.schedule_at t.eng ~time:(start +. cost) (fun () ->
+           t.sched_armed <- false;
+           cycle t)
+        : Engine.handle)
+  end
+
+and cycle t =
+  t.sched_cycles <- t.sched_cycles + 1;
+  trace t ~name:"cycle" ~fields:[ ("queue", Flux_json.Json.int (List.length t.queue)) ] ();
+  adjust_malleable t;
+  let module P = (val t.i_policy) in
+  let starts =
+    P.schedule ~now:(Engine.now t.eng) ~pool:t.i_pool ~queue:t.queue ~running:t.running
+  in
+  let started_any = ref false in
+  List.iter
+    (fun { Policy.s_job = job; s_nnodes } ->
+      if job.Job.jstate = Job.Pending then
+        match Pool.try_grant t.i_pool ~spec:job.Job.spec ~nnodes:s_nnodes with
+        | Some grant ->
+          started_any := true;
+          t.cpu_free_at <-
+            Float.max (Engine.now t.eng) t.cpu_free_at +. t.cost.start_cost;
+          t.queue <- List.filter (fun j -> j != job) t.queue;
+          job.Job.granted_nodes <- grant.Pool.g_nodes;
+          transition t job Job.Allocated;
+          launch t job grant
+        | None -> ())
+    starts;
+  (* After placement, grow malleable jobs into whatever stayed idle. *)
+  adjust_malleable t;
+  if !started_any then () else check_idle t
+
+(* Multilevel resource elasticity (Challenge 3): malleable running jobs
+   shrink toward their minimum when other work is queued, and grow
+   toward their maximum when the pool would otherwise sit idle. *)
+and adjust_malleable t =
+  let adjust (job, grant) =
+    match job.Job.spec.Jobspec.elasticity with
+    | Jobspec.Malleable (min_n, max_n) when job.Job.jstate = Job.Running ->
+      let cur = List.length grant.Pool.g_nodes in
+      let grant' =
+        if t.queue <> [] && cur > min_n then
+          Pool.shrink_grant t.i_pool grant ~spec:job.Job.spec ~release:(cur - min_n)
+        else if t.queue = [] && cur < max_n then
+          match
+            Pool.expand_grant t.i_pool grant ~spec:job.Job.spec ~extra:(max_n - cur)
+          with
+          | Some g -> g
+          | None -> grant
+        else grant
+      in
+      job.Job.granted_nodes <- grant'.Pool.g_nodes;
+      (job, grant')
+    | _ -> (job, grant)
+  in
+  t.running <- List.map adjust t.running
+
+and finish t job grant outcome =
+  (* A job cancelled while its completion timer was in flight has
+     already been torn down; ignore the stale event. *)
+  if not (Job.is_terminal job.Job.jstate) then begin
+    (match outcome with
+    | Ok () -> transition t job Job.Complete
+    | Error e -> transition t job (Job.Failed e));
+    (* Malleable jobs may have traded nodes since launch: release the
+       grant currently on record, not the one captured at launch. *)
+    let current =
+      match List.find_opt (fun (j, _) -> j == job) t.running with
+      | Some (_, g) -> g
+      | None -> grant
+    in
+    t.running <- List.filter (fun (j, _) -> j != job) t.running;
+    Pool.release t.i_pool current;
+    kick t;
+    check_idle t
+  end
+
+and launch t job grant =
+  t.running <- (job, grant) :: t.running;
+  transition t job Job.Running;
+  match job.Job.job_payload with
+  | Job.Sleep d ->
+    ignore
+      (Engine.schedule t.eng ~delay:d (fun () -> finish t job grant (Ok ()))
+        : Engine.handle)
+  | Job.App { prog; args; per_rank; duration } ->
+    let api = Api.connect t.sess ~rank:(List.hd grant.Pool.g_nodes) in
+    let args =
+      match args with
+      | Json.Obj fields -> Json.obj (fields @ [ ("duration", Json.float duration) ])
+      | Json.Null -> Json.obj [ ("duration", Json.float duration) ]
+      | other -> other
+    in
+    ignore
+      (Proc.spawn t.eng ~name:("launch-" ^ job.Job.jid) (fun () ->
+           match
+             Wexec.run api ~jobid:job.Job.jid ~prog ~args ~per_rank
+               ~ranks:grant.Pool.g_nodes ()
+           with
+           | Ok c ->
+             if c.Wexec.c_failed = 0 then finish t job grant (Ok ())
+             else
+               finish t job grant
+                 (Error (Printf.sprintf "%d/%d tasks failed" c.Wexec.c_failed c.Wexec.c_ntasks))
+           | Error e -> finish t job grant (Error e))
+        : Proc.pid)
+  | Job.Child { policy; workload } ->
+    (* Parent-bounding: the granted nodes leave this pool entirely and
+       become the child's pool; power travels with the grant. *)
+    Pool.remove_granted_nodes t.i_pool grant;
+    let child =
+      create_child t ~policy ~sess:t.sess ~nested:false
+        ~nodes:grant.Pool.g_nodes
+        ~power_budget:(if grant.Pool.g_power > 0.0 then grant.Pool.g_power else infinity)
+        ~job ~grant
+    in
+    boot_child t child ~grant ~workload
+  | Job.Nested { policy; workload } ->
+    Pool.remove_granted_nodes t.i_pool grant;
+    (* The child gets its own comms session over its nodes, with the
+       standard service modules — an independent RJMS instance whose
+       traffic and KVS are isolated from the parent's. Its pool is in
+       the new session's rank space (0..k-1). *)
+    let k = List.length grant.Pool.g_nodes in
+    let sub_sess = Session.create_child t.sess ~nodes:grant.Pool.g_nodes () in
+    ignore (Flux_kvs.Kvs_module.load sub_sess () : Flux_kvs.Kvs_module.t array);
+    ignore (Flux_modules.Barrier.load sub_sess () : Flux_modules.Barrier.t array);
+    ignore (Flux_modules.Wexec.load sub_sess () : Flux_modules.Wexec.t array);
+    let child =
+      create_child t ~policy ~sess:sub_sess ~nested:true
+        ~nodes:(List.init k Fun.id)
+        ~power_budget:(if grant.Pool.g_power > 0.0 then grant.Pool.g_power else infinity)
+        ~job ~grant
+    in
+    boot_child t child ~grant ~workload
+
+and boot_child t child ~grant ~workload =
+    let boot =
+      t.cost.bootstrap_base
+      +. (t.cost.bootstrap_per_node *. float_of_int (List.length grant.Pool.g_nodes))
+    in
+    ignore
+      (Engine.schedule t.eng ~delay:boot (fun () ->
+           submit_plan child workload;
+           (* An empty (or fully delayed) workload must still be able to
+              complete the child job once everything drains. *)
+           check_idle child)
+        : Engine.handle)
+
+and create_child t ~policy ~sess ~nested ~nodes ~power_budget ~job ~grant =
+  let child =
+    {
+      i_name = Printf.sprintf "%s/%s" t.i_name job.Job.jid;
+      eng = t.eng;
+      sess;
+      i_pool = Pool.create ~nodes ~power_budget ();
+      i_policy = Policy.by_name policy;
+      cost = t.cost;
+      provenance = t.provenance;
+      i_parent = Some t;
+      i_children = [];
+      queue = [];
+      running = [];
+      all_jobs = [];
+      pending_submissions = 0;
+      sched_armed = false;
+      cpu_free_at = Engine.now t.eng;
+      sched_cycles = 0;
+      idle_cbs = [];
+      jids = Flux_util.Idgen.create ~prefix:(job.Job.jid ^ ".") ();
+      child_grant = Some grant;
+      child_job = Some job;
+      i_nested = nested;
+      tracer = t.tracer;
+    }
+  in
+  t.i_children <- child :: t.i_children;
+  (* Child-job completion: when the child instance drains, its nodes
+     flow back to the parent and the parent job completes. *)
+  on_idle child (fun () ->
+      match (child.child_job, child.child_grant) with
+      | Some j, Some g when not (Job.is_terminal j.Job.jstate) ->
+        (* A nested child's pool lives in its own session's rank space;
+           the parent gets back the original grant and the dedicated
+           comms session is torn down. A shared child's pool is in
+           parent space and may have grown or shrunk. *)
+        let current_nodes =
+          if child.i_nested then begin
+            Session.destroy child.sess;
+            g.Pool.g_nodes
+          end
+          else Pool.free_node_list child.i_pool
+        in
+        Pool.absorb_nodes t.i_pool current_nodes;
+        Pool.release_consumables t.i_pool g;
+        t.running <- List.filter (fun (rj, _) -> rj != j) t.running;
+        transition t j Job.Complete;
+        kick t;
+        check_idle t
+      | _ -> ());
+  child
+
+and submit_plan t subs =
+  List.iter
+    (fun (s : Job.submission) ->
+      t.pending_submissions <- t.pending_submissions + 1;
+      ignore
+        (Engine.schedule t.eng ~delay:s.Job.sub_after (fun () ->
+             t.pending_submissions <- t.pending_submissions - 1;
+             ignore (submit t ~spec:s.Job.sub_spec ~payload:s.Job.sub_payload : Job.t))
+          : Engine.handle))
+    subs
+
+and submit ?jid t ~spec ~payload =
+  (match Jobspec.validate spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Instance.submit: %s" e));
+  if Jobspec.min_nodes spec > Pool.total_nodes t.i_pool then
+    invalid_arg
+      (Printf.sprintf "Instance.submit: job needs %d nodes, instance owns %d"
+         (Jobspec.min_nodes spec) (Pool.total_nodes t.i_pool));
+  let jid =
+    match jid with Some j -> j | None -> Flux_util.Idgen.next t.jids
+  in
+  let job = Job.create ~jid ~spec ~payload ~now:(Engine.now t.eng) in
+  t.all_jobs <- job :: t.all_jobs;
+  t.queue <- t.queue @ [ job ];
+  record_state t job;
+  kick t;
+  job
+
+(* --- Elasticity --------------------------------------------------------------- *)
+
+let rec request_grow t ~nnodes =
+  if t.i_nested then 0 (* a dedicated comms session cannot be resized *)
+  else
+  match t.i_parent with
+  | None -> 0
+  | Some p ->
+    (* Parental consent: the parent serves from its free pool, asking
+       its own parent for the shortfall first. *)
+    let shortfall = nnodes - Pool.free_nodes p.i_pool in
+    if shortfall > 0 then ignore (request_grow p ~nnodes:shortfall : int);
+    let granted = Pool.donate_nodes p.i_pool nnodes in
+    Pool.absorb_nodes t.i_pool granted;
+    if granted <> [] then kick t;
+    List.length granted
+
+let request_shrink t ~nnodes =
+  if t.i_nested then 0
+  else
+  match t.i_parent with
+  | None -> 0
+  | Some p ->
+    let returned = Pool.donate_nodes t.i_pool nnodes in
+    Pool.absorb_nodes p.i_pool returned;
+    if returned <> [] then kick p;
+    List.length returned
+
+let set_power_cap t w =
+  let old = Pool.power_budget t.i_pool in
+  Pool.set_power_budget t.i_pool w;
+  if w > old then kick t
+
+(* --- Construction ----------------------------------------------------------------- *)
+
+let create_root sess ?(policy = "fcfs") ?(cost_model = default_cost_model)
+    ?(power_budget = infinity) ?(fs_bandwidth = infinity) ?(provenance = false) ~name () =
+  {
+    i_name = name;
+    eng = Session.engine sess;
+    sess;
+    i_pool =
+      Pool.create ~nodes:(List.init (Session.size sess) Fun.id) ~power_budget
+        ~fs_bandwidth ();
+    i_policy = Policy.by_name policy;
+    cost = cost_model;
+    provenance;
+    i_parent = None;
+    i_children = [];
+    queue = [];
+    running = [];
+    all_jobs = [];
+    pending_submissions = 0;
+    sched_armed = false;
+    cpu_free_at = 0.0;
+    sched_cycles = 0;
+    idle_cbs = [];
+    jids = Flux_util.Idgen.create ~prefix:(name ^ ".") ();
+    child_grant = None;
+    child_job = None;
+    i_nested = false;
+    tracer = None;
+  }
+
+(* --- Cancellation ----------------------------------------------------------------- *)
+
+let cancel t ~jid =
+  match List.find_opt (fun (j : Job.t) -> String.equal j.Job.jid jid) (jobs t) with
+  | None -> false
+  | Some job -> (
+    match job.Job.jstate with
+    | Job.Pending ->
+      t.queue <- List.filter (fun j -> j != job) t.queue;
+      transition t job Job.Cancelled;
+      check_idle t;
+      true
+    | Job.Running | Job.Allocated -> (
+      match job.Job.job_payload with
+      | Job.Child _ | Job.Nested _ ->
+        (* A running child instance owns its nodes outright; cancelling
+           the wrapper under it is not supported — drain or cancel the
+           child's own jobs instead. *)
+        false
+      | Job.Sleep _ | Job.App _ -> (
+        match List.find_opt (fun (j, _) -> j == job) t.running with
+        | Some (_, grant) ->
+          (match job.Job.job_payload with
+          | Job.App _ ->
+            let api = Api.connect t.sess ~rank:0 in
+            Wexec.kill api ~jobid:jid
+          | Job.Sleep _ | Job.Child _ | Job.Nested _ -> ());
+          t.running <- List.filter (fun (j, _) -> j != job) t.running;
+          transition t job Job.Cancelled;
+          Pool.release t.i_pool grant;
+          kick t;
+          check_idle t;
+          true
+        | None -> false))
+    | Job.Complete | Job.Failed _ | Job.Cancelled -> false)
+
+(* --- Metrics --------------------------------------------------------------------- *)
+
+type stats = {
+  st_completed : int;
+  st_failed : int;
+  st_cancelled : int;
+  st_sched_cycles : int;
+  st_mean_wait : float;
+  st_makespan : float;
+  st_node_seconds : float;
+}
+
+let stats t =
+  let all = jobs t in
+  let completed = List.filter (fun (j : Job.t) -> j.Job.jstate = Job.Complete) all in
+  let failed =
+    List.filter (fun (j : Job.t) -> match j.Job.jstate with Job.Failed _ -> true | _ -> false) all
+  in
+  let cancelled = List.filter (fun (j : Job.t) -> j.Job.jstate = Job.Cancelled) all in
+  let waits = List.map Job.wait_time completed in
+  let first_submit =
+    List.fold_left (fun acc (j : Job.t) -> Float.min acc j.Job.submit_time) infinity all
+  in
+  let last_end =
+    List.fold_left (fun acc (j : Job.t) -> Float.max acc j.Job.end_time) neg_infinity completed
+  in
+  {
+    st_completed = List.length completed;
+    st_failed = List.length failed;
+    st_cancelled = List.length cancelled;
+    st_sched_cycles = t.sched_cycles;
+    st_mean_wait =
+      (if waits = [] then 0.0
+       else List.fold_left ( +. ) 0.0 waits /. float_of_int (List.length waits));
+    st_makespan = (if completed = [] then 0.0 else last_end -. first_submit);
+    st_node_seconds =
+      List.fold_left
+        (fun acc (j : Job.t) ->
+          acc +. (Job.runtime j *. float_of_int (List.length j.Job.granted_nodes)))
+        0.0 completed;
+  }
+
+let rec stats_recursive t =
+  let mine = stats t in
+  List.fold_left
+    (fun acc child ->
+      let s = stats_recursive child in
+      {
+        st_completed = acc.st_completed + s.st_completed;
+        st_failed = acc.st_failed + s.st_failed;
+        st_cancelled = acc.st_cancelled + s.st_cancelled;
+        st_sched_cycles = acc.st_sched_cycles + s.st_sched_cycles;
+        st_mean_wait =
+          (* weighted by completions *)
+          (let a = acc.st_mean_wait *. float_of_int acc.st_completed
+           and b = s.st_mean_wait *. float_of_int s.st_completed in
+           let n = acc.st_completed + s.st_completed in
+           if n = 0 then 0.0 else (a +. b) /. float_of_int n);
+        st_makespan = Float.max acc.st_makespan s.st_makespan;
+        st_node_seconds = acc.st_node_seconds +. s.st_node_seconds;
+      })
+    mine t.i_children

@@ -1,0 +1,118 @@
+(** A Flux instance: an independent RJMS that owns a resource pool,
+    runs a scheduler over it, and can recursively host child instances
+    (Section III's job hierarchy model).
+
+    The three hierarchy rules are enforced here:
+    - {e parent bounding}: a child's pool is carved out of its parent's
+      grant and can never exceed it;
+    - {e child empowerment}: within those bounds the child schedules
+      independently, with its own policy and its own (modeled) scheduler
+      CPU — sibling instances schedule concurrently;
+    - {e parental consent}: a child grows or shrinks only by asking its
+      parent, which may recursively ask {e its} parent.
+
+    Instances launch [App] payloads through the wexec comms module on
+    the shared center session (the session must have kvs, barrier and
+    wexec loaded); [Sleep] payloads model synthetic work for scheduler
+    studies; [Child] payloads create nested instances. *)
+
+type t
+
+type cost_model = {
+  decision_base : float;  (** seconds per scheduling cycle *)
+  decision_per_node : float;  (** + this x pool size *)
+  decision_per_job : float;  (** + this x queue length *)
+  start_cost : float;
+      (** serialized controller work per job start (launch bureaucracy:
+          prolog, credential, RPCs) — the per-job throughput limit of a
+          monolithic controller *)
+  bootstrap_base : float;  (** creating a child instance *)
+  bootstrap_per_node : float;  (** + this x child nodes *)
+}
+
+val default_cost_model : cost_model
+
+val create_root :
+  Flux_cmb.Session.t ->
+  ?policy:string ->
+  ?cost_model:cost_model ->
+  ?power_budget:float ->
+  ?fs_bandwidth:float ->
+  ?provenance:bool ->
+  name:string ->
+  unit ->
+  t
+(** Root instance owning every rank of the session. [provenance]
+    (default false) records job state transitions in the KVS under
+    [lwj.<jid>.state]. *)
+
+(** {1 Identity and introspection} *)
+
+val name : t -> string
+val pool : t -> Pool.t
+val parent : t -> t option
+val children : t -> t list
+val depth : t -> int
+val policy_name : t -> string
+val jobs : t -> Job.t list
+(** Every job ever submitted to this instance, in submission order. *)
+
+val queue_length : t -> int
+val running_count : t -> int
+
+(** {1 Workload} *)
+
+val submit : ?jid:string -> t -> spec:Jobspec.t -> payload:Job.payload -> Job.t
+(** Enqueue a job now. Raises [Invalid_argument] on an invalid spec or
+    a spec whose minimum node count exceeds the instance pool. *)
+
+val submit_plan : t -> Job.submission list -> unit
+(** Enqueue each submission after its [sub_after] delay. *)
+
+val cancel : t -> jid:string -> bool
+(** Cancel a pending or running job; false if unknown or terminal. *)
+
+val on_idle : t -> (unit -> unit) -> unit
+(** [f] fires whenever the instance drains (empty queue, nothing
+    running, no submissions pending). *)
+
+(** {1 Elasticity (parental-consent rule)} *)
+
+val request_grow : t -> nnodes:int -> int
+(** Ask the parent chain for more nodes; returns how many were granted
+    and absorbed into this instance's pool. On the root this draws from
+    nowhere and returns 0. *)
+
+val request_shrink : t -> nnodes:int -> int
+(** Return up to [nnodes] free nodes to the parent; returns how many
+    actually moved. *)
+
+(** {1 Power (site-wide constraint)} *)
+
+val set_power_cap : t -> float -> unit
+(** Impose a power cap on this instance; it also bounds every future
+    child. Lowering below current draw stalls new starts until jobs
+    finish. A new scheduling cycle is kicked automatically when the cap
+    rises. *)
+
+val set_tracer : t -> Flux_trace.Tracer.t option -> unit
+(** Emit category ["sched"] events: [job.<state>] on every transition
+    (with the job id and node count) and [cycle] per scheduling cycle
+    (with queue length). Children created later inherit the tracer. *)
+
+(** {1 Metrics} *)
+
+type stats = {
+  st_completed : int;
+  st_failed : int;
+  st_cancelled : int;
+  st_sched_cycles : int;
+  st_mean_wait : float;  (** over completed jobs *)
+  st_makespan : float;  (** last completion - first submission *)
+  st_node_seconds : float;  (** sum of runtime x nodes over completed jobs *)
+}
+
+val stats : t -> stats
+
+val stats_recursive : t -> stats
+(** Aggregated over this instance and all descendants. *)

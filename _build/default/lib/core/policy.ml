@@ -1,0 +1,170 @@
+type start = { s_job : Job.t; s_nnodes : int }
+
+module type S = sig
+  val name : string
+
+  val schedule :
+    now:float ->
+    pool:Pool.t ->
+    queue:Job.t list ->
+    running:(Job.t * Pool.grant) list ->
+    start list
+end
+
+(* Power/bandwidth feasibility is re-checked by the instance through
+   Pool.try_grant; policies reason in node counts. *)
+
+module Fcfs = struct
+  let name = "fcfs"
+
+  let schedule ~now:_ ~pool ~queue ~running:_ =
+    let free = ref (Pool.free_nodes pool) in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | (job : Job.t) :: rest ->
+        let want = job.Job.spec.Jobspec.nnodes in
+        if want <= !free then begin
+          free := !free - want;
+          go ({ s_job = job; s_nnodes = want } :: acc) rest
+        end
+        else List.rev acc (* strict: never overtake the blocked head *)
+    in
+    go [] queue
+end
+
+module Fcfs_moldable = struct
+  let name = "fcfs-moldable"
+
+  let schedule ~now:_ ~pool ~queue ~running:_ =
+    let free = ref (Pool.free_nodes pool) in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | (job : Job.t) :: rest ->
+        let spec = job.Job.spec in
+        let want = min spec.Jobspec.nnodes !free in
+        let want = min want (Jobspec.max_nodes spec) in
+        if want >= Jobspec.min_nodes spec && want > 0 then begin
+          free := !free - want;
+          go ({ s_job = job; s_nnodes = want } :: acc) rest
+        end
+        else List.rev acc
+    in
+    go [] queue
+end
+
+module Easy_backfill = struct
+  let name = "easy"
+
+  let schedule ~now ~pool ~queue ~running =
+    match queue with
+    | [] -> []
+    | head :: rest ->
+      let free = Pool.free_nodes pool in
+      let head_want = head.Job.spec.Jobspec.nnodes in
+      if head_want <= free then
+        (* Head fits: behave like FCFS for this cycle. *)
+        Fcfs.schedule ~now ~pool ~queue ~running
+      else begin
+        (* Compute the shadow time: walking running jobs by estimated
+           completion, when do [head_want] nodes become available? *)
+        let by_end =
+          List.sort
+            (fun ((a : Job.t), _) ((b : Job.t), _) ->
+              compare
+                (a.Job.start_time +. a.Job.spec.Jobspec.walltime_est)
+                (b.Job.start_time +. b.Job.spec.Jobspec.walltime_est))
+            running
+        in
+        let rec find_shadow avail = function
+          | [] -> (infinity, avail)
+          | ((j : Job.t), (g : Pool.grant)) :: more ->
+            let avail = avail + List.length g.Pool.g_nodes in
+            if avail >= head_want then
+              (j.Job.start_time +. j.Job.spec.Jobspec.walltime_est, avail)
+            else find_shadow avail more
+        in
+        let shadow_time, avail_at_shadow = find_shadow free by_end in
+        (* Extra nodes at shadow time beyond the reservation can be used
+           freely; other backfills must finish before the shadow. *)
+        let spare_at_shadow = avail_at_shadow - head_want in
+        let free = ref free in
+        let spare = ref spare_at_shadow in
+        let starts = ref [] in
+        List.iter
+          (fun (job : Job.t) ->
+            let want = job.Job.spec.Jobspec.nnodes in
+            let est_end = now +. job.Job.spec.Jobspec.walltime_est in
+            if want <= !free then
+              if est_end <= shadow_time then begin
+                (* Finishes before the head needs the nodes. *)
+                free := !free - want;
+                starts := { s_job = job; s_nnodes = want } :: !starts
+              end
+              else if want <= !spare then begin
+                (* Runs past the shadow but only uses spare capacity. *)
+                free := !free - want;
+                spare := !spare - want;
+                starts := { s_job = job; s_nnodes = want } :: !starts
+              end)
+          rest;
+        List.rev !starts
+      end
+end
+
+(* Walk a (re)ordered queue with strict head-blocking semantics. *)
+let fcfs_walk ~pool queue =
+  let free = ref (Pool.free_nodes pool) in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (job : Job.t) :: rest ->
+      let want = job.Job.spec.Jobspec.nnodes in
+      if want <= !free then begin
+        free := !free - want;
+        go ({ s_job = job; s_nnodes = want } :: acc) rest
+      end
+      else List.rev acc
+  in
+  go [] queue
+
+module Priority = struct
+  let name = "priority"
+
+  let schedule ~now:_ ~pool ~queue ~running:_ =
+    (* Stable sort: equal priorities keep submission order. *)
+    let ordered =
+      List.stable_sort
+        (fun (a : Job.t) (b : Job.t) ->
+          compare b.Job.spec.Jobspec.priority a.Job.spec.Jobspec.priority)
+        queue
+    in
+    fcfs_walk ~pool ordered
+end
+
+module Fair_share = struct
+  let name = "fairshare"
+
+  let schedule ~now:_ ~pool ~queue ~running =
+    let usage = Hashtbl.create 8 in
+    List.iter
+      (fun ((j : Job.t), (g : Pool.grant)) ->
+        let u = j.Job.spec.Jobspec.user in
+        Hashtbl.replace usage u
+          (List.length g.Pool.g_nodes
+          + match Hashtbl.find_opt usage u with Some n -> n | None -> 0))
+      running;
+    let held (j : Job.t) =
+      match Hashtbl.find_opt usage j.Job.spec.Jobspec.user with Some n -> n | None -> 0
+    in
+    let ordered =
+      List.stable_sort (fun a b -> compare (held a) (held b)) queue
+    in
+    fcfs_walk ~pool ordered
+end
+
+let by_name = function
+  | "fcfs" -> (module Fcfs : S)
+  | "easy" -> (module Easy_backfill : S)
+  | "fcfs-moldable" -> (module Fcfs_moldable : S)
+  | "priority" -> (module Priority : S)
+  | "fairshare" -> (module Fair_share : S)
+  | s -> invalid_arg (Printf.sprintf "Policy.by_name: unknown policy %S" s)

@@ -1,0 +1,50 @@
+(** Scheduling policies.
+
+    A policy inspects the pending queue, the pool, and the currently
+    running jobs, and decides which pending jobs to start now and with
+    how many nodes (moldable specs let it choose within bounds). The
+    hierarchy lets every instance run a different policy — the
+    "resource subset specialization" of the paper. *)
+
+type start = { s_job : Job.t; s_nnodes : int }
+
+module type S = sig
+  val name : string
+
+  val schedule :
+    now:float ->
+    pool:Pool.t ->
+    queue:Job.t list ->
+    running:(Job.t * Pool.grant) list ->
+    start list
+  (** Jobs to start, in order. The instance re-validates each start
+      against the pool (consumables may rule it out). *)
+end
+
+module Fcfs : S
+(** Strict first-come-first-served: starts jobs from the head of the
+    queue and stops at the first one that does not fit. *)
+
+module Easy_backfill : S
+(** EASY backfill: the head job reserves the earliest time enough nodes
+    free up (using walltime estimates); later jobs may jump ahead only
+    if they fit now without delaying that reservation. *)
+
+module Fcfs_moldable : S
+(** FCFS that shrinks moldable/malleable jobs down to their minimum
+    node count rather than leaving nodes idle. *)
+
+module Priority : S
+(** Highest jobspec priority first (submission order breaks ties),
+    then strict FCFS semantics over the reordered queue — the simplest
+    form of the site-wide policy knob the paper gives to upper levels
+    of the hierarchy. *)
+
+module Fair_share : S
+(** Instantaneous fair share: pending jobs are ordered by how many
+    nodes their user currently holds (fewest first), so no user
+    monopolizes an instance; ties fall back to submission order. *)
+
+val by_name : string -> (module S)
+(** Look up ["fcfs"], ["easy"], ["fcfs-moldable"], ["priority"] or
+    ["fairshare"]. Raises [Invalid_argument] on unknown names. *)

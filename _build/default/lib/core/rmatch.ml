@@ -1,0 +1,85 @@
+type strategy = First_fit | Best_fit | Pack_by_rack
+
+type selection = { sel_nodes : Resource.t list; sel_racks : string list }
+
+let node_cores node = Resource.count Resource.Core node
+
+let node_memory_gb node = Resource.total_quantity Resource.Memory node
+
+let qualifies node ~spec =
+  node.Resource.rtype = Resource.Node
+  && node_cores node >= spec.Jobspec.cores_per_node
+  && node_memory_gb node >= spec.Jobspec.memory_per_node_gb
+
+(* Pair each node with the name of its enclosing rack (or "" outside
+   any rack) by a preorder walk carrying context. *)
+let nodes_with_racks tree =
+  let acc = ref [] in
+  let rec go rack (v : Resource.t) =
+    let rack = if v.Resource.rtype = Resource.Rack then v.Resource.name else rack in
+    if v.Resource.rtype = Resource.Node then acc := (v, rack) :: !acc
+    else List.iter (go rack) v.Resource.children
+  in
+  go "" tree;
+  List.rev !acc
+
+let rec take n = function
+  | _ when n = 0 -> []
+  | [] -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let selection_of chosen =
+  {
+    sel_nodes = List.map fst chosen;
+    sel_racks =
+      List.sort_uniq compare
+        (List.filter_map (fun (_, r) -> if r = "" then None else Some r) chosen);
+  }
+
+let select tree ~spec strategy =
+  let want = spec.Jobspec.nnodes in
+  let candidates = List.filter (fun (n, _) -> qualifies n ~spec) (nodes_with_racks tree) in
+  if List.length candidates < want then None
+  else
+    let chosen =
+      match strategy with
+      | First_fit -> take want candidates
+      | Best_fit ->
+        (* Smallest adequate memory first; stable on tree order. *)
+        take want
+          (List.stable_sort
+             (fun (a, _) (b, _) -> compare (node_memory_gb a) (node_memory_gb b))
+             candidates)
+      | Pack_by_rack ->
+        (* Fill from the racks with the most qualifying nodes first so
+           the job touches as few racks as possible. *)
+        let by_rack = Hashtbl.create 8 in
+        List.iter
+          (fun (n, r) ->
+            Hashtbl.replace by_rack r
+              ((n, r) :: (match Hashtbl.find_opt by_rack r with Some l -> l | None -> [])))
+          (List.rev candidates);
+        let racks =
+          List.sort
+            (fun (_, a) (_, b) -> compare (List.length b) (List.length a))
+            (Hashtbl.fold (fun r l acc -> (r, l) :: acc) by_rack [])
+        in
+        take want (List.concat_map snd racks)
+    in
+    Some (selection_of chosen)
+
+let explain_shortfall tree ~spec =
+  let all = Resource.nodes_of tree in
+  let enough_cores =
+    List.filter (fun n -> node_cores n >= spec.Jobspec.cores_per_node) all
+  in
+  let qualifying = List.filter (fun n -> qualifies n ~spec) all in
+  if List.length qualifying >= spec.Jobspec.nnodes then "request fits"
+  else if List.length all < spec.Jobspec.nnodes then
+    Printf.sprintf "only %d nodes exist, %d requested" (List.length all) spec.Jobspec.nnodes
+  else if List.length enough_cores < spec.Jobspec.nnodes then
+    Printf.sprintf "only %d nodes have >= %d cores" (List.length enough_cores)
+      spec.Jobspec.cores_per_node
+  else
+    Printf.sprintf "only %d nodes also have >= %g GB memory" (List.length qualifying)
+      spec.Jobspec.memory_per_node_gb

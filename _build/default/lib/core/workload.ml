@@ -1,0 +1,74 @@
+module Rng = Flux_util.Rng
+
+let duration_of_payload = function
+  | Job.Sleep d -> d
+  | Job.App { duration; _ } -> duration
+  | Job.Child _ | Job.Nested _ -> 0.0
+
+let poisson_arrivals rng ~rate ~n =
+  (* Cumulative exponential gaps; rate <= 0 means everything at t=0. *)
+  let t = ref 0.0 in
+  List.init n (fun _ ->
+      if rate <= 0.0 then 0.0
+      else begin
+        t := !t +. Rng.exponential rng (1.0 /. rate);
+        !t
+      end)
+
+let uq_ensemble rng ~n ?(nodes_each = 1) ?(mean_duration = 60.0) ?(arrival_rate = 0.0) () =
+  let arrivals = poisson_arrivals rng ~rate:arrival_rate ~n in
+  List.map
+    (fun at ->
+      let d = Float.max 1.0 (Rng.exponential rng mean_duration) in
+      {
+        Job.sub_after = at;
+        sub_spec = Jobspec.make ~nnodes:nodes_each ~walltime_est:(2.0 *. d) ();
+        sub_payload = Job.Sleep d;
+      })
+    arrivals
+
+let log_uniform rng ~max_value =
+  (* 1 .. max_value with log-uniform mass. *)
+  let bits = int_of_float (Float.log2 (float_of_int max_value)) in
+  let b = Rng.int rng (bits + 1) in
+  let lo = 1 lsl b in
+  let hi = min max_value (2 * lo) in
+  lo + Rng.int rng (max 1 (hi - lo))
+
+let batch_mix rng ~n ~max_nodes ?(mean_duration = 120.0) ?(arrival_rate = 0.0)
+    ?(overestimate = 2.0) () =
+  let arrivals = poisson_arrivals rng ~rate:arrival_rate ~n in
+  List.map
+    (fun at ->
+      let nnodes = min max_nodes (log_uniform rng ~max_value:max_nodes) in
+      let d = Float.max 1.0 (Rng.exponential rng mean_duration) in
+      {
+        Job.sub_after = at;
+        sub_spec = Jobspec.make ~nnodes ~walltime_est:(overestimate *. d) ();
+        sub_payload = Job.Sleep d;
+      })
+    arrivals
+
+let io_phased rng ~n ~max_nodes ~fs_bandwidth_each ?(mean_duration = 120.0) () =
+  List.init n (fun _ ->
+      let nnodes = min max_nodes (log_uniform rng ~max_value:max_nodes) in
+      let d = Float.max 1.0 (Rng.exponential rng mean_duration) in
+      {
+        Job.sub_after = 0.0;
+        sub_spec =
+          Jobspec.make ~nnodes ~walltime_est:(2.0 *. d) ~fs_bandwidth:fs_bandwidth_each ();
+        sub_payload = Job.Sleep d;
+      })
+
+let split_round_robin k subs =
+  if k <= 0 then invalid_arg "Workload.split_round_robin: k must be positive";
+  let buckets = Array.make k [] in
+  List.iteri (fun i s -> buckets.(i mod k) <- s :: buckets.(i mod k)) subs;
+  Array.to_list (Array.map List.rev buckets)
+
+let total_node_seconds subs =
+  List.fold_left
+    (fun acc (s : Job.submission) ->
+      acc
+      +. (float_of_int s.Job.sub_spec.Jobspec.nnodes *. duration_of_payload s.Job.sub_payload))
+    0.0 subs

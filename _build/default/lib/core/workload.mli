@@ -1,0 +1,50 @@
+(** Synthetic workload generators for scheduler studies.
+
+    The paper motivates the hierarchy with diverse, dynamic workloads —
+    in particular ensembles (Uncertainty Quantification, scale-bridging)
+    of many small jobs rather than single monolithic ones. These
+    generators produce such streams deterministically from a seed. *)
+
+module Rng = Flux_util.Rng
+
+val uq_ensemble :
+  Rng.t ->
+  n:int ->
+  ?nodes_each:int ->
+  ?mean_duration:float ->
+  ?arrival_rate:float ->
+  unit ->
+  Job.submission list
+(** [n] single-or-few-node jobs with exponential durations arriving as a
+    Poisson stream ([arrival_rate] jobs/s, default: all at t=0). *)
+
+val batch_mix :
+  Rng.t ->
+  n:int ->
+  max_nodes:int ->
+  ?mean_duration:float ->
+  ?arrival_rate:float ->
+  ?overestimate:float ->
+  unit ->
+  Job.submission list
+(** A classic batch mix: node counts log-uniform in [1, max_nodes],
+    exponential durations, walltime estimates [overestimate] x the true
+    duration (default 2.0 — users overestimate). *)
+
+val io_phased :
+  Rng.t ->
+  n:int ->
+  max_nodes:int ->
+  fs_bandwidth_each:float ->
+  ?mean_duration:float ->
+  unit ->
+  Job.submission list
+(** Jobs that also consume shared-filesystem bandwidth while running —
+    used to demonstrate co-scheduling compute with the global file
+    system. *)
+
+val split_round_robin : int -> Job.submission list -> Job.submission list list
+(** Deal a stream across [k] child instances (for two-level setups). *)
+
+val total_node_seconds : Job.submission list -> float
+(** Work contained in a stream (sum of nnodes x duration). *)

@@ -1,0 +1,1 @@
+lib/json/json.ml: Buffer Char Float Format List Printf Stdlib String

@@ -1,0 +1,398 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let null = Null
+let bool b = Bool b
+let int i = Int i
+let float f = Float f
+let string s = String s
+let list l = List l
+let obj fields = Obj fields
+let strings l = List (List.map string l)
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | String x, String y -> String.equal x y
+  | List x, List y -> List.equal equal x y
+  | Obj x, Obj y ->
+    List.equal (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) x y
+  | (Null | Bool _ | Int _ | Float _ | String _ | List _ | Obj _), _ -> false
+
+let tag = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | String _ -> 4
+  | List _ -> 5
+  | Obj _ -> 6
+
+let rec compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | String x, String y -> String.compare x y
+  | List x, List y -> List.compare compare x y
+  | Obj x, Obj y ->
+    List.compare
+      (fun (k1, v1) (k2, v2) ->
+        let c = String.compare k1 k2 in
+        if c <> 0 then c else compare v1 v2)
+      x y
+  | _, _ -> Stdlib.compare (tag a) (tag b)
+
+exception Type_error of string
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "list"
+  | Obj _ -> "object"
+
+let type_error expected v =
+  raise (Type_error (Printf.sprintf "expected %s, got %s" expected (type_name v)))
+
+let to_bool = function Bool b -> b | v -> type_error "bool" v
+let to_int = function Int i -> i | v -> type_error "int" v
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> type_error "float" v
+
+let to_string_v = function String s -> s | v -> type_error "string" v
+let to_list = function List l -> l | v -> type_error "list" v
+let to_obj = function Obj fields -> fields | v -> type_error "object" v
+
+let member_opt k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let member k v =
+  match v with
+  | Obj fields -> (
+    match List.assoc_opt k fields with
+    | Some x -> x
+    | None -> raise (Type_error (Printf.sprintf "missing field %S" k)))
+  | _ -> type_error "object" v
+
+let mem k v = match member_opt k v with Some _ -> true | None -> false
+
+let set_member k x v =
+  let fields = to_obj v in
+  if List.mem_assoc k fields then
+    Obj (List.map (fun (k', v') -> if String.equal k k' then (k', x) else (k', v')) fields)
+  else Obj (fields @ [ (k, x) ])
+
+let remove_member k v =
+  Obj (List.filter (fun (k', _) -> not (String.equal k k')) (to_obj v))
+
+(* Printing ---------------------------------------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool true -> Buffer.add_string buf "true"
+  | Bool false -> Buffer.add_string buf "false"
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_to buf s
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf v)
+      l;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(* Size model --------------------------------------------------------- *)
+
+let escaped_length s =
+  let n = ref 2 in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' | '\n' | '\r' | '\t' | '\b' | '\012' -> n := !n + 2
+      | c when Char.code c < 0x20 -> n := !n + 6
+      | _ -> incr n)
+    s;
+  !n
+
+let rec serialized_size = function
+  | Null -> 4
+  | Bool true -> 4
+  | Bool false -> 5
+  | Int i -> String.length (string_of_int i)
+  | Float f -> String.length (float_repr f)
+  | String s -> escaped_length s
+  | List l ->
+    let inner = List.fold_left (fun acc v -> acc + serialized_size v) 0 l in
+    let commas = Stdlib.max 0 (List.length l - 1) in
+    2 + inner + commas
+  | Obj fields ->
+    let inner =
+      List.fold_left
+        (fun acc (k, v) -> acc + escaped_length k + 1 + serialized_size v)
+        0 fields
+    in
+    let commas = Stdlib.max 0 (List.length fields - 1) in
+    2 + inner + commas
+
+(* Parsing ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type parser_state = { input : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos msg))
+
+let peek_char st =
+  if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let continue = ref true in
+  while !continue do
+    match peek_char st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | _ -> continue := false
+  done
+
+let expect st c =
+  match peek_char st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected %c, got %c" c c')
+  | None -> fail st (Printf.sprintf "expected %c, got end of input" c)
+
+let expect_keyword st kw value =
+  let n = String.length kw in
+  if st.pos + n <= String.length st.input && String.sub st.input st.pos n = kw
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" kw)
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.input then fail st "truncated \\u escape";
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let c = st.input.[st.pos] in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail st "bad hex digit in \\u escape"
+    in
+    v := (!v * 16) + d;
+    advance st
+  done;
+  !v
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek_char st with
+      | Some '"' -> Buffer.add_char buf '"'; advance st
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st
+      | Some '/' -> Buffer.add_char buf '/'; advance st
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st
+      | Some 't' -> Buffer.add_char buf '\t'; advance st
+      | Some 'r' -> Buffer.add_char buf '\r'; advance st
+      | Some 'b' -> Buffer.add_char buf '\b'; advance st
+      | Some 'f' -> Buffer.add_char buf '\012'; advance st
+      | Some 'u' ->
+        advance st;
+        let code = parse_hex4 st in
+        (* Encode as UTF-8; we only fully round-trip codes < 0x80 (the
+           printer only emits \u for control characters). *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      | Some c -> fail st (Printf.sprintf "bad escape \\%c" c)
+      | None -> fail st "truncated escape");
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek_char st with
+    | Some ('0' .. '9' | '-' | '+') -> advance st
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance st
+    | _ -> continue := false
+  done;
+  let text = String.sub st.input start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail st (Printf.sprintf "bad number %S" text))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek_char st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> expect_keyword st "null" Null
+  | Some 't' -> expect_keyword st "true" (Bool true)
+  | Some 'f' -> expect_keyword st "false" (Bool false)
+  | Some '"' -> String (parse_string_body st)
+  | Some '[' -> parse_list st
+  | Some '{' -> parse_obj st
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %c" c)
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  match peek_char st with
+  | Some ']' ->
+    advance st;
+    List []
+  | _ ->
+    let rec go acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek_char st with
+      | Some ',' ->
+        advance st;
+        go (v :: acc)
+      | Some ']' ->
+        advance st;
+        List (List.rev (v :: acc))
+      | _ -> fail st "expected , or ] in array"
+    in
+    go []
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  match peek_char st with
+  | Some '}' ->
+    advance st;
+    Obj []
+  | _ ->
+    let rec go acc =
+      skip_ws st;
+      let k = parse_string_body st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek_char st with
+      | Some ',' ->
+        advance st;
+        go ((k, v) :: acc)
+      | Some '}' ->
+        advance st;
+        Obj (List.rev ((k, v) :: acc))
+      | _ -> fail st "expected , or } in object"
+    in
+    go []
+
+let of_string s =
+  let st = { input = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+
+(* Padding values ------------------------------------------------------ *)
+
+let pad n =
+  if n < 2 then invalid_arg "Json.pad: need at least 2 bytes";
+  String (String.make (n - 2) 'x')
+
+let pad_unique n salt =
+  if n < 12 then invalid_arg "Json.pad_unique: need at least 12 bytes";
+  let tag = Printf.sprintf "%010d" (salt mod 10_000_000_000) in
+  String (tag ^ String.make (n - 2 - String.length tag) 'x')

@@ -1,0 +1,98 @@
+(** Minimal JSON values for CMB message payloads and KVS objects.
+
+    The paper's prototype stores JSON objects in the KVS and frames every
+    CMB message with a JSON payload. This module provides the value type,
+    a compact printer, a strict parser, and a structural size model used
+    by the network simulator to charge wire time. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+      (** Object fields are ordered; duplicate keys are not rejected but
+          accessors return the first binding. *)
+
+val equal : t -> t -> bool
+(** Structural equality. [Int 1] and [Float 1.0] are distinct. *)
+
+val compare : t -> t -> int
+(** Total order consistent with {!equal}. *)
+
+(** {1 Constructors} *)
+
+val null : t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val string : string -> t
+val list : t list -> t
+val obj : (string * t) list -> t
+val strings : string list -> t
+
+(** {1 Accessors}
+
+    Accessors raise [Type_error] with a descriptive message when the
+    value has the wrong shape. *)
+
+exception Type_error of string
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_float : t -> float
+(** [to_float] accepts both [Float] and [Int]. *)
+
+val to_string_v : t -> string
+val to_list : t -> t list
+val to_obj : t -> (string * t) list
+
+val member : string -> t -> t
+(** [member k v] is the field [k] of object [v]; raises [Type_error] when
+    absent or [v] is not an object. *)
+
+val member_opt : string -> t -> t option
+
+val mem : string -> t -> bool
+
+val set_member : string -> t -> t -> t
+(** [set_member k x v] returns [v] with field [k] replaced or appended. *)
+
+val remove_member : string -> t -> t
+
+(** {1 Printing and parsing} *)
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same compact rendering, for use with [Fmt]. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict parser for the output of {!to_string} (standard JSON). Raises
+    [Parse_error] on malformed input or trailing garbage. *)
+
+val of_string_opt : string -> t option
+
+(** {1 Size model} *)
+
+val serialized_size : t -> int
+(** [serialized_size v] is [String.length (to_string v)], computed
+    without building the string. The simulator charges this many bytes
+    of wire time for a payload. *)
+
+(** {1 Miscellany} *)
+
+val pad : int -> t
+(** [pad n] is an opaque string value whose serialized size is exactly
+    [n] bytes (n >= 2); used by workload generators to emulate values of
+    a prescribed size. Raises [Invalid_argument] if [n < 2]. *)
+
+val pad_unique : int -> int -> t
+(** [pad_unique n salt] is like [pad n] but distinct for distinct
+    [salt] values (used for the KAP unique-value mode). Requires
+    [n >= 12]. *)

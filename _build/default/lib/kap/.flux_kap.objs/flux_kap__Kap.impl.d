@@ -1,0 +1,1 @@
+lib/kap/kap.ml: Array Flux_cmb Flux_json Flux_kvs Flux_modules Flux_sim Flux_util Format Hashtbl Printf

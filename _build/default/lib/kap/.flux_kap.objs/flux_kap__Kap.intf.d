@@ -1,0 +1,1 @@
+lib/kap/kap.mli: Flux_kvs Flux_sim Format

@@ -1,0 +1,1 @@
+lib/kvs/client.ml: Flux_cmb Flux_json Flux_sim List Proto String

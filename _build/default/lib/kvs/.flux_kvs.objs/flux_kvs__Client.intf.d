@@ -1,0 +1,1 @@
+lib/kvs/client.mli: Flux_cmb Flux_json

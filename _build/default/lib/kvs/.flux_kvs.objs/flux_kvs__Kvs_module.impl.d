@@ -1,0 +1,1 @@
+lib/kvs/kvs_module.ml: Array Float Flux_cmb Flux_json Flux_sha1 Flux_sim Flux_trace Flux_util Fun Hashtbl List Printf Proto String Tree

@@ -1,0 +1,1 @@
+lib/kvs/kvs_module.mli: Flux_cmb Flux_json Flux_sha1 Flux_trace

@@ -1,0 +1,1 @@
+lib/kvs/proto.ml: Flux_json Flux_sha1 List

@@ -1,0 +1,1 @@
+lib/kvs/proto.mli: Flux_json Flux_sha1

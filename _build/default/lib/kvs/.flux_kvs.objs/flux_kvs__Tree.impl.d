@@ -1,0 +1,1 @@
+lib/kvs/tree.ml: Flux_json Flux_sha1 Hashtbl List Printf String

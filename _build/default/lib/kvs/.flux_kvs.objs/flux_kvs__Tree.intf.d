@@ -1,0 +1,1 @@
+lib/kvs/tree.mli: Flux_json Flux_sha1

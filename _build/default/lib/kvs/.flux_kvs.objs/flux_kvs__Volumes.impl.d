@@ -1,0 +1,1 @@
+lib/kvs/volumes.ml: Array Char Flux_cmb Flux_json Flux_sim Flux_util Fun Kvs_module List Printf Proto String

@@ -1,0 +1,1 @@
+lib/kvs/volumes.mli: Flux_cmb Flux_json Kvs_module

@@ -1,0 +1,651 @@
+module Json = Flux_json.Json
+module Sha1 = Flux_sha1.Sha1
+module Session = Flux_cmb.Session
+module Message = Flux_cmb.Message
+module Topic = Flux_cmb.Topic
+module Engine = Flux_sim.Engine
+module Lru = Flux_util.Lru
+
+type config = {
+  cache_capacity : int;
+  fence_window : float;
+  put_cpu : float;
+  hash_cpu_per_byte : float;
+  apply_cpu_per_tuple : float;
+  dir_index_threshold : int;
+  inline_threshold : int;
+}
+
+let default_config =
+  {
+    cache_capacity = 100_000;
+    fence_window = 200e-6;
+    put_cpu = 1e-6;
+    hash_cpu_per_byte = 1.5e-9;
+    apply_cpu_per_tuple = 0.3e-6;
+    dir_index_threshold = 64;
+    inline_threshold = 256;
+  }
+
+(* Fence aggregation state at a slave (or interior) instance. *)
+type fence_state = {
+  mutable fs_count : int; (* contributions accumulated, not yet forwarded *)
+  mutable fs_tuples : Proto.tuple list; (* reversed *)
+  fs_objects : (string, Json.t) Hashtbl.t; (* sha-hex -> value (deduplicated) *)
+  mutable fs_heard : int list; (* child ranks heard from since fence start *)
+  mutable fs_pending : Message.t list; (* requests awaiting fence completion *)
+  mutable fs_timer_armed : bool;
+  mutable fs_last_arrival : float;
+  fs_nprocs : int;
+}
+
+type master_fence = {
+  mutable mf_count : int;
+  mutable mf_tuples : Proto.tuple list;
+  mf_objects : (string, Json.t) Hashtbl.t;
+  mutable mf_pending : Message.t list;
+  mf_nprocs : int;
+}
+
+type routing = {
+  rt_service : string;
+  rt_master : int;
+  rt_parent : unit -> int option;
+  rt_children : unit -> int list;
+  rt_direct : bool;
+}
+
+type t = {
+  b : Session.broker;
+  cfg : config;
+  eng : Engine.t;
+  routing : routing;
+  master : bool;
+  cache : Json.t Lru.t; (* slave object cache *)
+  store : (string, Json.t) Hashtbl.t; (* master authoritative store *)
+  mutable root : Sha1.digest;
+  mutable version : int;
+  dirty_objs : (string, Json.t) Hashtbl.t; (* objects pinned until flushed *)
+  pending_loads : (string, ((unit, string) result -> unit) list ref) Hashtbl.t;
+  fences : (string, fence_state) Hashtbl.t;
+  master_fences : (string, master_fence) Hashtbl.t;
+  mutable version_waiters : (int * Message.t) list;
+  dir_index : (string, (string, Json.t) Hashtbl.t) Hashtbl.t;
+  mutable cpu_free_at : float; (* serializes local put hashing *)
+  mutable bytes_held : int;
+  mutable n_loads_issued : int;
+  mutable tracer : Flux_trace.Tracer.t option;
+}
+
+let hex = Sha1.to_hex
+
+let set_tracer t tr = t.tracer <- tr
+
+let set_tracer_all instances tr =
+  Array.iter (fun t -> set_tracer t (Some tr)) instances
+
+let trace t ~name ?fields () =
+  match t.tracer with
+  | Some tr ->
+    Flux_trace.Tracer.emit tr ~cat:"kvs" ~name ~rank:(Session.rank t.b) ?fields ()
+  | None -> ()
+
+let is_master t = t.master
+let version t = t.version
+let root_ref t = t.root
+let cached_objects t = if t.master then Hashtbl.length t.store else Lru.length t.cache
+let store_bytes t = t.bytes_held
+let dirty_count t = Hashtbl.length t.dirty_objs
+let loads_issued t = t.n_loads_issued
+
+(* --- Object access ----------------------------------------------------- *)
+
+let cache_put t sha v =
+  let h = hex sha in
+  if t.master then begin
+    if not (Hashtbl.mem t.store h) then begin
+      Hashtbl.replace t.store h v;
+      t.bytes_held <- t.bytes_held + Json.serialized_size v
+    end
+  end
+  else if not (Lru.mem t.cache h) then begin
+    t.bytes_held <- t.bytes_held + Json.serialized_size v;
+    Lru.put t.cache h v
+  end
+
+let lookup_obj t sha =
+  let h = hex sha in
+  if t.master then Hashtbl.find_opt t.store h
+  else
+    match Hashtbl.find_opt t.dirty_objs h with
+    | Some v -> Some v
+    | None -> Lru.find t.cache h
+
+let expire_cache t =
+  if not t.master then begin
+    Lru.clear t.cache;
+    Hashtbl.reset t.dir_index;
+    t.bytes_held <- 0;
+    (* Dirty objects are pinned until the next flush. *)
+    Hashtbl.iter (fun _ v -> t.bytes_held <- t.bytes_held + Json.serialized_size v) t.dirty_objs
+  end
+
+(* Indexed directory-entry lookup for large directories: the linear scan
+   over an 8k-entry directory object would otherwise dominate run time. *)
+let find_entry t sha dir name =
+  let h = hex sha in
+  match Hashtbl.find_opt t.dir_index h with
+  | Some idx -> Hashtbl.find_opt idx name
+  | None ->
+    let entries = Json.to_obj dir in
+    if List.length entries < t.cfg.dir_index_threshold then Json.member_opt name dir
+    else begin
+      let idx = Hashtbl.create (List.length entries) in
+      List.iter (fun (k, v) -> Hashtbl.replace idx k v) entries;
+      if Hashtbl.length t.dir_index > 256 then Hashtbl.reset t.dir_index;
+      Hashtbl.replace t.dir_index h idx;
+      Hashtbl.find_opt idx name
+    end
+
+(* Upstream transport: the session's RPC tree by default, or a direct
+   rank-addressed hop along the volume's relabeled tree. *)
+let send_up t ~method_ payload ~reply =
+  let topic = t.routing.rt_service ^ "." ^ method_ in
+  if t.routing.rt_direct then
+    match t.routing.rt_parent () with
+    | Some p -> Session.rpc_rank t.b ~dst:p ~topic payload ~reply
+    | None -> reply (Error (t.routing.rt_service ^ ": master has no parent"))
+  else Session.request_from_module t.b ~topic payload ~reply
+
+(* --- Fault-in with coalescing ------------------------------------------- *)
+
+let fault_in t sha k =
+  let h = hex sha in
+  match Hashtbl.find_opt t.pending_loads h with
+  | Some waiters -> waiters := k :: !waiters
+  | None ->
+    Hashtbl.replace t.pending_loads h (ref [ k ]);
+    t.n_loads_issued <- t.n_loads_issued + 1;
+    send_up t ~method_:"load" (Proto.load_request sha)
+      ~reply:(fun r ->
+        let outcome =
+          match r with
+          | Ok payload ->
+            cache_put t sha (Proto.load_reply_value payload);
+            Ok ()
+          | Error e -> Error e
+        in
+        match Hashtbl.find_opt t.pending_loads h with
+        | Some waiters ->
+          Hashtbl.remove t.pending_loads h;
+          List.iter (fun k -> k outcome) (List.rev !waiters)
+        | None -> ())
+
+(* --- Root/version management -------------------------------------------- *)
+
+let apply_root t ~version ~root =
+  if version > t.version then begin
+    t.version <- version;
+    t.root <- root;
+    let ready, waiting =
+      List.partition (fun (v, _) -> v <= t.version) t.version_waiters
+    in
+    t.version_waiters <- waiting;
+    List.iter (fun (_, req) -> Session.respond t.b req Json.null) ready
+  end
+
+(* --- Master: applying batches --------------------------------------------- *)
+
+let master_store t v =
+  let sha = Sha1.digest_json v in
+  cache_put t sha v;
+  sha
+
+let master_apply t ~tuples ~objects ~respond_to =
+  List.iter (fun (o : Proto.obj) -> cache_put t o.Proto.osha o.Proto.value) objects;
+  let ntuples = List.length tuples in
+  (* Small values are folded into the directory entry itself, so a
+     reader of one small object must fault in the entire directory
+     containing it (Figure 4a); larger values stay by-reference. *)
+  let dirent_of (tp : Proto.tuple) =
+    match lookup_obj t tp.Proto.sha with
+    | Some v when Json.serialized_size v <= t.cfg.inline_threshold -> Tree.dirent_val v
+    | Some _ | None -> Tree.dirent_file tp.Proto.sha
+  in
+  let finish () =
+    trace t ~name:"apply" ~fields:[ ("tuples", Json.int ntuples) ] ();
+    if ntuples > 0 then begin
+      let new_root =
+        Tree.apply_tuples
+          ~fetch:(fun sha -> lookup_obj t sha)
+          ~store:(fun v -> master_store t v)
+          ~root:t.root
+          (List.map (fun (tp : Proto.tuple) -> (tp.Proto.key, dirent_of tp)) tuples)
+      in
+      t.version <- t.version + 1;
+      t.root <- new_root
+    end;
+    let payload = Proto.commit_reply ~version:t.version ~root:t.root in
+    List.iter (fun req -> Session.respond t.b req payload) respond_to;
+    if ntuples > 0 then
+      Session.publish t.b ~topic:(t.routing.rt_service ^ ".setroot") payload;
+    (* Wake local wait_version callers. *)
+    apply_root t ~version:t.version ~root:t.root
+  in
+  (* Charge the master CPU for tuple application, serialized across
+     concurrent batches: this is the linear term that keeps the
+     redundant-value fence short of logarithmic — and the queue that a
+     distributed master (Volumes) divides. *)
+  let cost = float_of_int ntuples *. t.cfg.apply_cpu_per_tuple in
+  if cost > 0.0 then begin
+    let start = Float.max (Engine.now t.eng) t.cpu_free_at in
+    t.cpu_free_at <- start +. cost;
+    ignore (Engine.schedule_at t.eng ~time:(start +. cost) (fun () -> finish ()) : Engine.handle)
+  end
+  else finish ()
+
+(* --- Fence handling -------------------------------------------------------- *)
+
+let fence_get t name nprocs =
+  match Hashtbl.find_opt t.fences name with
+  | Some fs -> fs
+  | None ->
+    let fs =
+      {
+        fs_count = 0;
+        fs_tuples = [];
+        fs_objects = Hashtbl.create 64;
+        fs_heard = [];
+        fs_pending = [];
+        fs_timer_armed = false;
+        fs_last_arrival = 0.0;
+        fs_nprocs = nprocs;
+      }
+    in
+    Hashtbl.replace t.fences name fs;
+    fs
+
+let master_fence_get t name nprocs =
+  match Hashtbl.find_opt t.master_fences name with
+  | Some mf -> mf
+  | None ->
+    let mf =
+      {
+        mf_count = 0;
+        mf_tuples = [];
+        mf_objects = Hashtbl.create 64;
+        mf_pending = [];
+        mf_nprocs = nprocs;
+      }
+    in
+    Hashtbl.replace t.master_fences name mf;
+    mf
+
+(* Resolve a client transaction's tuples to the pinned value objects,
+   unpinning them (they remain in the ordinary cache). *)
+let resolve_objects t tuples =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (tp : Proto.tuple) ->
+      let h = hex tp.Proto.sha in
+      if Hashtbl.mem seen h then None
+      else begin
+        Hashtbl.replace seen h ();
+        match Hashtbl.find_opt t.dirty_objs h with
+        | Some v ->
+          Hashtbl.remove t.dirty_objs h;
+          cache_put t tp.Proto.sha v;
+          Some { Proto.osha = tp.Proto.sha; value = v }
+        | None -> (
+          (* Another transaction already unpinned it; the cache (or the
+             master store) still holds it. *)
+          match lookup_obj t tp.Proto.sha with
+          | Some v -> Some { Proto.osha = tp.Proto.sha; value = v }
+          | None -> None)
+      end)
+    tuples
+
+let master_fence_check t name mf =
+  if mf.mf_count >= mf.mf_nprocs then begin
+    Hashtbl.remove t.master_fences name;
+    let objects =
+      Hashtbl.fold (fun h v acc -> { Proto.osha = Sha1.of_hex h; value = v } :: acc)
+        mf.mf_objects []
+    in
+    master_apply t ~tuples:(List.rev mf.mf_tuples) ~objects ~respond_to:mf.mf_pending
+  end
+
+let master_fence_contribute t ~name ~nprocs ~count ~tuples ~objects req =
+  let mf = master_fence_get t name nprocs in
+  mf.mf_count <- mf.mf_count + count;
+  mf.mf_tuples <- List.rev_append tuples mf.mf_tuples;
+  List.iter
+    (fun (o : Proto.obj) ->
+      if not (Hashtbl.mem mf.mf_objects (hex o.Proto.osha)) then
+        Hashtbl.replace mf.mf_objects (hex o.Proto.osha) o.Proto.value)
+    objects;
+  (match req with Some r -> mf.mf_pending <- r :: mf.mf_pending | None -> ());
+  master_fence_check t name mf
+
+let rec fence_forward t name fs =
+  let tuples = List.rev fs.fs_tuples in
+  let objects =
+    Hashtbl.fold (fun h v acc -> { Proto.osha = Sha1.of_hex h; value = v } :: acc)
+      fs.fs_objects []
+  in
+  let count = fs.fs_count in
+  let pending = fs.fs_pending in
+  fs.fs_count <- 0;
+  fs.fs_tuples <- [];
+  Hashtbl.reset fs.fs_objects;
+  fs.fs_pending <- [];
+  let payload =
+    Proto.flush_to_json
+      { Proto.fence = Some (name, fs.fs_nprocs); count; tuples; objects }
+  in
+  send_up t ~method_:"flush" payload ~reply:(fun r ->
+      (match r with
+      | Ok reply ->
+        let v, root = Proto.commit_reply_decode reply in
+        apply_root t ~version:v ~root;
+        List.iter (fun req -> Session.respond t.b req reply) pending
+      | Error e -> List.iter (fun req -> Session.respond_error t.b req e) pending);
+      if fs.fs_count = 0 && fs.fs_pending = [] then Hashtbl.remove t.fences name)
+
+(* Forwarding policy: forward as soon as the subtree is known complete;
+   otherwise wait until every live child has contributed and the fence
+   has gone quiet for half a window (so locally staggered enters batch
+   into one message); a subtree with silent children forwards after two
+   full windows of quiet so sparse fences cannot deadlock. *)
+and fence_check_ready t name fs =
+  if fs.fs_count > 0 then begin
+    let children = t.routing.rt_children () in
+    let all_heard = List.for_all (fun c -> List.mem c fs.fs_heard) children in
+    let idle = Engine.now t.eng -. fs.fs_last_arrival in
+    let complete = fs.fs_count >= fs.fs_nprocs in
+    if
+      complete
+      || (all_heard && idle >= t.cfg.fence_window /. 2.0)
+      || idle >= 2.0 *. t.cfg.fence_window
+    then fence_forward t name fs
+    else arm_fence_timer t name fs (t.cfg.fence_window /. 4.0)
+  end
+
+and arm_fence_timer t name fs delay =
+  if not fs.fs_timer_armed then begin
+    fs.fs_timer_armed <- true;
+    ignore
+      (Engine.schedule t.eng ~delay (fun () ->
+           fs.fs_timer_armed <- false;
+           fence_check_ready t name fs)
+        : Engine.handle)
+  end
+
+let fence_contribute t ~name ~nprocs ~count ~tuples ~objects ~from_child req =
+  if t.master then master_fence_contribute t ~name ~nprocs ~count ~tuples ~objects req
+  else begin
+    let fs = fence_get t name nprocs in
+    fs.fs_count <- fs.fs_count + count;
+    fs.fs_tuples <- List.rev_append tuples fs.fs_tuples;
+    List.iter
+      (fun (o : Proto.obj) ->
+        (* Write-through caching: objects passing by stay in the cache. *)
+        cache_put t o.Proto.osha o.Proto.value;
+        if not (Hashtbl.mem fs.fs_objects (hex o.Proto.osha)) then
+          Hashtbl.replace fs.fs_objects (hex o.Proto.osha) o.Proto.value)
+      objects;
+    (match from_child with
+    | Some c -> if not (List.mem c fs.fs_heard) then fs.fs_heard <- c :: fs.fs_heard
+    | None -> ());
+    (match req with Some r -> fs.fs_pending <- r :: fs.fs_pending | None -> ());
+    fs.fs_last_arrival <- Engine.now t.eng;
+    if fs.fs_count >= fs.fs_nprocs then fence_check_ready t name fs
+    else arm_fence_timer t name fs (t.cfg.fence_window /. 2.0)
+  end
+
+(* --- Request handlers -------------------------------------------------------- *)
+
+let handle_put t (req : Message.t) =
+  let key = Json.to_string_v (Json.member "key" req.Message.payload) in
+  let value = Json.member "v" req.Message.payload in
+  let vsize = Json.serialized_size value in
+  let now = Engine.now t.eng in
+  let start = Float.max now t.cpu_free_at in
+  let cost = t.cfg.put_cpu +. (float_of_int vsize *. t.cfg.hash_cpu_per_byte) in
+  t.cpu_free_at <- start +. cost;
+  let finish_at = start +. cost in
+  ignore key;
+  ignore
+    (Engine.schedule_at t.eng ~time:finish_at (fun () ->
+         let sha = Sha1.digest_json value in
+         if not (Hashtbl.mem t.dirty_objs (hex sha)) then
+           Hashtbl.replace t.dirty_objs (hex sha) value;
+         cache_put t sha value;
+         Session.respond t.b req (Proto.put_reply sha))
+      : Engine.handle)
+
+let handle_get t (req : Message.t) =
+  let key = Json.to_string_v (Json.member "key" req.Message.payload) in
+  let pinned_root = t.root in
+  let rec walk () =
+    match
+      Tree.lookup
+        ~fetch:(fun sha -> lookup_obj t sha)
+        ~find_entry:(fun sha dir name -> find_entry t sha dir name)
+        ~root:pinned_root ~key ()
+    with
+    | Tree.Found v -> Session.respond t.b req (Proto.load_reply v)
+    | Tree.No_key -> Session.respond_error t.b req (Printf.sprintf "key not found: %s" key)
+    | Tree.Need sha ->
+      fault_in t sha (function
+        | Ok () -> walk ()
+        | Error e -> Session.respond_error t.b req e)
+  in
+  walk ()
+
+let handle_load t (req : Message.t) =
+  let sha = Proto.load_request_sha req.Message.payload in
+  match lookup_obj t sha with
+  | Some v -> Session.respond t.b req (Proto.load_reply v)
+  | None ->
+    if t.master then
+      Session.respond_error t.b req
+        (Printf.sprintf "unknown object %s" (Sha1.short sha))
+    else
+      fault_in t sha (function
+        | Ok () -> (
+          match lookup_obj t sha with
+          | Some v -> Session.respond t.b req (Proto.load_reply v)
+          | None ->
+            (* Evicted between fault-in and reply: extremely unlikely;
+               treat as a miss the client may retry. *)
+            Session.respond_error t.b req "object evicted during load")
+        | Error e -> Session.respond_error t.b req e)
+
+let handle_commit t (req : Message.t) =
+  let tuples =
+    match Json.member_opt "tuples" req.Message.payload with
+    | Some tj -> Proto.tuples_of_json tj
+    | None -> []
+  in
+  let objects = resolve_objects t tuples in
+  if t.master then master_apply t ~tuples ~objects ~respond_to:[ req ]
+  else
+    let payload = Proto.flush_to_json { Proto.fence = None; count = 0; tuples; objects } in
+    send_up t ~method_:"flush" payload ~reply:(fun r ->
+        match r with
+        | Ok reply ->
+          let v, root = Proto.commit_reply_decode reply in
+          apply_root t ~version:v ~root;
+          Session.respond t.b req reply
+        | Error e -> Session.respond_error t.b req e)
+
+let handle_fence t (req : Message.t) =
+  let name = Json.to_string_v (Json.member "name" req.Message.payload) in
+  let nprocs = Json.to_int (Json.member "nprocs" req.Message.payload) in
+  let tuples =
+    match Json.member_opt "tuples" req.Message.payload with
+    | Some tj -> Proto.tuples_of_json tj
+    | None -> []
+  in
+  let objects = resolve_objects t tuples in
+  fence_contribute t ~name ~nprocs ~count:1 ~tuples ~objects ~from_child:None (Some req)
+
+(* Atomic put-and-commit of a binding list: used by services (mon,
+   resvc, provenance) that have no client-side transaction state. *)
+let handle_mput t (req : Message.t) =
+  let bindings = Json.to_list (Json.member "bindings" req.Message.payload) in
+  let tuples, objects =
+    List.fold_left
+      (fun (ts, os) b ->
+        let key = Json.to_string_v (Json.member "key" b) in
+        let v = Json.member "v" b in
+        let sha = Sha1.digest_json v in
+        cache_put t sha v;
+        ({ Proto.key; sha } :: ts, { Proto.osha = sha; value = v } :: os))
+      ([], []) bindings
+  in
+  let tuples = List.rev tuples and objects = List.rev objects in
+  if t.master then master_apply t ~tuples ~objects ~respond_to:[ req ]
+  else
+    let payload = Proto.flush_to_json { Proto.fence = None; count = 0; tuples; objects } in
+    Session.request_from_module t.b ~topic:"kvs.flush" payload ~reply:(fun r ->
+        match r with
+        | Ok reply ->
+          let v, root = Proto.commit_reply_decode reply in
+          apply_root t ~version:v ~root;
+          Session.respond t.b req reply
+        | Error e -> Session.respond_error t.b req e)
+
+let handle_flush t (req : Message.t) =
+  let f = Proto.flush_of_json req.Message.payload in
+  (* [origin] is the rank of the child kvs instance that forwarded. *)
+  let from_child = Some req.Message.origin in
+  match f.Proto.fence with
+  | Some (name, nprocs) ->
+    fence_contribute t ~name ~nprocs ~count:f.Proto.count ~tuples:f.Proto.tuples
+      ~objects:f.Proto.objects ~from_child (Some req)
+  | None ->
+    if t.master then
+      master_apply t ~tuples:f.Proto.tuples ~objects:f.Proto.objects ~respond_to:[ req ]
+    else begin
+      (* Plain commit: write objects through this cache and forward. *)
+      List.iter (fun (o : Proto.obj) -> cache_put t o.Proto.osha o.Proto.value) f.Proto.objects;
+      send_up t ~method_:"flush" req.Message.payload
+        ~reply:(fun r ->
+          match r with
+          | Ok reply ->
+            let v, root = Proto.commit_reply_decode reply in
+            apply_root t ~version:v ~root;
+            Session.respond t.b req reply
+          | Error e -> Session.respond_error t.b req e)
+    end
+
+let handle_getversion t (req : Message.t) =
+  Session.respond t.b req (Json.obj [ ("version", Json.int t.version) ])
+
+let handle_waitversion t (req : Message.t) =
+  let v = Json.to_int (Json.member "version" req.Message.payload) in
+  if t.version >= v then Session.respond t.b req Json.null
+  else t.version_waiters <- (v, req) :: t.version_waiters
+
+let handle_getroot t (req : Message.t) =
+  Session.respond t.b req (Proto.commit_reply ~version:t.version ~root:t.root)
+
+(* --- Module wiring -------------------------------------------------------------- *)
+
+let default_routing b =
+  {
+    rt_service = "kvs";
+    rt_master = 0;
+    rt_parent = (fun () -> Session.tree_parent b);
+    rt_children = (fun () -> Session.tree_children b);
+    rt_direct = false;
+  }
+
+let create_instance cfg ?routing b =
+  let routing = match routing with Some r -> r | None -> default_routing b in
+  let t =
+    {
+      b;
+      cfg;
+      eng = Session.b_engine b;
+      routing;
+      master = Session.rank b = routing.rt_master;
+      cache = Lru.create ~capacity:cfg.cache_capacity;
+      store = Hashtbl.create 1024;
+      root = Tree.empty_dir_sha;
+      version = 0;
+      dirty_objs = Hashtbl.create 64;
+      pending_loads = Hashtbl.create 64;
+      fences = Hashtbl.create 8;
+      master_fences = Hashtbl.create 8;
+      version_waiters = [];
+      dir_index = Hashtbl.create 16;
+      cpu_free_at = 0.0;
+      bytes_held = 0;
+      n_loads_issued = 0;
+      tracer = None;
+    }
+  in
+  (* Seed the empty root directory everywhere. *)
+  cache_put t Tree.empty_dir_sha Tree.empty_dir;
+  t
+
+let module_of t =
+  {
+    Session.mod_name = t.routing.rt_service;
+    on_request =
+      (fun (req : Message.t) ->
+        trace t ~name:(Topic.method_ req.Message.topic) ();
+        (match Topic.method_ req.Message.topic with
+        | "put" -> handle_put t req
+        | "get" -> handle_get t req
+        | "load" -> handle_load t req
+        | "commit" -> handle_commit t req
+        | "fence" -> handle_fence t req
+        | "mput" -> handle_mput t req
+        | "flush" -> handle_flush t req
+        | "getversion" -> handle_getversion t req
+        | "waitversion" -> handle_waitversion t req
+        | "getroot" -> handle_getroot t req
+        | m -> Session.respond_error t.b req (Printf.sprintf "kvs: unknown method %S" m));
+        Session.Consumed);
+    on_event =
+      (fun (ev : Message.t) ->
+        if String.equal ev.Message.topic (t.routing.rt_service ^ ".setroot") then begin
+          let v, root = Proto.setroot_of_json ev.Message.payload in
+          apply_root t ~version:v ~root
+        end);
+  }
+
+let ranks_to_depth sess d =
+  let k = Session.fanout sess in
+  List.filter
+    (fun r -> Flux_util.Treemath.depth ~k r <= d)
+    (List.init (Session.size sess) Fun.id)
+
+let load sess ?(config = default_config) ?ranks () =
+  let targets =
+    match ranks with
+    | Some rs ->
+      if not (List.mem 0 rs) then invalid_arg "Kvs_module.load: ranks must include the master (0)";
+      rs
+    | None -> List.init (Session.size sess) Fun.id
+  in
+  let instances =
+    Array.of_list (List.map (fun r -> create_instance config (Session.broker sess r)) targets)
+  in
+  let by_rank = Hashtbl.create 64 in
+  List.iteri (fun i r -> Hashtbl.replace by_rank r instances.(i)) targets;
+  Session.load_module sess ~ranks:targets (fun b ->
+      module_of (Hashtbl.find by_rank (Session.rank b)));
+  instances
+
+let load_routed sess ?(config = default_config) ~routing () =
+  let instances =
+    Array.init (Session.size sess) (fun r ->
+        create_instance config ~routing:(routing r) (Session.broker sess r))
+  in
+  Session.load_module sess (fun b -> module_of instances.(Session.rank b));
+  instances

@@ -1,0 +1,103 @@
+(** The [kvs] comms module: a distributed key-value store with a single
+    master (the session root) and caching slaves, as in the paper.
+
+    Slaves cache content-addressed objects in write-back mode: a put is
+    purely local (hash + cache + dirty tuple); a commit flushes the
+    dirty set to the master through the tree of slave caches; a fence is
+    the collective variant, aggregating contributions hop by hop up the
+    tree — identical value objects are deduplicated at each hop while
+    the [(key, sha)] tuples are concatenated, which is what produces the
+    paper's Figure 3 behaviour. Gets walk the hash tree from the current
+    root, faulting missing objects in from the CMB-tree parent
+    (concurrent misses for one object coalesce into one upstream load),
+    which yields the [log2(C) * T(G)] consumer latency of Figure 4.
+
+    Consistency (Vogels' taxonomy, as in the paper): commit and fence
+    replies carry the new root so writers read their writes; root
+    references are versioned and never applied out of order (monotonic
+    reads); [get_version]/[wait_version] give causal consistency across
+    processes. *)
+
+module Json = Flux_json.Json
+module Sha1 = Flux_sha1.Sha1
+module Session = Flux_cmb.Session
+
+type config = {
+  cache_capacity : int;  (** slave LRU capacity, in objects *)
+  fence_window : float;  (** aggregation window, seconds *)
+  put_cpu : float;  (** fixed local cost of a put *)
+  hash_cpu_per_byte : float;  (** hashing/serialization cost per value byte *)
+  apply_cpu_per_tuple : float;  (** master cost to apply one tuple *)
+  dir_index_threshold : int;  (** index directories larger than this *)
+  inline_threshold : int;
+      (** values serialized to at most this many bytes are stored inline
+          in their directory entry, as in the prototype — reading one
+          small value then requires faulting in its whole directory *)
+}
+
+val default_config : config
+
+type t
+(** Per-rank instance state (introspection handle for tests/benches). *)
+
+val load : Session.t -> ?config:config -> ?ranks:int list -> unit -> t array
+(** Load the module on every rank of the session (or only on [ranks],
+    to load at a configurable tree depth: leaf brokers without an
+    instance route KVS requests upstream to the nearest loaded one,
+    conserving node resources for the application). Result index [i]
+    holds the instance of the [i]-th listed rank (rank [i] when loading
+    everywhere). [ranks] must include rank 0 — the master. *)
+
+val ranks_to_depth : Session.t -> int -> int list
+(** Ranks whose RPC-tree depth is at most the argument — convenience
+    for depth-based loading. *)
+
+(** {1 Routed loading (distributed masters)}
+
+    The paper's stated future-work direction is distributing the KVS
+    master. {!Volumes} builds on this hook: a store instance can serve a
+    different topic namespace, put its master on any rank, and aggregate
+    along a relabeled tree reached over the rank-addressed overlay. *)
+
+type routing = {
+  rt_service : string;  (** topic service component, e.g. ["kvs-2"] *)
+  rt_master : int;  (** rank holding the authoritative store *)
+  rt_parent : unit -> int option;  (** aggregation-tree parent of this rank *)
+  rt_children : unit -> int list;
+  rt_direct : bool;
+      (** send upstream over the rank-addressed plane (required when the
+          aggregation tree differs from the session's RPC tree) *)
+}
+
+val load_routed :
+  Session.t -> ?config:config -> routing:(int -> routing) -> unit -> t array
+(** Load one store family under the given per-rank routing, on every
+    rank. *)
+
+(** {1 Introspection} *)
+
+val is_master : t -> bool
+val version : t -> int
+val root_ref : t -> Sha1.digest
+val cached_objects : t -> int
+(** Objects in the slave cache (or the master's authoritative store). *)
+
+val store_bytes : t -> int
+(** Total serialized bytes of objects held (cache or store). *)
+
+val dirty_count : t -> int
+(** Tuples awaiting commit on this node. *)
+
+val loads_issued : t -> int
+(** Upstream fault-in requests this instance has sent (coalescing means
+    this can be far smaller than the number of local misses). *)
+
+val expire_cache : t -> unit
+(** Drop every clean cached object (simulates the idle-expiry sweep). *)
+
+val set_tracer : t -> Flux_trace.Tracer.t option -> unit
+(** Emit category ["kvs"] events: one per handled request method
+    (put/get/commit/fence/flush/load/...) with the rank, and [apply] at
+    the master with the batch's tuple count. *)
+
+val set_tracer_all : t array -> Flux_trace.Tracer.t -> unit

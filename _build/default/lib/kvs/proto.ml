@@ -1,0 +1,80 @@
+module Json = Flux_json.Json
+module Sha1 = Flux_sha1.Sha1
+
+type tuple = { key : string; sha : Sha1.digest }
+
+type obj = { osha : Sha1.digest; value : Json.t }
+
+type flush = {
+  fence : (string * int) option;
+  count : int;
+  tuples : tuple list;
+  objects : obj list;
+}
+
+let tuple_to_json t =
+  Json.obj [ ("k", Json.string t.key); ("s", Json.string (Sha1.to_hex t.sha)) ]
+
+let tuple_of_json j =
+  {
+    key = Json.to_string_v (Json.member "k" j);
+    sha = Sha1.of_hex (Json.to_string_v (Json.member "s" j));
+  }
+
+let obj_to_json o =
+  Json.obj [ ("s", Json.string (Sha1.to_hex o.osha)); ("v", o.value) ]
+
+let obj_of_json j =
+  {
+    osha = Sha1.of_hex (Json.to_string_v (Json.member "s" j));
+    value = Json.member "v" j;
+  }
+
+let flush_to_json f =
+  Json.obj
+    [
+      ( "fence",
+        match f.fence with
+        | Some (name, nprocs) ->
+          Json.obj [ ("name", Json.string name); ("nprocs", Json.int nprocs) ]
+        | None -> Json.null );
+      ("count", Json.int f.count);
+      ("tuples", Json.list (List.map tuple_to_json f.tuples));
+      ("objects", Json.list (List.map obj_to_json f.objects));
+    ]
+
+let flush_of_json j =
+  {
+    fence =
+      (match Json.member "fence" j with
+      | Json.Null -> None
+      | fj ->
+        Some
+          ( Json.to_string_v (Json.member "name" fj),
+            Json.to_int (Json.member "nprocs" fj) ));
+    count = Json.to_int (Json.member "count" j);
+    tuples = List.map tuple_of_json (Json.to_list (Json.member "tuples" j));
+    objects = List.map obj_of_json (Json.to_list (Json.member "objects" j));
+  }
+
+let tuples_to_json tuples = Json.list (List.map tuple_to_json tuples)
+let tuples_of_json j = List.map tuple_of_json (Json.to_list j)
+
+let put_reply sha = Json.obj [ ("s", Json.string (Sha1.to_hex sha)) ]
+let put_reply_sha j = Sha1.of_hex (Json.to_string_v (Json.member "s" j))
+
+let setroot_to_json ~version ~root =
+  Json.obj
+    [ ("version", Json.int version); ("rootref", Json.string (Sha1.to_hex root)) ]
+
+let setroot_of_json j =
+  ( Json.to_int (Json.member "version" j),
+    Sha1.of_hex (Json.to_string_v (Json.member "rootref" j)) )
+
+let load_request sha = Json.obj [ ("s", Json.string (Sha1.to_hex sha)) ]
+let load_request_sha j = Sha1.of_hex (Json.to_string_v (Json.member "s" j))
+let load_reply v = Json.obj [ ("v", v) ]
+let load_reply_value j = Json.member "v" j
+
+let commit_reply ~version ~root = setroot_to_json ~version ~root
+let commit_reply_decode = setroot_of_json

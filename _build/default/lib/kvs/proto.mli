@@ -1,0 +1,43 @@
+(** JSON wire encodings for the KVS protocol messages.
+
+    Keeping these in one place pins down the exact bytes-on-the-wire the
+    network model charges — tuple entries are ~55 B and object entries
+    carry the full value, which is what makes fence aggregation behave
+    as the paper reports (values reduce, tuples concatenate). *)
+
+module Json = Flux_json.Json
+module Sha1 = Flux_sha1.Sha1
+
+type tuple = { key : string; sha : Sha1.digest }
+
+type obj = { osha : Sha1.digest; value : Json.t }
+
+type flush = {
+  fence : (string * int) option;  (** fence name and nprocs, [None] = plain commit *)
+  count : int;  (** fence contributions aggregated into this message *)
+  tuples : tuple list;
+  objects : obj list;
+}
+
+val flush_to_json : flush -> Json.t
+val flush_of_json : Json.t -> flush
+
+val tuples_to_json : tuple list -> Json.t
+val tuples_of_json : Json.t -> tuple list
+
+val put_reply : Sha1.digest -> Json.t
+(** [{"s": sha}] — a put returns the content address so the client can
+    track its own transaction's (key, sha) tuples. *)
+
+val put_reply_sha : Json.t -> Sha1.digest
+
+val setroot_to_json : version:int -> root:Sha1.digest -> Json.t
+val setroot_of_json : Json.t -> int * Sha1.digest
+
+val load_request : Sha1.digest -> Json.t
+val load_request_sha : Json.t -> Sha1.digest
+val load_reply : Json.t -> Json.t
+val load_reply_value : Json.t -> Json.t
+
+val commit_reply : version:int -> root:Sha1.digest -> Json.t
+val commit_reply_decode : Json.t -> int * Sha1.digest

@@ -1,0 +1,117 @@
+module Json = Flux_json.Json
+module Sha1 = Flux_sha1.Sha1
+
+let empty_dir = Json.obj []
+let empty_dir_sha = Sha1.digest_json empty_dir
+
+let dirent_file sha = Json.obj [ ("f", Json.string (Sha1.to_hex sha)) ]
+let dirent_dir sha = Json.obj [ ("d", Json.string (Sha1.to_hex sha)) ]
+let dirent_val v = Json.obj [ ("v", v) ]
+
+let dirent_ref entry =
+  match Json.to_obj entry with
+  | [ ("f", Json.String s) ] -> `File (Sha1.of_hex s)
+  | [ ("d", Json.String s) ] -> `Dir (Sha1.of_hex s)
+  | [ ("v", v) ] -> `Val v
+  | _ -> raise (Json.Type_error "malformed directory entry")
+
+let dir_entries = Json.to_obj
+let dir_size d = List.length (Json.to_obj d)
+
+let split_key key =
+  let comps = String.split_on_char '.' key in
+  if comps = [] || List.exists (fun c -> String.length c = 0) comps then
+    invalid_arg (Printf.sprintf "Tree.split_key: invalid key %S" key);
+  comps
+
+type lookup_result = Found of Json.t | No_key | Need of Sha1.digest
+
+let default_find_entry _sha dir name = Json.member_opt name dir
+
+let lookup ~fetch ?(find_entry = default_find_entry) ~root ~key () =
+  let comps = split_key key in
+  let rec walk dir_sha = function
+    | [] -> No_key (* key named a directory, not a value *)
+    | name :: rest -> (
+      match fetch dir_sha with
+      | None -> Need dir_sha
+      | Some dir -> (
+        match find_entry dir_sha dir name with
+        | None -> No_key
+        | Some entry -> (
+          match dirent_ref entry with
+          | `Val v -> if rest <> [] then No_key else Found v
+          | `File vsha ->
+            if rest <> [] then No_key
+            else (
+              match fetch vsha with None -> Need vsha | Some v -> Found v)
+          | `Dir dsha -> if rest = [] then No_key else walk dsha rest)))
+  in
+  walk root comps
+
+(* Update: group tuples into a trie of path components, then rebuild the
+   affected directory spine bottom-up. *)
+
+type trie = { mutable leaves : (string * Json.t) list; subs : (string, trie) Hashtbl.t }
+
+let trie_create () = { leaves = []; subs = Hashtbl.create 8 }
+
+let rec trie_add t comps dirent =
+  match comps with
+  | [] -> invalid_arg "Tree.apply_tuples: empty path"
+  | [ name ] -> t.leaves <- (name, dirent) :: t.leaves
+  | name :: rest ->
+    let sub =
+      match Hashtbl.find_opt t.subs name with
+      | Some s -> s
+      | None ->
+        let s = trie_create () in
+        Hashtbl.replace t.subs name s;
+        s
+    in
+    trie_add sub rest dirent
+
+let apply_tuples ~fetch ~store ~root tuples =
+  let trie = trie_create () in
+  List.iter (fun (key, dirent) -> trie_add trie (split_key key) dirent) tuples;
+  let fetch_dir sha =
+    match fetch sha with
+    | Some d -> d
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Tree.apply_tuples: missing directory object %s" (Sha1.short sha))
+  in
+  let rec rebuild dir_sha trie =
+    let dir = fetch_dir dir_sha in
+    (* Updated entries accumulate in a table seeded with the existing
+       directory contents; ordering is normalized by sorting names so
+       identical directory contents always hash identically. *)
+    let entries = Hashtbl.create 32 in
+    List.iter (fun (k, v) -> Hashtbl.replace entries k v) (dir_entries dir);
+    Hashtbl.iter
+      (fun name sub ->
+        let sub_sha =
+          match Hashtbl.find_opt entries name with
+          | Some entry -> (
+            match dirent_ref entry with
+            | `Dir dsha -> dsha
+            | `File _ | `Val _ -> empty_dir_sha (* value overwritten by a directory *))
+          | None -> empty_dir_sha
+        in
+        (* Ensure the empty dir is present in the store before descending. *)
+        if Sha1.equal sub_sha empty_dir_sha then ignore (store empty_dir : Sha1.digest);
+        Hashtbl.replace entries name (dirent_dir (rebuild sub_sha sub)))
+      trie.subs;
+    (* Leaves applied last so that a value binding wins over an implicit
+       directory creation within the same batch, matching "later tuples
+       win" for exact duplicates (leaves are reversed insertion order). *)
+    List.iter
+      (fun (name, dirent) -> Hashtbl.replace entries name dirent)
+      (List.rev trie.leaves);
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) entries [])
+    in
+    store (Json.obj sorted)
+  in
+  rebuild root trie

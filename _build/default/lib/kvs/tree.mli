@@ -1,0 +1,80 @@
+(** Hash-tree directory structure for the content-addressed KVS.
+
+    Following the paper (and ZFS/git): JSON objects live in a
+    content-addressable store hashed by SHA-1; hierarchical key names
+    ("a.b.c") are broken into path components referencing directory
+    objects; a directory maps names to entries carrying the SHA-1 of a
+    value object or of another directory. Any update produces a new
+    root reference, so old and new snapshots coexist and the root switch
+    is atomic. *)
+
+module Json = Flux_json.Json
+module Sha1 = Flux_sha1.Sha1
+
+(** {1 Directory objects} *)
+
+val empty_dir : Json.t
+val empty_dir_sha : Sha1.digest
+(** Every store starts from the same empty root directory. *)
+
+val dirent_file : Sha1.digest -> Json.t
+(** Entry referencing a value object: [{"f": sha}]. *)
+
+val dirent_dir : Sha1.digest -> Json.t
+(** Entry referencing a subdirectory object: [{"d": sha}]. *)
+
+val dirent_val : Json.t -> Json.t
+(** Entry carrying a small value inline: [{"v": value}]. Small values
+    live inside the directory object itself — which is why a consumer of
+    one 8-byte object must fault in the whole directory containing it,
+    the effect behind the paper's Figure 4(a). *)
+
+val dirent_ref : Json.t -> [ `File of Sha1.digest | `Dir of Sha1.digest | `Val of Json.t ]
+(** Decode an entry. Raises [Json.Type_error] on malformed entries. *)
+
+val dir_entries : Json.t -> (string * Json.t) list
+val dir_size : Json.t -> int
+(** Number of entries in a directory object. *)
+
+(** {1 Key paths} *)
+
+val split_key : string -> string list
+(** ["a.b.c"] -> [["a"; "b"; "c"]]. Raises [Invalid_argument] on the
+    empty key or empty components. *)
+
+(** {1 Lookup} *)
+
+type lookup_result =
+  | Found of Json.t  (** the value object *)
+  | No_key  (** the path does not exist in this snapshot *)
+  | Need of Sha1.digest
+      (** an object on the path is not available from [fetch]; fault it
+          in and retry (lookups are idempotent against a pinned root) *)
+
+val lookup :
+  fetch:(Sha1.digest -> Json.t option) ->
+  ?find_entry:(Sha1.digest -> Json.t -> string -> Json.t option) ->
+  root:Sha1.digest ->
+  key:string ->
+  unit ->
+  lookup_result
+(** [lookup ~fetch ~root ~key ()] walks the path from the directory at
+    [root]. [find_entry] (default: linear scan) lets callers index
+    large directory objects. *)
+
+(** {1 Update (master side)} *)
+
+val apply_tuples :
+  fetch:(Sha1.digest -> Json.t option) ->
+  store:(Json.t -> Sha1.digest) ->
+  root:Sha1.digest ->
+  (string * Json.t) list ->
+  Sha1.digest
+(** [apply_tuples ~fetch ~store ~root tuples] applies [(key, dirent)]
+    bindings (build entries with {!dirent_file} or {!dirent_val}) and
+    returns the new root reference, creating intermediate directories as
+    needed and storing every new directory object via [store]. Later
+    tuples win on duplicate keys. A path component that currently names
+    a value is replaced by a directory when the update descends through
+    it. [fetch] must succeed for every directory on the touched paths
+    (the master's store is authoritative). *)

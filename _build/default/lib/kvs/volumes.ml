@@ -1,0 +1,159 @@
+module Json = Flux_json.Json
+module Session = Flux_cmb.Session
+module Api = Flux_cmb.Api
+module Treemath = Flux_util.Treemath
+module Proc = Flux_sim.Proc
+module Ivar = Flux_sim.Ivar
+
+type t = {
+  sess : Session.t;
+  n_shards : int;
+  masters : int array;
+  instances : Kvs_module.t array array; (* [volume].[rank] *)
+}
+
+let shards t = t.n_shards
+let master_rank t i = t.masters.(i)
+let instance t ~volume ~rank = t.instances.(volume).(rank)
+
+let service_of i = Printf.sprintf "kvs-%d" i
+
+(* The volume's aggregation tree is the session's k-ary tree relabeled
+   so that the master is rank 0 of the virtual numbering. *)
+let volume_routing sess ~volume ~master rank =
+  let n = Session.size sess in
+  let k = Session.fanout sess in
+  let virtual_of r = ((r - master) mod n + n) mod n in
+  let actual_of v = (v + master) mod n in
+  {
+    Kvs_module.rt_service = service_of volume;
+    rt_master = master;
+    rt_parent =
+      (fun () ->
+        match Treemath.parent ~k (virtual_of rank) with
+        | Some pv -> Some (actual_of pv)
+        | None -> None);
+    rt_children =
+      (fun () -> List.map actual_of (Treemath.children ~k ~size:n (virtual_of rank)));
+    rt_direct = true;
+  }
+
+let load sess ?config ~shards () =
+  let n = Session.size sess in
+  if shards <= 0 || shards > n then
+    invalid_arg "Volumes.load: shards must be in [1, session size]";
+  let masters = Array.init shards (fun i -> i * n / shards) in
+  let instances =
+    Array.init shards (fun i ->
+        Kvs_module.load_routed sess ?config
+          ~routing:(fun rank -> volume_routing sess ~volume:i ~master:masters.(i) rank)
+          ())
+  in
+  { sess; n_shards = shards; masters; instances }
+
+(* djb2 over the first path component: stable and spread. *)
+let volume_of_key t key =
+  let first =
+    match String.index_opt key '.' with
+    | Some i -> String.sub key 0 i
+    | None -> key
+  in
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0x3FFFFFFF) first;
+  !h mod t.n_shards
+
+(* --- Client --------------------------------------------------------------- *)
+
+type client = {
+  vt : t;
+  api : Api.t;
+  pending : Proto.tuple list array; (* per volume, reversed *)
+  mutable pending_dirty : bool array;
+}
+
+let client t ~rank =
+  {
+    vt = t;
+    api = Api.connect t.sess ~rank;
+    pending = Array.make t.n_shards [];
+    pending_dirty = Array.make t.n_shards false;
+  }
+
+let put c ~key v =
+  let vol = volume_of_key c.vt key in
+  match
+    Api.rpc c.api
+      ~topic:(service_of vol ^ ".put")
+      (Json.obj [ ("key", Json.string key); ("v", v) ])
+  with
+  | Ok reply ->
+    c.pending.(vol) <- { Proto.key; sha = Proto.put_reply_sha reply } :: c.pending.(vol);
+    c.pending_dirty.(vol) <- true;
+    Ok ()
+  | Error e -> Error e
+
+let get c ~key =
+  let vol = volume_of_key c.vt key in
+  match
+    Api.rpc c.api ~topic:(service_of vol ^ ".get") (Json.obj [ ("key", Json.string key) ])
+  with
+  | Ok payload -> Ok (Proto.load_reply_value payload)
+  | Error e -> Error e
+
+(* Issue one RPC per selected volume concurrently and await them all. *)
+let fan_out c ~select ~topic_of ~payload_of =
+  let eng = Session.engine c.vt.sess in
+  let calls =
+    List.filter_map
+      (fun vol ->
+        if select vol then begin
+          let iv = Ivar.create () in
+          Api.rpc_async c.api ~topic:(topic_of vol) (payload_of vol) ~reply:(fun r ->
+              Ivar.fill eng iv r);
+          Some (vol, iv)
+        end
+        else None)
+      (List.init c.vt.n_shards Fun.id)
+  in
+  List.map (fun (vol, iv) -> (vol, Proc.await iv)) calls
+
+let commit c =
+  let results =
+    fan_out c
+      ~select:(fun vol -> c.pending_dirty.(vol))
+      ~topic_of:(fun vol -> service_of vol ^ ".commit")
+      ~payload_of:(fun vol ->
+        Json.obj [ ("tuples", Proto.tuples_to_json (List.rev c.pending.(vol))) ])
+  in
+  let rec fold vmax = function
+    | [] -> Ok vmax
+    | (vol, Ok payload) :: rest ->
+      c.pending.(vol) <- [];
+      c.pending_dirty.(vol) <- false;
+      fold (max vmax (Json.to_int (Json.member "version" payload))) rest
+    | (_, Error e) :: _ -> Error e
+  in
+  fold 0 results
+
+let fence c ~name ~nprocs =
+  let results =
+    fan_out c
+      ~select:(fun _ -> true)
+      ~topic_of:(fun vol -> service_of vol ^ ".fence")
+      ~payload_of:(fun vol ->
+        Json.obj
+          [
+            ("name", Json.string (Printf.sprintf "%s-v%d" name vol));
+            ("nprocs", Json.int nprocs);
+            ("tuples", Proto.tuples_to_json (List.rev c.pending.(vol)));
+          ])
+  in
+  let rec fold = function
+    | [] -> Ok ()
+    | (vol, Ok _) :: rest ->
+      c.pending.(vol) <- [];
+      c.pending_dirty.(vol) <- false;
+      fold rest
+    | (_, Error e) :: _ -> Error e
+  in
+  fold results

@@ -1,0 +1,56 @@
+(** Distributed KVS master — the paper's stated future-work direction
+    ("we plan to address [KVS scalability] by distributing the KVS
+    master itself").
+
+    The key space is sharded across [shards] independent volumes, each a
+    complete master-plus-caching-slaves store: volume [i]'s master sits
+    at rank [i * size/shards], spreading the commit/apply work across
+    the machine. Each volume aggregates fences and faults objects along
+    its own tree, rooted at its master, reached over the rank-addressed
+    overlay (the session should be created with
+    [~rank_topology:Direct]). Keys are routed to volumes by hashing
+    their first path component, so a directory never straddles volumes
+    and per-volume consistency matches the single-master store.
+
+    Limitations: cross-volume updates are not atomic (each volume has
+    its own version counter), and volume trees do not re-route around
+    dead brokers (the single-master store does). *)
+
+module Json = Flux_json.Json
+
+type t
+
+val load :
+  Flux_cmb.Session.t -> ?config:Kvs_module.config -> shards:int -> unit -> t
+(** Raises [Invalid_argument] if [shards] is not positive or exceeds the
+    session size. *)
+
+val shards : t -> int
+
+val master_rank : t -> int -> int
+(** Rank hosting volume [i]'s master. *)
+
+val volume_of_key : t -> string -> int
+(** Deterministic shard choice from the key's first path component. *)
+
+val instance : t -> volume:int -> rank:int -> Kvs_module.t
+(** Introspection handle for one volume's instance at one rank. *)
+
+(** {1 Client} *)
+
+type client
+(** Tracks one transaction per volume; blocking calls need a
+    {!Flux_sim.Proc} body. *)
+
+val client : t -> rank:int -> client
+
+val put : client -> key:string -> Json.t -> (unit, string) result
+val get : client -> key:string -> (Json.t, string) result
+
+val commit : client -> (int, string) result
+(** Commits every volume this client has dirty tuples in, concurrently;
+    returns the highest resulting volume version. *)
+
+val fence : client -> name:string -> nprocs:int -> (unit, string) result
+(** Collective commit across {e all} volumes (each participant fences
+    every volume; the sub-fences run concurrently). *)

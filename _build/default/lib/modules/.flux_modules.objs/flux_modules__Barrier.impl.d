@@ -1,0 +1,1 @@
+lib/modules/barrier.ml: Array Flux_cmb Flux_json Flux_sim Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/modules/barrier.mli: Flux_cmb

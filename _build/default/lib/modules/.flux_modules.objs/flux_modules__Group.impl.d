@@ -1,0 +1,1 @@
+lib/modules/group.ml: Array Barrier Flux_cmb Flux_json Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/modules/group.mli: Flux_cmb

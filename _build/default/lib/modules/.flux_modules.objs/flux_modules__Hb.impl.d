@@ -1,0 +1,1 @@
+lib/modules/hb.ml: Array Flux_cmb Flux_json Flux_sim List String

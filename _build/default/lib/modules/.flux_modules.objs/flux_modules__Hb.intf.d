@@ -1,0 +1,1 @@
+lib/modules/hb.mli: Flux_cmb

@@ -1,0 +1,1 @@
+lib/modules/live.ml: Array Flux_cmb Flux_json Flux_sim Hashtbl Hb List Printf

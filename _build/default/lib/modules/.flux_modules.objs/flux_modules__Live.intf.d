@@ -1,0 +1,1 @@
+lib/modules/live.mli: Flux_cmb Hb

@@ -1,0 +1,1 @@
+lib/modules/log_mod.ml: Array Flux_cmb Flux_json Flux_sim Flux_util Hashtbl List Printf String

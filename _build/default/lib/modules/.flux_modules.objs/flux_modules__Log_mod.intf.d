@@ -1,0 +1,1 @@
+lib/modules/log_mod.mli: Flux_cmb

@@ -1,0 +1,1 @@
+lib/modules/mon.ml: Array Float Flux_cmb Flux_json Flux_sim Hashtbl Hb List Printf String

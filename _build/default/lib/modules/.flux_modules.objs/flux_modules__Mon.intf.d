@@ -1,0 +1,1 @@
+lib/modules/mon.mli: Flux_cmb Hb

@@ -1,0 +1,1 @@
+lib/modules/resvc.ml: Array Flux_cmb Flux_json Fun Hashtbl List Printf

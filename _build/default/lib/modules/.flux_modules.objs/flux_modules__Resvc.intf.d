@@ -1,0 +1,1 @@
+lib/modules/resvc.mli: Flux_cmb

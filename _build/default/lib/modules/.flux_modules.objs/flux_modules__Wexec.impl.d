@@ -1,0 +1,1 @@
+lib/modules/wexec.ml: Array Buffer Flux_cmb Flux_json Flux_kvs Flux_sim Hashtbl List Printf

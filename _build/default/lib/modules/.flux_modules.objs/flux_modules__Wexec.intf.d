@@ -1,0 +1,1 @@
+lib/modules/wexec.mli: Flux_cmb Flux_json Flux_kvs

@@ -1,0 +1,158 @@
+module Json = Flux_json.Json
+module Session = Flux_cmb.Session
+module Message = Flux_cmb.Message
+module Topic = Flux_cmb.Topic
+module Engine = Flux_sim.Engine
+
+type barrier_state = {
+  mutable bs_count : int; (* not yet forwarded *)
+  mutable bs_heard : int list;
+  mutable bs_pending : Message.t list;
+  mutable bs_timer_armed : bool;
+  mutable bs_last_arrival : float;
+  bs_nprocs : int;
+}
+
+type t = {
+  b : Session.broker;
+  eng : Engine.t;
+  window : float;
+  master : bool;
+  states : (string, barrier_state) Hashtbl.t;
+  master_counts : (string, int * Message.t list) Hashtbl.t;
+  mutable total_enters : int;
+}
+
+let enters_seen t = t.total_enters
+
+let state_get t name nprocs =
+  match Hashtbl.find_opt t.states name with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        bs_count = 0;
+        bs_heard = [];
+        bs_pending = [];
+        bs_timer_armed = false;
+        bs_last_arrival = 0.0;
+        bs_nprocs = nprocs;
+      }
+    in
+    Hashtbl.replace t.states name s;
+    s
+
+let forward t name s =
+  let count = s.bs_count in
+  let pending = s.bs_pending in
+  s.bs_count <- 0;
+  s.bs_pending <- [];
+  let payload =
+    Json.obj
+      [ ("name", Json.string name); ("nprocs", Json.int s.bs_nprocs); ("count", Json.int count) ]
+  in
+  Session.request_from_module t.b ~topic:"barrier.enter" payload ~reply:(fun r ->
+      (match r with
+      | Ok _ -> List.iter (fun req -> Session.respond t.b req Json.null) pending
+      | Error e -> List.iter (fun req -> Session.respond_error t.b req e) pending);
+      if s.bs_count = 0 && s.bs_pending = [] then Hashtbl.remove t.states name)
+
+let rec check_ready t name s =
+  if s.bs_count > 0 then begin
+    let children = Session.tree_children t.b in
+    let all_heard = List.for_all (fun c -> List.mem c s.bs_heard) children in
+    let idle = Engine.now t.eng -. s.bs_last_arrival in
+    if
+      s.bs_count >= s.bs_nprocs
+      || (all_heard && idle >= t.window /. 2.0)
+      || idle >= 2.0 *. t.window
+    then forward t name s
+    else arm t name s (t.window /. 4.0)
+  end
+
+and arm t name s delay =
+  if not s.bs_timer_armed then begin
+    s.bs_timer_armed <- true;
+    ignore
+      (Engine.schedule t.eng ~delay (fun () ->
+           s.bs_timer_armed <- false;
+           check_ready t name s)
+        : Engine.handle)
+  end
+
+let master_contribute t name nprocs count req =
+  let total, pending =
+    match Hashtbl.find_opt t.master_counts name with
+    | Some (c, p) -> (c + count, req :: p)
+    | None -> (count, [ req ])
+  in
+  if total >= nprocs then begin
+    Hashtbl.remove t.master_counts name;
+    List.iter (fun r -> Session.respond t.b r Json.null) pending;
+    Session.publish t.b ~topic:"barrier.exit" (Json.obj [ ("name", Json.string name) ])
+  end
+  else Hashtbl.replace t.master_counts name (total, pending)
+
+let contribute t ~name ~nprocs ~count ~from_child req =
+  t.total_enters <- t.total_enters + count;
+  if t.master then master_contribute t name nprocs count req
+  else begin
+    let s = state_get t name nprocs in
+    s.bs_count <- s.bs_count + count;
+    s.bs_pending <- req :: s.bs_pending;
+    (match from_child with
+    | Some c -> if not (List.mem c s.bs_heard) then s.bs_heard <- c :: s.bs_heard
+    | None -> ());
+    s.bs_last_arrival <- Engine.now t.eng;
+    if s.bs_count >= s.bs_nprocs then check_ready t name s
+    else arm t name s (t.window /. 2.0)
+  end
+
+let module_of t =
+  {
+    Session.mod_name = "barrier";
+    on_request =
+      (fun (req : Message.t) ->
+        (match Topic.method_ req.Message.topic with
+        | "enter" ->
+          let p = req.Message.payload in
+          let name = Json.to_string_v (Json.member "name" p) in
+          let nprocs = Json.to_int (Json.member "nprocs" p) in
+          let count =
+            match Json.member_opt "count" p with Some c -> Json.to_int c | None -> 1
+          in
+          let from_child =
+            (* Aggregated contributions come from a child instance; a
+               client enter originates at this very rank. *)
+            if req.Message.origin = Session.rank t.b then None else Some req.Message.origin
+          in
+          contribute t ~name ~nprocs ~count ~from_child req
+        | m -> Session.respond_error t.b req (Printf.sprintf "barrier: unknown method %S" m));
+        Session.Consumed);
+    on_event = (fun _ -> ());
+  }
+
+let load sess ?(window = 200e-6) () =
+  let instances =
+    Array.init (Session.size sess) (fun r ->
+        let b = Session.broker sess r in
+        {
+          b;
+          eng = Session.b_engine b;
+          window;
+          master = r = 0;
+          states = Hashtbl.create 8;
+          master_counts = Hashtbl.create 8;
+          total_enters = 0;
+        })
+  in
+  Session.load_module sess (fun b -> module_of instances.(Session.rank b));
+  instances
+
+let enter api ~name ~nprocs =
+  match
+    Flux_cmb.Api.rpc api ~topic:"barrier.enter"
+      (Json.obj [ ("name", Json.string name); ("nprocs", Json.int nprocs) ])
+  with
+  | Ok _ -> Ok ()
+  | Error e -> Error e

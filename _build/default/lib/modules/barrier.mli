@@ -1,0 +1,20 @@
+(** The [barrier] comms module: collective barriers across process
+    groups (Table I).
+
+    Processes enter a named barrier declaring the total participant
+    count; enters are counted and aggregated hop by hop up the RPC tree
+    (the reduction idiom); when the session root has seen [nprocs]
+    enters, completion responses cascade back down, releasing every
+    participant. Barrier names must be fresh per use. *)
+
+type t
+
+val load : Flux_cmb.Session.t -> ?window:float -> unit -> t array
+(** Load on every rank. [window] is the aggregation window (default
+    200 us). *)
+
+val enter : Flux_cmb.Api.t -> name:string -> nprocs:int -> (unit, string) result
+(** Blocking enter; must run inside a {!Flux_sim.Proc} body. *)
+
+val enters_seen : t -> int
+(** Total enter contributions this instance has counted (diagnostics). *)

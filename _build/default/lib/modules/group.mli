@@ -1,0 +1,25 @@
+(** The [group] comms module (Table I): Flux groups define and manage
+    collections of processes that can participate in collective
+    operations.
+
+    Membership is tracked at the session root; members are identified by
+    (rank, tag) pairs so several processes per node can join. *)
+
+type t
+
+val load : Flux_cmb.Session.t -> unit -> t array
+
+val join : Flux_cmb.Api.t -> group:string -> tag:string -> (int, string) result
+(** Join; returns the group size after the join. Blocking. *)
+
+val leave : Flux_cmb.Api.t -> group:string -> tag:string -> (int, string) result
+
+val members : Flux_cmb.Api.t -> group:string -> ((int * string) list, string) result
+(** Current membership as (rank, tag) pairs, in join order. *)
+
+val group_size : Flux_cmb.Api.t -> group:string -> (int, string) result
+
+val barrier : Flux_cmb.Api.t -> group:string -> name:string -> (unit, string) result
+(** Collective barrier across the current members of [group]: resolves
+    the group size at the root, then enters a [barrier] collective with
+    that count. Requires the [barrier] module. *)

@@ -1,0 +1,22 @@
+(** The [hb] comms module: a periodic heartbeat event multicast across
+    the comms session, synchronizing background activity to reduce
+    scheduling jitter (Table I).
+
+    The session root publishes [hb.pulse] with a monotonically
+    increasing epoch; other modules key their background work off it. *)
+
+type t
+
+val load : Flux_cmb.Session.t -> ?period:float -> unit -> t array
+(** Start heartbeating at [period] seconds (default 0.1). *)
+
+val epoch : t -> int
+(** Latest epoch seen at this rank. *)
+
+val period : t -> float
+
+val stop : t array -> unit
+(** Stop the generator at the root (instances keep their last epoch). *)
+
+val on_pulse : t -> (int -> unit) -> unit
+(** Register a local callback invoked at each heartbeat with the epoch. *)

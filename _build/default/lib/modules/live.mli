@@ -1,0 +1,18 @@
+(** The [live] comms module: liveness detection (Table I).
+
+    Each tree node receives heartbeat-synchronized hello messages from
+    its children; after a configurable number of missed heartbeats a
+    liveness event ([live.down]) is issued for the dead child and the
+    session overlays are rewired around it. *)
+
+type t
+
+val load :
+  Flux_cmb.Session.t -> hb:Hb.t array -> ?max_missed:int -> unit -> t array
+(** Requires the [hb] module to be loaded first. A child is declared
+    dead after [max_missed] (default 3) heartbeats without a hello. *)
+
+val hellos_received : t -> int
+
+val declared_down : t -> int list
+(** Ranks this instance has declared dead (root aggregates all). *)

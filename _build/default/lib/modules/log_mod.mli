@@ -1,0 +1,42 @@
+(** The [log] comms module (Table I): log messages are reduced and
+    filtered before being placed in a log "file" at the session root; a
+    circular debug buffer at every rank provides context in response to
+    a fault event. *)
+
+type level = Debug | Info | Warn | Error
+
+type entry = {
+  e_rank : int;  (** originating rank *)
+  e_level : level;
+  e_text : string;
+  e_count : int;  (** duplicates folded by the reduction *)
+}
+
+type t
+
+val load :
+  Flux_cmb.Session.t ->
+  ?forward_level:level ->
+  ?window:float ->
+  ?buffer_capacity:int ->
+  unit ->
+  t array
+(** Messages below [forward_level] (default [Info]) stay in the local
+    circular buffer only; others are batched for [window] seconds
+    (default 1 ms), duplicates folded, and forwarded to the root log. *)
+
+val log : Flux_cmb.Api.t -> level:level -> string -> unit
+(** Fire-and-forget log call for clients. *)
+
+val root_log : t -> entry list
+(** The accumulated session log (meaningful at rank 0), oldest first. *)
+
+val local_buffer : t -> entry list
+(** This rank's circular debug buffer, oldest first. *)
+
+val dump_buffers : Flux_cmb.Api.t -> unit
+(** Publish a fault event asking every rank to dump its debug buffer to
+    the root log. *)
+
+val level_to_string : level -> string
+val level_of_string : string -> level

@@ -1,0 +1,273 @@
+module Json = Flux_json.Json
+module Session = Flux_cmb.Session
+module Message = Flux_cmb.Message
+module Topic = Flux_cmb.Topic
+module Engine = Flux_sim.Engine
+module Proc = Flux_sim.Proc
+module Api = Flux_cmb.Api
+module Client = Flux_kvs.Client
+
+type proc_ctx = {
+  px_rank : int;
+  px_local_index : int;
+  px_global_index : int;
+  px_ntasks : int;
+  px_jobid : string;
+  px_args : Json.t;
+  px_api : Api.t;
+  px_kvs : Client.t;
+  px_printf : string -> unit;
+}
+
+exception Task_failure of string
+
+let programs : (string, proc_ctx -> unit) Hashtbl.t = Hashtbl.create 16
+
+let register_program name f = Hashtbl.replace programs name f
+
+type job_local = {
+  mutable jl_pids : Proc.pid list;
+  mutable jl_remaining : int;
+  mutable jl_failed : int;
+  mutable jl_killed : bool;
+}
+
+type master_job = {
+  mutable mj_total : int; (* expected task completions *)
+  mutable mj_done : int;
+  mutable mj_failed : int;
+}
+
+type t = {
+  b : Session.broker;
+  master : bool;
+  jobs : (string, job_local) Hashtbl.t;
+  master_jobs : (string, master_job) Hashtbl.t;
+}
+
+let running_tasks t =
+  Hashtbl.fold (fun _ jl acc -> acc + jl.jl_remaining) t.jobs 0
+
+(* Report local completions to the root (Pass-chains up the tree). *)
+let report_done t ~jobid ~count ~failed =
+  Session.request_from_module t.b ~topic:"wexec.done"
+    (Json.obj
+       [ ("jobid", Json.string jobid); ("count", Json.int count); ("failed", Json.int failed) ])
+    ~reply:(fun _ -> ())
+
+let master_account t ~jobid ~count ~failed =
+  match Hashtbl.find_opt t.master_jobs jobid with
+  | None -> () (* unknown job: stale completion after kill cleanup *)
+  | Some mj ->
+    mj.mj_done <- mj.mj_done + count;
+    mj.mj_failed <- mj.mj_failed + failed;
+    if mj.mj_done >= mj.mj_total then begin
+      Hashtbl.remove t.master_jobs jobid;
+      Session.publish t.b ~topic:("wexec.complete." ^ jobid)
+        (Json.obj
+           [
+             ("jobid", Json.string jobid);
+             ("ntasks", Json.int mj.mj_total);
+             ("failed", Json.int mj.mj_failed);
+           ])
+    end
+
+let task_finished t ~jobid ~failed =
+  match Hashtbl.find_opt t.jobs jobid with
+  | None -> ()
+  | Some jl ->
+    jl.jl_remaining <- jl.jl_remaining - 1;
+    if failed then jl.jl_failed <- jl.jl_failed + 1;
+    if jl.jl_remaining = 0 then begin
+      let count = List.length jl.jl_pids in
+      let failed_n = jl.jl_failed in
+      Hashtbl.remove t.jobs jobid;
+      if t.master then master_account t ~jobid ~count ~failed:failed_n
+      else report_done t ~jobid ~count ~failed:failed_n
+    end
+
+let start_local_tasks t ~jobid ~prog ~args ~per_rank ~rank_index ~ntasks =
+  let eng = Session.b_engine t.b in
+  let sess = Session.session_of t.b in
+  let rank = Session.rank t.b in
+  match Hashtbl.find_opt programs prog with
+  | None ->
+    (* Unknown program: report all local tasks as failed. *)
+    if t.master then master_account t ~jobid ~count:per_rank ~failed:per_rank
+    else report_done t ~jobid ~count:per_rank ~failed:per_rank
+  | Some body ->
+    let jl = { jl_pids = []; jl_remaining = per_rank; jl_failed = 0; jl_killed = false } in
+    Hashtbl.replace t.jobs jobid jl;
+    for i = 0 to per_rank - 1 do
+      let stdout_buf = Buffer.create 64 in
+      let ctx =
+        {
+          px_rank = rank;
+          px_local_index = i;
+          px_global_index = (rank_index * per_rank) + i;
+          px_ntasks = ntasks;
+          px_jobid = jobid;
+          px_args = args;
+          px_api = Api.connect sess ~rank;
+          px_kvs = Client.connect sess ~rank;
+          px_printf =
+            (fun line ->
+              Buffer.add_string stdout_buf line;
+              Buffer.add_char stdout_buf '\n');
+        }
+      in
+      let pid =
+        Proc.spawn eng ~name:(Printf.sprintf "%s.%d-%d" jobid rank i) (fun () ->
+            let failed =
+              try
+                body ctx;
+                false
+              with
+              | Task_failure _ -> true
+              | Proc.Stopped -> true
+            in
+            (* Capture stdout and exit status in the KVS, as the paper
+               describes for wexec. *)
+            let base = Printf.sprintf "lwj.%s.%d-%d" jobid rank i in
+            ignore
+              (Client.put ctx.px_kvs ~key:(base ^ ".stdout")
+                 (Json.string (Buffer.contents stdout_buf))
+                : (unit, string) result);
+            ignore
+              (Client.put ctx.px_kvs ~key:(base ^ ".exit")
+                 (Json.int (if failed then 1 else 0))
+                : (unit, string) result);
+            ignore (Client.commit ctx.px_kvs : (int, string) result);
+            task_finished t ~jobid ~failed)
+      in
+      jl.jl_pids <- pid :: jl.jl_pids
+    done
+
+let handle_exec t payload =
+  let jobid = Json.to_string_v (Json.member "jobid" payload) in
+  let prog = Json.to_string_v (Json.member "prog" payload) in
+  let args = Json.member "args" payload in
+  let per_rank = Json.to_int (Json.member "per_rank" payload) in
+  let ranks = List.map Json.to_int (Json.to_list (Json.member "ranks" payload)) in
+  let rank = Session.rank t.b in
+  match List.find_index (fun r -> r = rank) ranks with
+  | Some rank_index ->
+    start_local_tasks t ~jobid ~prog ~args ~per_rank ~rank_index
+      ~ntasks:(per_rank * List.length ranks)
+  | None -> ()
+
+let handle_kill t jobid =
+  match Hashtbl.find_opt t.jobs jobid with
+  | None -> ()
+  | Some jl ->
+    if not jl.jl_killed then begin
+      jl.jl_killed <- true;
+      let eng = Session.b_engine t.b in
+      (* Tasks raise Stopped at their next suspension point; account for
+         them here rather than waiting for the unwinding, since a killed
+         task performs no further KVS bookkeeping. *)
+      List.iter (fun pid -> Proc.kill eng pid) jl.jl_pids;
+      let count = List.length jl.jl_pids in
+      let failed = jl.jl_failed + jl.jl_remaining in
+      Hashtbl.remove t.jobs jobid;
+      if t.master then master_account t ~jobid ~count ~failed
+      else report_done t ~jobid ~count ~failed
+    end
+
+let module_of t =
+  {
+    Session.mod_name = "wexec";
+    on_request =
+      (fun (req : Message.t) ->
+        match Topic.method_ req.Message.topic with
+        | "run" ->
+          if t.master then begin
+            let p = req.Message.payload in
+            let jobid = Json.to_string_v (Json.member "jobid" p) in
+            let per_rank = Json.to_int (Json.member "per_rank" p) in
+            let nranks = List.length (Json.to_list (Json.member "ranks" p)) in
+            if Hashtbl.mem t.master_jobs jobid then begin
+              Session.respond_error t.b req (Printf.sprintf "job %S already running" jobid);
+              Session.Consumed
+            end
+            else begin
+              Hashtbl.replace t.master_jobs jobid
+                { mj_total = per_rank * nranks; mj_done = 0; mj_failed = 0 };
+              (* Broadcast the launch over the event plane. *)
+              Session.publish t.b ~topic:("wexec.exec." ^ jobid) p;
+              Session.respond t.b req Json.null;
+              Session.Consumed
+            end
+          end
+          else Session.Pass
+        | "done" ->
+          if t.master then begin
+            let p = req.Message.payload in
+            master_account t
+              ~jobid:(Json.to_string_v (Json.member "jobid" p))
+              ~count:(Json.to_int (Json.member "count" p))
+              ~failed:(Json.to_int (Json.member "failed" p));
+            Session.respond t.b req Json.null;
+            Session.Consumed
+          end
+          else Session.Pass
+        | m ->
+          Session.respond_error t.b req (Printf.sprintf "wexec: unknown method %S" m);
+          Session.Consumed);
+    on_event =
+      (fun (ev : Message.t) ->
+        if Topic.prefixed ~prefix:"wexec.exec" ev.Message.topic then
+          handle_exec t ev.Message.payload
+        else if Topic.prefixed ~prefix:"wexec.kill" ev.Message.topic then
+          handle_kill t (Json.to_string_v (Json.member "jobid" ev.Message.payload)));
+  }
+
+let load sess () =
+  let instances =
+    Array.init (Session.size sess) (fun r ->
+        {
+          b = Session.broker sess r;
+          master = r = 0;
+          jobs = Hashtbl.create 8;
+          master_jobs = Hashtbl.create 8;
+        })
+  in
+  Session.load_module sess (fun b -> module_of instances.(Session.rank b));
+  instances
+
+type completion = { c_jobid : string; c_ntasks : int; c_failed : int }
+
+let run api ~jobid ~prog ?(args = Json.null) ?(per_rank = 1) ~ranks () =
+  if not (Topic.is_valid ("wexec.complete." ^ jobid)) then
+    Error (Printf.sprintf "invalid job id %S" jobid)
+  else begin
+    let payload =
+      Json.obj
+        [
+          ("jobid", Json.string jobid);
+          ("prog", Json.string prog);
+          ("args", args);
+          ("per_rank", Json.int per_rank);
+          ("ranks", Json.list (List.map Json.int ranks));
+        ]
+    in
+    (* Subscribe to the completion event before launching to avoid the
+       obvious race on very short jobs. *)
+    let eng = Session.engine (Api.session api) in
+    let done_iv = Flux_sim.Ivar.create () in
+    Api.subscribe api ~prefix:("wexec.complete." ^ jobid) (fun ~topic:_ p ->
+        ignore (Flux_sim.Ivar.try_fill eng done_iv p : bool));
+    match Api.rpc api ~topic:"wexec.run" payload with
+    | Error e -> Error e
+    | Ok _ ->
+      let p = Proc.await done_iv in
+      Ok
+        {
+          c_jobid = jobid;
+          c_ntasks = Json.to_int (Json.member "ntasks" p);
+          c_failed = Json.to_int (Json.member "failed" p);
+        }
+  end
+
+let kill api ~jobid =
+  Api.publish api ~topic:("wexec.kill." ^ jobid) (Json.obj [ ("jobid", Json.string jobid) ])

@@ -1,0 +1,58 @@
+(** The [wexec] comms module (Table I): remote processes are launched in
+    bulk, monitored, can receive signals, and have their standard output
+    captured in the KVS.
+
+    "Programs" are OCaml functions registered by name (the simulated
+    equivalent of executables); each launched task runs as a simulated
+    process and may sleep, use the KVS, enter barriers, etc. Task output
+    written through {!printf} lands in the KVS under
+    [lwj.<jobid>.<rank>-<index>.stdout] when the task finishes, along
+    with its exit code. *)
+
+type proc_ctx = {
+  px_rank : int;  (** rank the task runs on *)
+  px_local_index : int;  (** task index on this rank *)
+  px_global_index : int;  (** task index across the job *)
+  px_ntasks : int;  (** total tasks in the job *)
+  px_jobid : string;
+  px_args : Flux_json.Json.t;
+  px_api : Flux_cmb.Api.t;  (** CMB access from inside the task *)
+  px_kvs : Flux_kvs.Client.t;  (** KVS access from inside the task *)
+  px_printf : string -> unit;  (** captured standard output *)
+}
+
+exception Task_failure of string
+(** Raise inside a program to exit non-zero. *)
+
+val register_program : string -> (proc_ctx -> unit) -> unit
+
+type t
+
+val load : Flux_cmb.Session.t -> unit -> t array
+
+type completion = {
+  c_jobid : string;
+  c_ntasks : int;
+  c_failed : int;  (** tasks that raised *)
+}
+
+val run :
+  Flux_cmb.Api.t ->
+  jobid:string ->
+  prog:string ->
+  ?args:Flux_json.Json.t ->
+  ?per_rank:int ->
+  ranks:int list ->
+  unit ->
+  (completion, string) result
+(** Launch [per_rank] (default 1) tasks of [prog] on each listed rank
+    and block until the whole job completes. Must run inside a
+    {!Flux_sim.Proc} body. Job ids must be fresh and form a valid topic
+    component (letters, digits, [-], [_]). *)
+
+val kill : Flux_cmb.Api.t -> jobid:string -> unit
+(** Deliver a kill signal: every task of the job is terminated; the job
+    then completes with the killed tasks counted as failed. *)
+
+val running_tasks : t -> int
+(** Tasks currently executing on this rank. *)

@@ -1,0 +1,1 @@
+lib/sha1/sha1.ml: Array Bytes Char Flux_json Flux_util Format String

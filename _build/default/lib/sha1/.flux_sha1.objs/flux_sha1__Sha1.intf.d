@@ -1,0 +1,1 @@
+lib/sha1/sha1.mli: Flux_json Format

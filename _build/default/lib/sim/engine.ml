@@ -1,0 +1,71 @@
+module Heap = Flux_util.Heap
+
+type handle = { mutable cancelled : bool }
+
+type event = { h : handle; fn : unit -> unit }
+
+type t = {
+  queue : event Heap.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.0; executed = 0 }
+
+let now t = t.clock
+
+let pending t = Heap.length t.queue
+
+let schedule_at t ~time fn =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock);
+  let h = { cancelled = false } in
+  Heap.push t.queue time { h; fn };
+  h
+
+let schedule t ~delay fn =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) fn
+
+let cancel h = h.cancelled <- true
+
+let every t ~period fn =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  (* A persistent handle: cancelling it stops the chain of reschedules. *)
+  let h = { cancelled = false } in
+  let rec tick () =
+    if not h.cancelled then begin
+      fn ();
+      if not h.cancelled then
+        ignore (schedule t ~delay:period (fun () -> tick ()) : handle)
+    end
+  in
+  ignore (schedule t ~delay:period (fun () -> tick ()) : handle);
+  h
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+    t.clock <- time;
+    if not ev.h.cancelled then begin
+      t.executed <- t.executed + 1;
+      ev.fn ()
+    end;
+    true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some (time, _) -> (
+      match until with
+      | Some limit when time > limit ->
+        t.clock <- limit;
+        continue := false
+      | _ -> ignore (step t : bool))
+  done
+
+let events_executed t = t.executed

@@ -1,0 +1,30 @@
+type 'a state = Empty of ('a -> unit) list | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let is_full iv = match iv.state with Full _ -> true | Empty _ -> false
+
+let peek iv = match iv.state with Full v -> Some v | Empty _ -> None
+
+let fill eng iv v =
+  match iv.state with
+  | Full _ -> invalid_arg "Ivar.fill: already full"
+  | Empty waiters ->
+    iv.state <- Full v;
+    List.iter
+      (fun w -> ignore (Engine.schedule eng ~delay:0.0 (fun () -> w v) : Engine.handle))
+      (List.rev waiters)
+
+let try_fill eng iv v =
+  match iv.state with
+  | Full _ -> false
+  | Empty _ ->
+    fill eng iv v;
+    true
+
+let on_full eng iv f =
+  match iv.state with
+  | Full v -> ignore (Engine.schedule eng ~delay:0.0 (fun () -> f v) : Engine.handle)
+  | Empty waiters -> iv.state <- Empty (f :: waiters)

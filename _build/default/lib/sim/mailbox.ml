@@ -1,0 +1,20 @@
+type 'a t = { msgs : 'a Queue.t; waiters : 'a Ivar.t Queue.t }
+
+let create () = { msgs = Queue.create (); waiters = Queue.create () }
+
+let send eng mb v =
+  match Queue.take_opt mb.waiters with
+  | Some iv -> Ivar.fill eng iv v
+  | None -> Queue.add v mb.msgs
+
+let recv mb =
+  match Queue.take_opt mb.msgs with
+  | Some v -> v
+  | None ->
+    let iv = Ivar.create () in
+    Queue.add iv mb.waiters;
+    Proc.await iv
+
+let try_recv mb = Queue.take_opt mb.msgs
+
+let length mb = Queue.length mb.msgs

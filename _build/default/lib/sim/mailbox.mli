@@ -1,0 +1,20 @@
+(** Unbounded FIFO channels between simulated processes. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : Engine.t -> 'a t -> 'a -> unit
+(** [send eng mb v] enqueues [v]; if a process is blocked in {!recv} it
+    is resumed with [v] at the current instant. Callable from anywhere
+    (process or plain event callback). *)
+
+val recv : 'a t -> 'a
+(** Blocking receive; only valid inside a {!Proc} body. Multiple blocked
+    receivers are served in FIFO order. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val length : 'a t -> int
+(** Messages currently queued (not counting blocked receivers). *)

@@ -1,0 +1,132 @@
+type config = {
+  link_latency : float;
+  bandwidth : float;
+  per_msg_overhead : int;
+  host_cpu_per_msg : float;
+  host_cpu_per_byte : float;
+  local_delivery : float;
+}
+
+let default_config =
+  {
+    link_latency = 20e-6;
+    bandwidth = 3.2e9;
+    per_msg_overhead = 64;
+    host_cpu_per_msg = 2e-6;
+    host_cpu_per_byte = 0.35e-9;
+    local_delivery = 0.5e-6;
+  }
+
+type link = { mutable free_at : float; mutable bytes : int; mutable msgs : int }
+
+type 'msg host = {
+  mutable alive : bool;
+  mutable cpu_free_at : float;
+  mutable handler : (src:int -> 'msg -> unit) option;
+}
+
+type 'msg t = {
+  eng : Engine.t;
+  cfg : config;
+  n : int;
+  hosts : 'msg host array;
+  links : (int, link) Hashtbl.t; (* key: src * n + dst *)
+  mutable messages : int;
+  mutable total_bytes : int;
+  mutable dropped : int;
+}
+
+let create eng ?(config = default_config) ~nodes () =
+  if nodes <= 0 then invalid_arg "Net.create: need at least one node";
+  {
+    eng;
+    cfg = config;
+    n = nodes;
+    hosts = Array.init nodes (fun _ -> { alive = true; cpu_free_at = 0.0; handler = None });
+    links = Hashtbl.create 64;
+    messages = 0;
+    total_bytes = 0;
+    dropped = 0;
+  }
+
+let engine t = t.eng
+let nodes t = t.n
+let config t = t.cfg
+
+let check_rank t r name =
+  if r < 0 || r >= t.n then invalid_arg (Printf.sprintf "Net.%s: rank %d out of range" name r)
+
+let set_handler t rank f =
+  check_rank t rank "set_handler";
+  t.hosts.(rank).handler <- Some f
+
+let link_of t src dst =
+  let key = (src * t.n) + dst in
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+    let l = { free_at = 0.0; bytes = 0; msgs = 0 } in
+    Hashtbl.replace t.links key l;
+    l
+
+(* Charge receiver CPU, then deliver through the host handler. *)
+let deliver_via_cpu t dst ~arrive ~size ~src payload =
+  let host = t.hosts.(dst) in
+  let cpu_start = Float.max arrive host.cpu_free_at in
+  let work = t.cfg.host_cpu_per_msg +. (float_of_int size *. t.cfg.host_cpu_per_byte) in
+  host.cpu_free_at <- cpu_start +. work;
+  let done_at = cpu_start +. work in
+  ignore
+    (Engine.schedule_at t.eng ~time:done_at (fun () ->
+         if host.alive then begin
+           t.messages <- t.messages + 1;
+           t.total_bytes <- t.total_bytes + size;
+           match host.handler with
+           | Some f -> f ~src payload
+           | None -> ()
+         end
+         else t.dropped <- t.dropped + 1)
+      : Engine.handle)
+
+let send t ~src ~dst ~size m =
+  check_rank t src "send";
+  check_rank t dst "send";
+  if size < 0 then invalid_arg "Net.send: negative size";
+  if not t.hosts.(src).alive then t.dropped <- t.dropped + 1
+  else if src = dst then
+    deliver_via_cpu t dst ~arrive:(Engine.now t.eng +. t.cfg.local_delivery) ~size ~src m
+  else begin
+    let link = link_of t src dst in
+    let now = Engine.now t.eng in
+    let wire_bytes = size + t.cfg.per_msg_overhead in
+    let xfer = float_of_int wire_bytes /. t.cfg.bandwidth in
+    let start = Float.max now link.free_at in
+    link.free_at <- start +. xfer;
+    link.bytes <- link.bytes + size;
+    link.msgs <- link.msgs + 1;
+    let arrive = start +. xfer +. t.cfg.link_latency in
+    if t.hosts.(dst).alive then deliver_via_cpu t dst ~arrive ~size ~src m
+    else t.dropped <- t.dropped + 1
+  end
+
+let fail_node t r =
+  check_rank t r "fail_node";
+  t.hosts.(r).alive <- false
+
+let revive_node t r =
+  check_rank t r "revive_node";
+  t.hosts.(r).alive <- true
+
+let is_alive t r =
+  check_rank t r "is_alive";
+  t.hosts.(r).alive
+
+type stats = { messages : int; bytes : int; dropped : int }
+
+let stats (t : _ t) =
+  { messages = t.messages; bytes = t.total_bytes; dropped = t.dropped }
+
+let link_bytes t ~src ~dst =
+  match Hashtbl.find_opt t.links ((src * t.n) + dst) with
+  | Some l -> l.bytes
+  | None -> 0

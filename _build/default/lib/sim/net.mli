@@ -1,0 +1,66 @@
+(** Point-to-point network model.
+
+    Stands in for the paper's QDR InfiniBand fabric. Each directed link
+    is a FIFO pipe charging [latency + bytes/bandwidth]; each receiving
+    host charges per-message and per-byte CPU time on a serial core, so
+    a node that must ingest the concatenation of a whole subtree's data
+    (the KVS master during a fence) becomes the bottleneck exactly as in
+    the paper's measurements.
+
+    ['msg] is the payload type carried; the model only inspects the
+    declared [size]. *)
+
+type config = {
+  link_latency : float;  (** per-hop propagation + stack traversal, seconds *)
+  bandwidth : float;  (** link bandwidth, bytes/second *)
+  per_msg_overhead : int;  (** framing bytes added to every message *)
+  host_cpu_per_msg : float;  (** receiver CPU seconds per message *)
+  host_cpu_per_byte : float;  (** receiver CPU seconds per payload byte *)
+  local_delivery : float;  (** cost of a loop-back (same-node) delivery *)
+}
+
+val default_config : config
+(** Calibrated to a commodity Linux/IB cluster running a TCP overlay:
+    20 us per hop, 3.2 GB/s links, 2 us + 0.35 ns/B of receive CPU. *)
+
+type 'msg t
+
+val create : Engine.t -> ?config:config -> nodes:int -> unit -> 'msg t
+(** [create eng ~nodes ()] builds a fabric connecting ranks
+    [0 .. nodes-1]. Raises [Invalid_argument] if [nodes <= 0]. *)
+
+val engine : 'msg t -> Engine.t
+val nodes : 'msg t -> int
+val config : 'msg t -> config
+
+val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+(** [set_handler t rank f] installs the delivery callback for [rank],
+    replacing any previous one. *)
+
+val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
+(** [send t ~src ~dst ~size m] queues [m] for delivery. Sends from or to
+    a dead node are silently dropped (the transport reports nothing, as
+    with a crashed peer). [size] is the payload size in bytes. *)
+
+(** {1 Failure injection} *)
+
+val fail_node : 'msg t -> int -> unit
+(** [fail_node t r] kills rank [r]: all traffic from/to it is dropped
+    until {!revive_node}. In-flight messages to [r] are lost. *)
+
+val revive_node : 'msg t -> int -> unit
+
+val is_alive : 'msg t -> int -> bool
+
+(** {1 Accounting} *)
+
+type stats = {
+  messages : int;  (** total messages delivered *)
+  bytes : int;  (** total payload bytes delivered *)
+  dropped : int;  (** messages lost to dead nodes *)
+}
+
+val stats : 'msg t -> stats
+
+val link_bytes : 'msg t -> src:int -> dst:int -> int
+(** Payload bytes delivered so far over one directed link. *)

@@ -1,0 +1,87 @@
+exception Stopped
+
+type pid = {
+  name : string;
+  mutable killed : bool;
+  mutable finished : bool;
+}
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Await : 'a Ivar.t -> 'a Effect.t
+  | Yield : unit Effect.t
+  | Self_name : string Effect.t
+
+let names = Flux_util.Idgen.create ~prefix:"proc-" ()
+
+let spawn eng ?name f =
+  let p =
+    {
+      name = (match name with Some n -> n | None -> Flux_util.Idgen.next names);
+      killed = false;
+      finished = false;
+    }
+  in
+  let open Effect.Deep in
+  let resume : type a. (a, unit) continuation -> a -> unit =
+   fun k v -> if p.killed then discontinue k Stopped else continue k v
+  in
+  let handler =
+    {
+      retc = (fun () -> p.finished <- true);
+      exnc =
+        (fun e ->
+          match e with
+          | Stopped -> p.finished <- true
+          | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep d ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                ignore
+                  (Engine.schedule eng ~delay:d (fun () -> resume k ())
+                    : Engine.handle))
+          | Await iv ->
+            Some (fun (k : (a, unit) continuation) -> Ivar.on_full eng iv (resume k))
+          | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                ignore
+                  (Engine.schedule eng ~delay:0.0 (fun () -> resume k ())
+                    : Engine.handle))
+          | Self_name -> Some (fun (k : (a, unit) continuation) -> continue k p.name)
+          | _ -> None);
+    }
+  in
+  ignore
+    (Engine.schedule eng ~delay:0.0 (fun () ->
+         if not p.killed then match_with f () handler else p.finished <- true)
+      : Engine.handle);
+  p
+
+let kill _eng p = if not p.finished then p.killed <- true
+
+let name_of p = p.name
+
+let sleep d =
+  if d < 0.0 then invalid_arg "Proc.sleep: negative duration";
+  Effect.perform (Sleep d)
+
+let await iv = Effect.perform (Await iv)
+let yield () = Effect.perform Yield
+let self_name () = Effect.perform Self_name
+
+let join_all eng ivs =
+  let done_iv = Ivar.create () in
+  let remaining = ref (List.length ivs) in
+  if !remaining = 0 then Ivar.fill eng done_iv ()
+  else
+    List.iter
+      (fun iv ->
+        Ivar.on_full eng iv (fun () ->
+            decr remaining;
+            if !remaining = 0 then Ivar.fill eng done_iv ()))
+      ivs;
+  done_iv

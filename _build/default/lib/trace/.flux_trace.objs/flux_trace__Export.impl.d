@@ -1,0 +1,1 @@
+lib/trace/export.ml: Buffer Flux_json List Printf Tracer

@@ -1,0 +1,1 @@
+lib/trace/export.mli: Flux_json Tracer

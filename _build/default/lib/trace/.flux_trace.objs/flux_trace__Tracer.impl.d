@@ -1,0 +1,1 @@
+lib/trace/tracer.ml: Flux_json Flux_util Hashtbl List

@@ -1,0 +1,58 @@
+module Json = Flux_json.Json
+
+let event_to_json (e : Tracer.event) =
+  Json.obj
+    [
+      ("ts", Json.float e.Tracer.ev_ts);
+      ("cat", Json.string e.Tracer.ev_cat);
+      ("name", Json.string e.Tracer.ev_name);
+      ("rank", Json.int e.Tracer.ev_rank);
+      ("fields", Json.obj e.Tracer.ev_fields);
+    ]
+
+let event_of_json j =
+  {
+    Tracer.ev_ts = Json.to_float (Json.member "ts" j);
+    ev_cat = Json.to_string_v (Json.member "cat" j);
+    ev_name = Json.to_string_v (Json.member "name" j);
+    ev_rank = Json.to_int (Json.member "rank" j);
+    ev_fields = Json.to_obj (Json.member "fields" j);
+  }
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_to_json e));
+      Buffer.add_char buf '\n')
+    (Tracer.events t);
+  Buffer.contents buf
+
+let to_text t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Tracer.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12.6f %-6s %-20s %s%s\n" e.Tracer.ev_ts e.Tracer.ev_cat
+           e.Tracer.ev_name
+           (if e.Tracer.ev_rank >= 0 then Printf.sprintf "rank=%d " e.Tracer.ev_rank else "")
+           (match e.Tracer.ev_fields with
+           | [] -> ""
+           | fields -> Json.to_string (Json.obj fields))))
+    (Tracer.events t);
+  Buffer.contents buf
+
+let summary t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %-24s %10s %14s\n" "category" "name" "count" "total dur (s)");
+  List.iter
+    (fun ((cat, name), count) ->
+      let dur = Tracer.total_duration t ~cat ~name in
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %-24s %10d %14s\n" cat name count
+           (if dur > 0.0 then Printf.sprintf "%.6f" dur else "-")))
+    (Tracer.counters t);
+  (if Tracer.dropped t > 0 then
+     Buffer.add_string buf (Printf.sprintf "(%d events dropped by capacity)\n" (Tracer.dropped t)));
+  Buffer.contents buf

@@ -1,0 +1,87 @@
+module Json = Flux_json.Json
+module Ring_buffer = Flux_util.Ring_buffer
+
+type event = {
+  ev_ts : float;
+  ev_cat : string;
+  ev_name : string;
+  ev_rank : int;
+  ev_fields : (string * Json.t) list;
+}
+
+type t = {
+  now : unit -> float;
+  buf : event Ring_buffer.t;
+  mutable cats : string list; (* [] = all *)
+  counts : (string * string, int) Hashtbl.t;
+  durations : (string * string, float) Hashtbl.t;
+  mutable subscribers : (event -> unit) list;
+}
+
+let create ?(capacity = 100_000) ~now () =
+  {
+    now;
+    buf = Ring_buffer.create ~capacity;
+    cats = [];
+    counts = Hashtbl.create 64;
+    durations = Hashtbl.create 16;
+    subscribers = [];
+  }
+
+let enable t ~cats = t.cats <- cats
+
+let retained t cat = t.cats = [] || List.mem cat t.cats
+
+let bump t key =
+  Hashtbl.replace t.counts key
+    (1 + match Hashtbl.find_opt t.counts key with Some c -> c | None -> 0)
+
+let emit t ~cat ~name ?(rank = -1) ?(fields = []) () =
+  bump t (cat, name);
+  if retained t cat then begin
+    let ev = { ev_ts = t.now (); ev_cat = cat; ev_name = name; ev_rank = rank; ev_fields = fields } in
+    Ring_buffer.push t.buf ev;
+    List.iter (fun f -> f ev) t.subscribers
+  end
+
+let add_duration t key d =
+  Hashtbl.replace t.durations key
+    (d +. match Hashtbl.find_opt t.durations key with Some x -> x | None -> 0.0)
+
+let span t ~cat ~name ?rank f =
+  let t0 = t.now () in
+  let finish ~raised =
+    let dur = t.now () -. t0 in
+    add_duration t (cat, name) dur;
+    let fields =
+      ("dur", Json.float dur) :: (if raised then [ ("raised", Json.bool true) ] else [])
+    in
+    emit t ~cat ~name ?rank ~fields ()
+  in
+  match f () with
+  | v ->
+    finish ~raised:false;
+    v
+  | exception e ->
+    finish ~raised:true;
+    raise e
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+
+let events t = Ring_buffer.to_list t.buf
+
+let dropped t = Ring_buffer.dropped t.buf
+
+let count t ~cat ~name =
+  match Hashtbl.find_opt t.counts (cat, name) with Some c -> c | None -> 0
+
+let counters t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts [])
+
+let total_duration t ~cat ~name =
+  match Hashtbl.find_opt t.durations (cat, name) with Some d -> d | None -> 0.0
+
+let clear t =
+  Ring_buffer.clear t.buf;
+  Hashtbl.reset t.counts;
+  Hashtbl.reset t.durations

@@ -1,0 +1,64 @@
+(** Structured run-time tracing.
+
+    The paper's Challenge 1 calls for "managing a drastically increased
+    amount of run-time information that must be monitored, traced, and
+    stored". This tracer is the common sink: subsystems emit typed
+    events (category + name + rank + fields), the tracer filters,
+    counts, bounds memory, and can notify subscribers; {!Export} renders
+    the stream for humans or machines.
+
+    One tracer serves one simulation; it is driven by the virtual clock
+    supplied at creation, so traces are as deterministic as the runs
+    that produce them. *)
+
+module Json = Flux_json.Json
+
+type event = {
+  ev_ts : float;  (** virtual time *)
+  ev_cat : string;  (** subsystem: "cmb", "kvs", "sched", ... *)
+  ev_name : string;  (** e.g. "send", "commit", "job.start" *)
+  ev_rank : int;  (** originating rank, -1 when not rank-bound *)
+  ev_fields : (string * Json.t) list;
+}
+
+type t
+
+val create : ?capacity:int -> now:(unit -> float) -> unit -> t
+(** [capacity] bounds retained events (default 100_000, oldest dropped);
+    counters are never dropped. *)
+
+val enable : t -> cats:string list -> unit
+(** Retain events only for the listed categories ([[]] = everything,
+    the default). Filtering also suppresses subscriber callbacks. *)
+
+val emit :
+  t -> cat:string -> name:string -> ?rank:int -> ?fields:(string * Json.t) list -> unit -> unit
+(** Record one event (subject to the category filter) and bump the
+    [cat.name] counter (always). *)
+
+val span : t -> cat:string -> name:string -> ?rank:int -> (unit -> 'a) -> 'a
+(** [span t ~cat ~name f] runs [f], emitting one event carrying the
+    elapsed virtual duration in field ["dur"]. For blocking protocol
+    code inside {!Flux_sim.Proc} bodies. Exceptions propagate after the
+    event is recorded with field ["raised"] = true. *)
+
+val subscribe : t -> (event -> unit) -> unit
+(** Called for every retained event. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val dropped : t -> int
+(** Events discarded by the capacity bound. *)
+
+val count : t -> cat:string -> name:string -> int
+(** Occurrences of [cat.name] since creation (includes filtered ones). *)
+
+val counters : t -> ((string * string) * int) list
+(** All counters, sorted by key. *)
+
+val total_duration : t -> cat:string -> name:string -> float
+(** Sum of ["dur"] fields recorded by {!span} for this key. *)
+
+val clear : t -> unit
+(** Drop retained events and reset counters. *)

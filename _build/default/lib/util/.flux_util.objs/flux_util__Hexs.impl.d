@@ -1,0 +1,1 @@
+lib/util/hexs.ml: Bytes Char String

@@ -1,0 +1,32 @@
+(** Binary min-heap with stable ordering.
+
+    Elements inserted with equal priority are popped in insertion order,
+    which makes simulations built on the heap fully deterministic. *)
+
+type 'a t
+(** Mutable heap of elements of type ['a], prioritized by a float key. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty heap. *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently in [h]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio x] inserts [x] with priority [prio]. Smaller priorities
+    pop first; ties pop in insertion order. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop h] removes and returns the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** [peek h] returns the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+(** [clear h] removes all elements. *)
+
+val pop_exn : 'a t -> float * 'a
+(** [pop_exn h] is [pop h] but raises [Invalid_argument] on an empty heap. *)

@@ -1,0 +1,33 @@
+(** LRU cache keyed by strings.
+
+    Used by the KVS slave object caches: entries unused for a while are
+    expired to bound memory, as in the paper's prototype. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] is an empty cache holding at most [capacity]
+    entries; inserting beyond that evicts the least recently used one.
+    Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val length : 'a t -> int
+
+val mem : 'a t -> string -> bool
+(** [mem c k] tests presence without touching recency. *)
+
+val find : 'a t -> string -> 'a option
+(** [find c k] returns the value and marks [k] most recently used. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** [put c k v] inserts or replaces, marking [k] most recently used and
+    evicting the LRU entry if over capacity. *)
+
+val remove : 'a t -> string -> unit
+
+val evictions : 'a t -> int
+(** [evictions c] counts entries evicted by capacity pressure so far. *)
+
+val clear : 'a t -> unit
+
+val iter : (string -> 'a -> unit) -> 'a t -> unit
+(** [iter f c] applies [f] to every binding, most recent first. *)

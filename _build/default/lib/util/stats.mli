@@ -1,0 +1,33 @@
+(** Streaming statistics and percentile summaries for benchmark metrics. *)
+
+type t
+(** Accumulator of float samples. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** [add t x] records one sample. *)
+
+val count : t -> int
+val total : t -> float
+
+val mean : t -> float
+(** [mean t] is 0. when no samples were recorded. *)
+
+val min : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val max : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation (Welford); 0. for fewer than two samples. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,1\]] computes the p-th percentile by
+    linear interpolation over the recorded samples. Raises when empty. *)
+
+val median : t -> float
+
+val to_string : t -> string
+(** One-line human-readable summary. *)

@@ -1,0 +1,1 @@
+test/test_cmb.ml: Alcotest Array Flux_cmb Flux_json Flux_sim List Printf

@@ -1,0 +1,1 @@
+test/test_cmb_extra.ml: Alcotest Array Flux_cmb Flux_json Flux_sim Flux_util List Printf QCheck QCheck_alcotest

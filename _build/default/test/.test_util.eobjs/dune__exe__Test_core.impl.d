@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Flux_baseline Flux_cmb Flux_core Flux_json Flux_kvs Flux_modules Flux_sim Flux_util Fun List Printf String

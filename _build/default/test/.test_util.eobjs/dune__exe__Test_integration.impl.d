@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Flux_cmb Flux_core Flux_json Flux_kvs Flux_modules Flux_sim Flux_util Hashtbl List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Float Flux_json List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_kap.ml: Alcotest Flux_kap Printf

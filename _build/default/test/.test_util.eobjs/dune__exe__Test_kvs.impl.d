@@ -1,0 +1,1 @@
+test/test_kvs.ml: Alcotest Array Flux_cmb Flux_json Flux_kvs Flux_sha1 Flux_sim Fun Gen Hashtbl List Printf QCheck QCheck_alcotest

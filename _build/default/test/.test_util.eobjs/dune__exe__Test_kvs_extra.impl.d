@@ -1,0 +1,1 @@
+test/test_kvs_extra.ml: Alcotest Array Flux_cmb Flux_json Flux_kvs Flux_sim List Printf

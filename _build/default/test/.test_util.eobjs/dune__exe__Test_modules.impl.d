@@ -1,0 +1,1 @@
+test/test_modules.ml: Alcotest Array Float Flux_cmb Flux_json Flux_kvs Flux_modules Flux_sim Fun List Option Printf String

@@ -1,0 +1,1 @@
+test/test_policy_props.ml: Alcotest Flux_core Flux_util Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sha1.ml: Alcotest Flux_json Flux_sha1 Flux_util List QCheck QCheck_alcotest String

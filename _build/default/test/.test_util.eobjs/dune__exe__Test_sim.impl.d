@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Flux_sim Flux_util Fun List

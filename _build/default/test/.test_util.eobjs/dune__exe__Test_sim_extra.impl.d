@@ -1,0 +1,1 @@
+test/test_sim_extra.ml: Alcotest Array Float Flux_sim Flux_util List Option Printf

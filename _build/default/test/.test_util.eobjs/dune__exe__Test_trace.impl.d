@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Flux_cmb Flux_core Flux_json Flux_kvs Flux_sim Flux_trace List Str String

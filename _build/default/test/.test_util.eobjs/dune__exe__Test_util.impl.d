@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Flux_util Fun Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_volumes.ml: Alcotest Flux_cmb Flux_json Flux_kvs Flux_sim Fun List Printf

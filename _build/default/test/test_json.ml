@@ -1,0 +1,208 @@
+(* Tests for the Flux_json library: printing, parsing, accessors and the
+   serialized-size model the network simulator relies on. *)
+
+module Json = Flux_json.Json
+
+let check = Alcotest.check
+let string = Alcotest.string
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let json_testable = Alcotest.testable Json.pp Json.equal
+
+let sample =
+  Json.obj
+    [
+      ("name", Json.string "flux");
+      ("size", Json.int 512);
+      ("ratio", Json.float 0.5);
+      ("ok", Json.bool true);
+      ("missing", Json.null);
+      ("ranks", Json.list [ Json.int 0; Json.int 1; Json.int 2 ]);
+      ("nested", Json.obj [ ("a", Json.string "b") ]);
+    ]
+
+let test_print () =
+  check string "compact print"
+    "{\"name\":\"flux\",\"size\":512,\"ratio\":0.5,\"ok\":true,\"missing\":null,\"ranks\":[0,1,2],\"nested\":{\"a\":\"b\"}}"
+    (Json.to_string sample)
+
+let test_parse_roundtrip () =
+  check json_testable "roundtrip" sample (Json.of_string (Json.to_string sample))
+
+let test_parse_whitespace () =
+  check json_testable "whitespace tolerated"
+    (Json.obj [ ("a", Json.int 1) ])
+    (Json.of_string " { \"a\" :\n 1 } ")
+
+let test_parse_escapes () =
+  let v = Json.string "line\nquote\"back\\slash\ttab" in
+  check json_testable "escape roundtrip" v (Json.of_string (Json.to_string v));
+  check json_testable "unicode escape" (Json.string "A") (Json.of_string "\"\\u0041\"")
+
+let test_parse_errors () =
+  let fails s =
+    match Json.of_string_opt s with
+    | None -> ()
+    | Some _ -> Alcotest.failf "expected parse failure for %S" s
+  in
+  List.iter fails
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1.2.3"; "\"unterminated"; "[1] trailing"; "{'a':1}" ]
+
+let test_numbers () =
+  check json_testable "negative int" (Json.int (-42)) (Json.of_string "-42");
+  check json_testable "float exp" (Json.float 1500.0) (Json.of_string "1.5e3");
+  check json_testable "float printed with point" (Json.float 2.0) (Json.of_string "2.0");
+  check bool "int and float distinct" false (Json.equal (Json.int 1) (Json.float 1.0))
+
+let test_accessors () =
+  check int "member int" 512 (Json.to_int (Json.member "size" sample));
+  check string "member string" "flux" (Json.to_string_v (Json.member "name" sample));
+  check (Alcotest.float 1e-9) "to_float of int" 512.0
+    (Json.to_float (Json.member "size" sample));
+  check bool "mem" true (Json.mem "ok" sample);
+  check bool "not mem" false (Json.mem "nope" sample);
+  Alcotest.check_raises "missing member" (Json.Type_error "missing field \"nope\"")
+    (fun () -> ignore (Json.member "nope" sample));
+  (match Json.member_opt "nope" sample with
+  | None -> ()
+  | Some _ -> Alcotest.fail "member_opt should be None");
+  Alcotest.check_raises "wrong type" (Json.Type_error "expected int, got string")
+    (fun () -> ignore (Json.to_int (Json.string "x")))
+
+let test_set_remove_member () =
+  let v = Json.obj [ ("a", Json.int 1); ("b", Json.int 2) ] in
+  check json_testable "replace"
+    (Json.obj [ ("a", Json.int 9); ("b", Json.int 2) ])
+    (Json.set_member "a" (Json.int 9) v);
+  check json_testable "append"
+    (Json.obj [ ("a", Json.int 1); ("b", Json.int 2); ("c", Json.int 3) ])
+    (Json.set_member "c" (Json.int 3) v);
+  check json_testable "remove" (Json.obj [ ("b", Json.int 2) ]) (Json.remove_member "a" v)
+
+let test_size_model () =
+  check int "size equals printed length"
+    (String.length (Json.to_string sample))
+    (Json.serialized_size sample)
+
+let test_pad () =
+  List.iter
+    (fun n -> check int "pad size" n (Json.serialized_size (Json.pad n)))
+    [ 2; 8; 32; 2048 ];
+  Alcotest.check_raises "pad too small" (Invalid_argument "Json.pad: need at least 2 bytes")
+    (fun () -> ignore (Json.pad 1))
+
+let test_pad_unique () =
+  let a = Json.pad_unique 32 1 and b = Json.pad_unique 32 2 in
+  check bool "distinct salts differ" false (Json.equal a b);
+  check int "sized" 32 (Json.serialized_size a);
+  check json_testable "same salt equal" a (Json.pad_unique 32 1)
+
+let test_deep_nesting () =
+  let rec build n = if n = 0 then Json.int 1 else Json.list [ build (n - 1) ] in
+  let v = build 200 in
+  check json_testable "deep roundtrip" v (Json.of_string (Json.to_string v));
+  check int "deep size exact" (String.length (Json.to_string v)) (Json.serialized_size v)
+
+let test_large_integers () =
+  List.iter
+    (fun i -> check json_testable "int roundtrip" (Json.int i) (Json.of_string (string_of_int i)))
+    [ max_int / 2; -(max_int / 2); 0; -1 ]
+
+let test_empty_containers () =
+  check json_testable "empty list" (Json.list []) (Json.of_string "[]");
+  check json_testable "empty obj" (Json.obj []) (Json.of_string "{}");
+  check int "empty list size" 2 (Json.serialized_size (Json.list []));
+  check int "empty obj size" 2 (Json.serialized_size (Json.obj []))
+
+let test_control_characters () =
+  let v = Json.string "a\x01b\x1fc" in
+  check json_testable "control chars roundtrip" v (Json.of_string (Json.to_string v));
+  check int "escaped size" (String.length (Json.to_string v)) (Json.serialized_size v)
+
+let test_strings_helper () =
+  check json_testable "strings builder"
+    (Json.list [ Json.string "a"; Json.string "b" ])
+    (Json.strings [ "a"; "b" ])
+
+(* Random JSON generator for property tests. *)
+let gen_json =
+  QCheck.Gen.(
+    sized (fun n ->
+        fix
+          (fun self n ->
+            let leaf =
+              oneof
+                [
+                  return Json.null;
+                  map Json.bool bool;
+                  map Json.int (int_range (-1000000) 1000000);
+                  map (fun f -> Json.float (Float.of_int (int_of_float (f *. 100.)) /. 4.))
+                    (float_bound_inclusive 100.0);
+                  map Json.string (string_size ~gen:printable (0 -- 10));
+                ]
+            in
+            if n <= 0 then leaf
+            else
+              frequency
+                [
+                  (3, leaf);
+                  (1, map Json.list (list_size (0 -- 4) (self (n / 2))));
+                  ( 1,
+                    map Json.obj
+                      (list_size (0 -- 4)
+                         (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 6)) (self (n / 2))))
+                  );
+                ])
+          n))
+
+let arb_json = QCheck.make ~print:Json.to_string gen_json
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300 arb_json (fun v ->
+      Json.equal v (Json.of_string (Json.to_string v)))
+
+let prop_size =
+  QCheck.Test.make ~name:"size model is exact" ~count:300 arb_json (fun v ->
+      Json.serialized_size v = String.length (Json.to_string v))
+
+let prop_compare_consistent =
+  QCheck.Test.make ~name:"compare consistent with equal" ~count:200
+    (QCheck.pair arb_json arb_json) (fun (a, b) ->
+      Json.equal a b = (Json.compare a b = 0))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "flux_json"
+    [
+      ( "print-parse",
+        [
+          Alcotest.test_case "print" `Quick test_print;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "whitespace" `Quick test_parse_whitespace;
+          Alcotest.test_case "escapes" `Quick test_parse_escapes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "numbers" `Quick test_numbers;
+        ] );
+      ( "accessors",
+        [
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "set/remove member" `Quick test_set_remove_member;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "large integers" `Quick test_large_integers;
+          Alcotest.test_case "empty containers" `Quick test_empty_containers;
+          Alcotest.test_case "control characters" `Quick test_control_characters;
+          Alcotest.test_case "strings helper" `Quick test_strings_helper;
+        ] );
+      ( "size-model",
+        [
+          Alcotest.test_case "exact size" `Quick test_size_model;
+          Alcotest.test_case "pad" `Quick test_pad;
+          Alcotest.test_case "pad_unique" `Quick test_pad_unique;
+        ] );
+      qsuite "props" [ prop_roundtrip; prop_size; prop_compare_consistent ];
+    ]

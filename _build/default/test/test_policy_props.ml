@@ -1,0 +1,170 @@
+(* Property tests over the scheduling policies: safety invariants that
+   must hold for every policy on arbitrary queues. *)
+
+module Rng = Flux_util.Rng
+module Job = Flux_core.Job
+module Jobspec = Flux_core.Jobspec
+module Pool = Flux_core.Pool
+module Policy = Flux_core.Policy
+
+let policies =
+  [
+    (module Policy.Fcfs : Policy.S);
+    (module Policy.Easy_backfill : Policy.S);
+    (module Policy.Fcfs_moldable : Policy.S);
+    (module Policy.Priority : Policy.S);
+    (module Policy.Fair_share : Policy.S);
+  ]
+
+(* Generate a random scheduling scene: a pool with some running jobs and
+   a pending queue. *)
+let gen_scene =
+  QCheck.Gen.(
+    let* nnodes = 4 -- 32 in
+    let* n_running = 0 -- 3 in
+    let* n_queue = 0 -- 10 in
+    let* seed = 0 -- 100000 in
+    return (nnodes, n_running, n_queue, seed))
+
+let build_scene (nnodes, n_running, n_queue, seed) =
+  let rng = Rng.create seed in
+  let pool = Pool.create ~nodes:(List.init nnodes Fun.id) () in
+  let running =
+    List.filter_map
+      (fun i ->
+        let want = 1 + Rng.int rng (max 1 (nnodes / 2)) in
+        let spec =
+          Jobspec.make ~nnodes:want
+            ~walltime_est:(10.0 +. Rng.float rng 100.0)
+            ~user:(Printf.sprintf "u%d" (Rng.int rng 3))
+            ()
+        in
+        match Pool.try_grant pool ~spec ~nnodes:want with
+        | Some g ->
+          let j =
+            Job.create ~jid:(Printf.sprintf "r%d" i) ~spec ~payload:(Job.Sleep 1.0) ~now:0.0
+          in
+          Job.set_state j ~now:0.0 Job.Allocated;
+          Job.set_state j ~now:0.0 Job.Running;
+          Some (j, g)
+        | None -> None)
+      (List.init n_running Fun.id)
+  in
+  let queue =
+    List.init n_queue (fun i ->
+        let want = 1 + Rng.int rng nnodes in
+        Job.create
+          ~jid:(Printf.sprintf "q%d" i)
+          ~spec:
+            (Jobspec.make ~nnodes:want
+               ~walltime_est:(10.0 +. Rng.float rng 100.0)
+               ~user:(Printf.sprintf "u%d" (Rng.int rng 3))
+               ~priority:(Rng.int rng 5) ())
+          ~payload:(Job.Sleep 1.0) ~now:0.0)
+  in
+  (pool, queue, running)
+
+let for_all_policies scene check_one =
+  let pool, queue, running = build_scene scene in
+  List.for_all
+    (fun (module P : Policy.S) ->
+      let starts = P.schedule ~now:0.0 ~pool ~queue ~running in
+      check_one (module P : Policy.S) pool queue starts)
+    policies
+
+let prop_no_overcommit =
+  QCheck.Test.make ~name:"starts never exceed free nodes" ~count:300
+    (QCheck.make gen_scene) (fun scene ->
+      for_all_policies scene (fun _ pool _ starts ->
+          let total = List.fold_left (fun a s -> a + s.Policy.s_nnodes) 0 starts in
+          total <= Pool.free_nodes pool))
+
+let prop_starts_from_queue =
+  QCheck.Test.make ~name:"only queued pending jobs start, each at most once" ~count:300
+    (QCheck.make gen_scene) (fun scene ->
+      for_all_policies scene (fun _ _ queue starts ->
+          let jids = List.map (fun s -> s.Policy.s_job.Job.jid) starts in
+          List.length (List.sort_uniq compare jids) = List.length jids
+          && List.for_all (fun s -> List.memq s.Policy.s_job queue) starts))
+
+let prop_node_counts_within_spec =
+  QCheck.Test.make ~name:"chosen node counts respect elasticity bounds" ~count:300
+    (QCheck.make gen_scene) (fun scene ->
+      for_all_policies scene (fun _ _ _ starts ->
+          List.for_all
+            (fun s ->
+              s.Policy.s_nnodes >= Jobspec.min_nodes s.Policy.s_job.Job.spec
+              && s.Policy.s_nnodes <= Jobspec.max_nodes s.Policy.s_job.Job.spec)
+            starts))
+
+let prop_fcfs_head_priority =
+  QCheck.Test.make ~name:"fcfs never starts anything while the head is blocked" ~count:300
+    (QCheck.make gen_scene) (fun scene ->
+      let pool, queue, running = build_scene scene in
+      let starts = Policy.Fcfs.schedule ~now:0.0 ~pool ~queue ~running in
+      match queue with
+      | [] -> starts = []
+      | head :: _ ->
+        if head.Job.spec.Jobspec.nnodes > Pool.free_nodes pool then starts = []
+        else (
+          match starts with s :: _ -> s.Policy.s_job == head | [] -> false))
+
+let prop_easy_backfill_protects_head =
+  QCheck.Test.make ~name:"easy backfill never delays the head reservation" ~count:300
+    (QCheck.make gen_scene) (fun scene ->
+      let pool, queue, running = build_scene scene in
+      match queue with
+      | [] -> true
+      | head :: _ ->
+        let free = Pool.free_nodes pool in
+        let head_want = head.Job.spec.Jobspec.nnodes in
+        if head_want <= free then true
+        else begin
+          let starts = Policy.Easy_backfill.schedule ~now:0.0 ~pool ~queue ~running in
+          (* Recompute the shadow time from the running set only. *)
+          let by_end =
+            List.sort compare
+              (List.map
+                 (fun ((j : Job.t), (g : Pool.grant)) ->
+                   ( j.Job.start_time +. j.Job.spec.Jobspec.walltime_est,
+                     List.length g.Pool.g_nodes ))
+                 running)
+          in
+          let rec shadow avail = function
+            | [] -> (infinity, avail)
+            | (t, n) :: rest ->
+              let avail = avail + n in
+              if avail >= head_want then (t, avail) else shadow avail rest
+          in
+          let shadow_time, avail_at_shadow = shadow free by_end in
+          let spare = avail_at_shadow - head_want in
+          (* Every backfilled job either ends before the shadow or fits
+             in the spare capacity. *)
+          let ok =
+            let spare_used = ref 0 in
+            List.for_all
+              (fun s ->
+                let est_end = s.Policy.s_job.Job.spec.Jobspec.walltime_est in
+                if est_end <= shadow_time then true
+                else begin
+                  spare_used := !spare_used + s.Policy.s_nnodes;
+                  !spare_used <= spare
+                end)
+              starts
+          in
+          ok
+        end)
+
+let () =
+  Alcotest.run "flux_policy_props"
+    [
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_no_overcommit;
+            prop_starts_from_queue;
+            prop_node_counts_within_spec;
+            prop_fcfs_head_priority;
+            prop_easy_backfill_protects_head;
+          ] );
+    ]

@@ -1,0 +1,207 @@
+(* Tests for the tracing subsystem and its integrations. *)
+
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Proc = Flux_sim.Proc
+module Tracer = Flux_trace.Tracer
+module Export = Flux_trace.Export
+module Session = Flux_cmb.Session
+module Api = Flux_cmb.Api
+module Kvs = Flux_kvs.Kvs_module
+module Client = Flux_kvs.Client
+module Center = Flux_core.Center
+module Instance = Flux_core.Instance
+module Job = Flux_core.Job
+module Jobspec = Flux_core.Jobspec
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let expect_ok label = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" label e
+
+(* --- Tracer mechanics ----------------------------------------------------- *)
+
+let test_emit_and_count () =
+  let clock = ref 0.0 in
+  let tr = Tracer.create ~now:(fun () -> !clock) () in
+  Tracer.emit tr ~cat:"a" ~name:"x" ();
+  clock := 1.5;
+  Tracer.emit tr ~cat:"a" ~name:"x" ~rank:3 ~fields:[ ("k", Json.int 1) ] ();
+  Tracer.emit tr ~cat:"b" ~name:"y" ();
+  check int "count a.x" 2 (Tracer.count tr ~cat:"a" ~name:"x");
+  check int "count b.y" 1 (Tracer.count tr ~cat:"b" ~name:"y");
+  check int "count missing" 0 (Tracer.count tr ~cat:"z" ~name:"z");
+  match Tracer.events tr with
+  | [ e1; e2; _ ] ->
+    check (Alcotest.float 1e-9) "first ts" 0.0 e1.Tracer.ev_ts;
+    check (Alcotest.float 1e-9) "second ts" 1.5 e2.Tracer.ev_ts;
+    check int "rank recorded" 3 e2.Tracer.ev_rank
+  | _ -> Alcotest.fail "expected three events"
+
+let test_category_filter () =
+  let tr = Tracer.create ~now:(fun () -> 0.0) () in
+  Tracer.enable tr ~cats:[ "keep" ];
+  Tracer.emit tr ~cat:"keep" ~name:"a" ();
+  Tracer.emit tr ~cat:"drop" ~name:"b" ();
+  check int "retained only filtered" 1 (List.length (Tracer.events tr));
+  (* Counters still see everything. *)
+  check int "counter unaffected" 1 (Tracer.count tr ~cat:"drop" ~name:"b")
+
+let test_capacity_bound () =
+  let tr = Tracer.create ~capacity:5 ~now:(fun () -> 0.0) () in
+  for i = 1 to 8 do
+    Tracer.emit tr ~cat:"c" ~name:"n" ~fields:[ ("i", Json.int i) ] ()
+  done;
+  check int "retains capacity" 5 (List.length (Tracer.events tr));
+  check int "dropped counted" 3 (Tracer.dropped tr);
+  check int "counter exact" 8 (Tracer.count tr ~cat:"c" ~name:"n");
+  (* Oldest dropped: the first retained event is i=4. *)
+  match Tracer.events tr with
+  | e :: _ -> check int "oldest is 4" 4 (Json.to_int (List.assoc "i" e.Tracer.ev_fields))
+  | [] -> Alcotest.fail "no events"
+
+let test_span_duration () =
+  let clock = ref 0.0 in
+  let tr = Tracer.create ~now:(fun () -> !clock) () in
+  let result =
+    Tracer.span tr ~cat:"s" ~name:"work" (fun () ->
+        clock := 2.5;
+        42)
+  in
+  check int "value through" 42 result;
+  check (Alcotest.float 1e-9) "duration summed" 2.5 (Tracer.total_duration tr ~cat:"s" ~name:"work");
+  (* Exceptions propagate and are flagged. *)
+  (try
+     Tracer.span tr ~cat:"s" ~name:"boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  match List.rev (Tracer.events tr) with
+  | e :: _ -> check bool "raised flag" true (Json.to_bool (List.assoc "raised" e.Tracer.ev_fields))
+  | [] -> Alcotest.fail "no events"
+
+let test_subscribers () =
+  let tr = Tracer.create ~now:(fun () -> 0.0) () in
+  let seen = ref 0 in
+  Tracer.subscribe tr (fun _ -> incr seen);
+  Tracer.emit tr ~cat:"c" ~name:"n" ();
+  Tracer.emit tr ~cat:"c" ~name:"n" ();
+  check int "notified" 2 !seen
+
+let test_export_roundtrip () =
+  let tr = Tracer.create ~now:(fun () -> 3.25) () in
+  Tracer.emit tr ~cat:"kvs" ~name:"commit" ~rank:7 ~fields:[ ("tuples", Json.int 4) ] ();
+  let lines = String.split_on_char '\n' (String.trim (Export.to_jsonl tr)) in
+  check int "one line" 1 (List.length lines);
+  let e = Export.event_of_json (Json.of_string (List.hd lines)) in
+  check string "cat" "kvs" e.Tracer.ev_cat;
+  check string "name" "commit" e.Tracer.ev_name;
+  check int "rank" 7 e.Tracer.ev_rank;
+  check int "field" 4 (Json.to_int (List.assoc "tuples" e.Tracer.ev_fields));
+  check bool "text mentions event" true
+    (let text = Export.to_text tr in
+     String.length text > 0
+     &&
+     try
+       ignore (Str.search_forward (Str.regexp_string "commit") text 0);
+       true
+     with Not_found -> false)
+
+let test_summary_table () =
+  let clock = ref 0.0 in
+  let tr = Tracer.create ~now:(fun () -> !clock) () in
+  Tracer.emit tr ~cat:"cmb" ~name:"send" ();
+  Tracer.emit tr ~cat:"cmb" ~name:"send" ();
+  ignore (Tracer.span tr ~cat:"kvs" ~name:"fence" (fun () -> clock := 1.0));
+  let s = Export.summary tr in
+  check bool "has cmb row" true
+    (try ignore (Str.search_forward (Str.regexp "cmb +send +2") s 0); true with Not_found -> false);
+  check bool "has duration" true
+    (try ignore (Str.search_forward (Str.regexp_string "1.000000") s 0); true with Not_found -> false)
+
+(* --- Integrations ------------------------------------------------------------- *)
+
+let test_session_integration () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:7 () in
+  let tr = Tracer.create ~now:(fun () -> Engine.now eng) () in
+  Session.set_tracer sess (Some tr);
+  ignore
+    (Proc.spawn eng (fun () ->
+         let api = Api.connect sess ~rank:5 in
+         ignore (Api.rpc api ~topic:"cmb.ping" Json.null : Session.reply);
+         Api.publish api ~topic:"probe.ev" Json.null;
+         Proc.sleep 0.01));
+  Engine.run eng;
+  check int "rpc completion traced" 1 (Tracer.count tr ~cat:"cmb" ~name:"rpc.done");
+  check int "publish traced" 1 (Tracer.count tr ~cat:"cmb" ~name:"event.publish");
+  (* The event was delivered at all seven brokers. *)
+  check int "deliveries traced" 7 (Tracer.count tr ~cat:"cmb" ~name:"event.deliver");
+  (* The rpc.done event carries its topic and a sane duration. *)
+  let rpc_ev =
+    List.find (fun e -> e.Tracer.ev_name = "rpc.done") (Tracer.events tr)
+  in
+  check string "topic field" "cmb.ping"
+    (Json.to_string_v (List.assoc "topic" rpc_ev.Tracer.ev_fields));
+  (* cmb.ping is served by the local broker within one event, so the
+     broker-level duration is zero; it must simply be present and
+     non-negative. *)
+  check bool "duration non-negative" true
+    (Json.to_float (List.assoc "dur" rpc_ev.Tracer.ev_fields) >= 0.0)
+
+let test_kvs_integration () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:7 () in
+  let kvs = Kvs.load sess () in
+  let tr = Tracer.create ~now:(fun () -> Engine.now eng) () in
+  Kvs.set_tracer_all kvs tr;
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Client.connect sess ~rank:6 in
+         expect_ok "put" (Client.put c ~key:"tr.k" (Json.int 1));
+         ignore (expect_ok "commit" (Client.commit c) : int);
+         ignore (expect_ok "get" (Client.get c ~key:"tr.k") : Json.t)));
+  Engine.run eng;
+  check int "put traced" 1 (Tracer.count tr ~cat:"kvs" ~name:"put");
+  check bool "commit and flush traced" true
+    (Tracer.count tr ~cat:"kvs" ~name:"commit" = 1
+    && Tracer.count tr ~cat:"kvs" ~name:"flush" >= 1);
+  check int "apply once at master" 1 (Tracer.count tr ~cat:"kvs" ~name:"apply");
+  check int "get traced" 1 (Tracer.count tr ~cat:"kvs" ~name:"get")
+
+let test_sched_integration () =
+  let c = Center.create ~nodes:4 () in
+  let tr = Tracer.create ~now:(fun () -> Engine.now c.Center.eng) () in
+  Instance.set_tracer c.Center.root (Some tr);
+  ignore
+    (Instance.submit c.Center.root ~spec:(Jobspec.make ~nnodes:2 ()) ~payload:(Job.Sleep 1.0)
+      : Job.t);
+  Center.run c;
+  check int "allocated traced" 1 (Tracer.count tr ~cat:"sched" ~name:"job.allocated");
+  check int "running traced" 1 (Tracer.count tr ~cat:"sched" ~name:"job.running");
+  check int "complete traced" 1 (Tracer.count tr ~cat:"sched" ~name:"job.complete");
+  check bool "cycles traced" true (Tracer.count tr ~cat:"sched" ~name:"cycle" >= 1)
+
+let () =
+  Alcotest.run "flux_trace"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "emit and count" `Quick test_emit_and_count;
+          Alcotest.test_case "category filter" `Quick test_category_filter;
+          Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+          Alcotest.test_case "span duration" `Quick test_span_duration;
+          Alcotest.test_case "subscribers" `Quick test_subscribers;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick test_export_roundtrip;
+          Alcotest.test_case "summary" `Quick test_summary_table;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "session" `Quick test_session_integration;
+          Alcotest.test_case "kvs" `Quick test_kvs_integration;
+          Alcotest.test_case "scheduler" `Quick test_sched_integration;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for the distributed-master KVS (sharded volumes) and the Direct
+   rank-addressed overlay it relies on. *)
+
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Proc = Flux_sim.Proc
+module Ivar = Flux_sim.Ivar
+module Session = Flux_cmb.Session
+module Api = Flux_cmb.Api
+module Kvs = Flux_kvs.Kvs_module
+module Volumes = Flux_kvs.Volumes
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let json_t = Alcotest.testable Json.pp Json.equal
+
+let expect_ok label = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" label e
+
+let make_world ?(size = 16) ~shards () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~rank_topology:Session.Direct ~size () in
+  let vt = Volumes.load sess ~shards () in
+  (eng, sess, vt)
+
+let run_clients eng bodies =
+  let remaining = ref (List.length bodies) in
+  List.iter
+    (fun body ->
+      ignore
+        (Proc.spawn eng (fun () ->
+             body ();
+             decr remaining)))
+    bodies;
+  Engine.run eng;
+  if !remaining <> 0 then Alcotest.failf "%d clients did not complete" !remaining
+
+(* --- Direct rank plane ---------------------------------------------------- *)
+
+let test_direct_overlay_rpc () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~rank_topology:Session.Direct ~size:8 () in
+  let api = Api.connect sess ~rank:6 in
+  let got = ref None in
+  ignore
+    (Proc.spawn eng (fun () -> got := Some (Api.rpc_rank api ~dst:3 ~topic:"cmb.ping" Json.null)));
+  Engine.run eng;
+  (match !got with
+  | Some (Ok p) -> check int "reached rank 3" 3 (Json.to_int (Json.member "rank" p))
+  | _ -> Alcotest.fail "direct rpc failed");
+  (* One hop out, one hop back: exactly two messages on the plane. *)
+  check int "two messages" 2 (Session.ring_net_stats sess).Flux_sim.Net.messages
+
+(* --- Volume layout ----------------------------------------------------------- *)
+
+let test_masters_spread () =
+  let _, _, vt = make_world ~size:16 ~shards:4 () in
+  check (Alcotest.list int) "masters spread across the machine" [ 0; 4; 8; 12 ]
+    (List.init 4 (Volumes.master_rank vt));
+  List.iteri
+    (fun v m ->
+      check bool
+        (Printf.sprintf "volume %d master flag at rank %d" v m)
+        true
+        (Kvs.is_master (Volumes.instance vt ~volume:v ~rank:m)))
+    [ 0; 4; 8; 12 ]
+
+let test_volume_of_key_stable () =
+  let _, _, vt = make_world ~size:8 ~shards:4 () in
+  let v1 = Volumes.volume_of_key vt "alpha.x" in
+  check int "same first component, same volume" v1 (Volumes.volume_of_key vt "alpha.y.z");
+  let spread =
+    List.sort_uniq compare
+      (List.init 64 (fun i -> Volumes.volume_of_key vt (Printf.sprintf "dir%d.k" i)))
+  in
+  check bool "keys spread over several volumes" true (List.length spread >= 3)
+
+(* --- Read/write through volumes ------------------------------------------------ *)
+
+let test_volumes_put_commit_get () =
+  let eng, _, vt = make_world ~size:16 ~shards:4 () in
+  run_clients eng
+    [
+      (fun () ->
+        let c = Volumes.client vt ~rank:13 in
+        (* Keys landing in different volumes. *)
+        for i = 0 to 15 do
+          expect_ok "put" (Volumes.put c ~key:(Printf.sprintf "dir%d.k" i) (Json.int i))
+        done;
+        ignore (expect_ok "commit" (Volumes.commit c) : int);
+        for i = 0 to 15 do
+          check json_t
+            (Printf.sprintf "dir%d.k" i)
+            (Json.int i)
+            (expect_ok "get" (Volumes.get c ~key:(Printf.sprintf "dir%d.k" i)))
+        done);
+    ]
+
+let test_volumes_cross_rank_visibility () =
+  let eng, _, vt = make_world ~size:16 ~shards:4 () in
+  let committed = Ivar.create () in
+  run_clients eng
+    [
+      (fun () ->
+        let c = Volumes.client vt ~rank:3 in
+        for i = 0 to 7 do
+          expect_ok "put" (Volumes.put c ~key:(Printf.sprintf "vis%d.k" i) (Json.int i))
+        done;
+        ignore (expect_ok "commit" (Volumes.commit c) : int);
+        Ivar.fill eng committed ());
+      (fun () ->
+        Proc.await committed;
+        (* Give the setroot events a moment to multicast. *)
+        Proc.sleep 0.01;
+        let c = Volumes.client vt ~rank:14 in
+        for i = 0 to 7 do
+          check json_t "remote read" (Json.int i)
+            (expect_ok "get" (Volumes.get c ~key:(Printf.sprintf "vis%d.k" i)))
+        done);
+    ]
+
+let test_volumes_fence () =
+  let eng, _, vt = make_world ~size:8 ~shards:2 () in
+  let nprocs = 16 in
+  let bodies =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun i () ->
+            let c = Volumes.client vt ~rank:r in
+            let key = Printf.sprintf "f%d-%d.k" r i in
+            expect_ok "put" (Volumes.put c ~key (Json.int ((10 * r) + i)));
+            expect_ok "fence" (Volumes.fence c ~name:"vf" ~nprocs);
+            (* Every participant's write is visible afterwards. *)
+            for r' = 0 to 7 do
+              for i' = 0 to 1 do
+                check json_t "post-fence read"
+                  (Json.int ((10 * r') + i'))
+                  (expect_ok "get" (Volumes.get c ~key:(Printf.sprintf "f%d-%d.k" r' i')))
+              done
+            done)
+          [ 0; 1 ])
+      (List.init 8 Fun.id)
+  in
+  run_clients eng bodies
+
+let test_volumes_commit_only_touches_dirty () =
+  let eng, _, vt = make_world ~size:8 ~shards:4 () in
+  run_clients eng
+    [
+      (fun () ->
+        let c = Volumes.client vt ~rank:5 in
+        expect_ok "put" (Volumes.put c ~key:"only.k" (Json.int 1));
+        let vol = Volumes.volume_of_key vt "only.k" in
+        ignore (expect_ok "commit" (Volumes.commit c) : int);
+        (* Only the touched volume advanced its version. *)
+        List.iteri
+          (fun v m ->
+            let inst = Volumes.instance vt ~volume:v ~rank:m in
+            if v = vol then check int "touched volume committed" 1 (Kvs.version inst)
+            else check int "untouched volume still v0" 0 (Kvs.version inst))
+          (List.init 4 (Volumes.master_rank vt)))
+    ]
+
+let test_single_shard_equivalence () =
+  (* shards=1 behaves like the plain store (master at rank 0). *)
+  let eng, _, vt = make_world ~size:8 ~shards:1 () in
+  run_clients eng
+    [
+      (fun () ->
+        let c = Volumes.client vt ~rank:7 in
+        expect_ok "put" (Volumes.put c ~key:"a.b" (Json.int 9));
+        ignore (expect_ok "commit" (Volumes.commit c) : int);
+        check json_t "read back" (Json.int 9) (expect_ok "get" (Volumes.get c ~key:"a.b")));
+    ]
+
+let test_volumes_invalid_shards () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~rank_topology:Session.Direct ~size:4 () in
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Volumes.load: shards must be in [1, session size]") (fun () ->
+      ignore (Volumes.load sess ~shards:0 () : Volumes.t));
+  Alcotest.check_raises "too many shards"
+    (Invalid_argument "Volumes.load: shards must be in [1, session size]") (fun () ->
+      ignore (Volumes.load sess ~shards:5 () : Volumes.t))
+
+let test_sharding_distributes_master_bytes () =
+  (* The point of the exercise: with 4 volumes, no single master node
+     ingests all committed bytes. Compare the biggest per-master store
+     against a single-master run. *)
+  let run shards =
+    let eng, _, vt = make_world ~size:16 ~shards () in
+    run_clients eng
+      [
+        (fun () ->
+          let c = Volumes.client vt ~rank:9 in
+          for i = 0 to 63 do
+            expect_ok "put"
+              (Volumes.put c ~key:(Printf.sprintf "load%d.k" i) (Json.pad 512))
+          done;
+          ignore (expect_ok "commit" (Volumes.commit c) : int));
+      ];
+    let per_master =
+      List.init shards (fun v ->
+          Kvs.store_bytes (Volumes.instance vt ~volume:v ~rank:(Volumes.master_rank vt v)))
+    in
+    List.fold_left max 0 per_master
+  in
+  let single = run 1 and sharded = run 4 in
+  check bool
+    (Printf.sprintf "max master bytes shrink (1 shard %d, 4 shards %d)" single sharded)
+    true
+    (sharded < single)
+
+let () =
+  Alcotest.run "flux_volumes"
+    [
+      ("direct-plane", [ Alcotest.test_case "one-hop rpc" `Quick test_direct_overlay_rpc ]);
+      ( "layout",
+        [
+          Alcotest.test_case "masters spread" `Quick test_masters_spread;
+          Alcotest.test_case "stable key routing" `Quick test_volume_of_key_stable;
+          Alcotest.test_case "invalid shards" `Quick test_volumes_invalid_shards;
+        ] );
+      ( "operations",
+        [
+          Alcotest.test_case "put/commit/get" `Quick test_volumes_put_commit_get;
+          Alcotest.test_case "cross-rank visibility" `Quick test_volumes_cross_rank_visibility;
+          Alcotest.test_case "fence across volumes" `Quick test_volumes_fence;
+          Alcotest.test_case "commit touches dirty only" `Quick
+            test_volumes_commit_only_touches_dirty;
+          Alcotest.test_case "single shard equivalence" `Quick test_single_shard_equivalence;
+        ] );
+      ( "distribution",
+        [
+          Alcotest.test_case "master bytes divided" `Quick
+            test_sharding_distributes_master_bytes;
+        ] );
+    ]
