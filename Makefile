@@ -1,0 +1,25 @@
+.PHONY: all build test fmt check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Formatting is best-effort: the check must stay runnable on boxes
+# without ocamlformat (the build container does not ship it).
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt --auto-promote; \
+	else \
+		echo "ocamlformat not found: skipping fmt"; \
+	fi
+
+# The pre-merge gate: format (when available), build with warnings
+# promoted to errors under lib/ (see lib/dune), and run every test.
+check: fmt build test
+
+clean:
+	dune clean

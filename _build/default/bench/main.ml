@@ -3,7 +3,7 @@
 
    Usage: main.exe [experiment...] where experiment is one of
      table1 fig2 fig3 fig4a fig4b sweep model ablate-sched ablate-fanout
-     ablate-shards micro
+     ablate-shards faults micro
    No arguments runs everything. Scales can be reduced with
    BENCH_FAST=1 for a quick pass. *)
 
@@ -442,6 +442,73 @@ let micro () =
         ols)
     tests
 
+(* --- Fault injection: the RPC lifecycle under loss and parent death ------ *)
+
+let faults () =
+  header "Fault injection: fence under message loss, and a parent death mid-fence";
+  (* (a) an 8-leaf fence on a 15-node tree with increasing injected loss:
+     lost flushes/responses are recovered by the deadline + retransmit
+     machinery at the cost of backoff latency. *)
+  List.iter
+    (fun loss ->
+      let eng = Engine.create () in
+      let sess = Session.create eng ~size:15 () in
+      ignore (Kvs.load sess () : Kvs.t array);
+      Net.set_loss (Session.rpc_net sess) loss;
+      let nprocs = 8 in
+      let released = ref 0 in
+      let t_done = ref 0.0 in
+      for r = 7 to 14 do
+        ignore
+          (Proc.spawn eng (fun () ->
+               let c = Client.connect sess ~rank:r in
+               (match Client.put c ~key:(Printf.sprintf "fl.%d" r) (Json.int r) with
+               | Ok () -> ()
+               | Error e -> failwith e);
+               match Client.fence c ~name:"bench-loss" ~nprocs with
+               | Ok _ ->
+                 incr released;
+                 t_done := Float.max !t_done (Engine.now eng)
+               | Error _ -> ())
+            : Proc.pid)
+      done;
+      Engine.run eng;
+      let st = Net.stats (Session.rpc_net sess) in
+      Printf.printf
+        "  loss %3.0f%%: released %d/%d in %8.5f s, retries %3d, timeouts %2d, dead letters %3d\n%!"
+        (100.0 *. loss) !released nprocs !t_done (Session.rpc_retries sess)
+        (Session.rpc_timeouts sess) st.Net.dead_letters)
+    [ 0.0; 0.02; 0.05; 0.10 ];
+  (* (b) the EXPERIMENTS.md scenario: rank 6 (parent of 13 and 14) dies
+     before their flushes arrive and is marked down a second later; the
+     retransmits route through the healed parent and release the fence. *)
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:15 () in
+  ignore (Kvs.load sess () : Kvs.t array);
+  Session.crash sess 6;
+  ignore (Engine.schedule eng ~delay:1.0 (fun () -> Session.mark_down sess 6) : Engine.handle);
+  let released = ref 0 in
+  let t_done = ref 0.0 in
+  List.iter
+    (fun r ->
+      ignore
+        (Proc.spawn eng (fun () ->
+             let c = Client.connect sess ~rank:r in
+             (match Client.put c ~key:(Printf.sprintf "pd.%d" r) (Json.int r) with
+             | Ok () -> ()
+             | Error e -> failwith e);
+             match Client.fence c ~name:"bench-pdeath" ~nprocs:3 with
+             | Ok _ ->
+               incr released;
+               t_done := Float.max !t_done (Engine.now eng)
+             | Error _ -> ())
+          : Proc.pid))
+    [ 5; 13; 14 ];
+  Engine.run eng;
+  Printf.printf
+    "  parent death mid-fence: released %d/3 in %.3f s via the healed parent (retries %d, timeouts %d)\n%!"
+    !released !t_done (Session.rpc_retries sess) (Session.rpc_timeouts sess)
+
 (* --- Driver -------------------------------------------------------------------------- *)
 
 let experiments =
@@ -456,6 +523,7 @@ let experiments =
     ("ablate-sched", ablate_sched);
     ("ablate-fanout", ablate_fanout);
     ("ablate-shards", ablate_shards);
+    ("faults", faults);
     ("micro", micro);
   ]
 

@@ -1,1 +1,1 @@
-lib/cmb/session.ml: Array Flux_json Flux_sim Flux_trace Flux_util Fun Hashtbl List Message Printf String Topic
+lib/cmb/session.ml: Array Float Flux_json Flux_sim Flux_trace Flux_util Fun Hashtbl List Message Printf String Topic

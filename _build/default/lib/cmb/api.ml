@@ -14,27 +14,30 @@ let session t = t.sess
 
 let broker t = Session.broker t.sess t.r
 
-let rpc_async t ~topic payload ~reply =
+let rpc_async t ?timeout ?attempts ?idempotent ~topic payload ~reply =
   let eng = Session.engine t.sess in
   (* Model the UNIX-domain-socket hop in both directions. *)
   ignore
     (Engine.schedule eng ~delay:t.ipc (fun () ->
-         Session.request_up (broker t) ~topic payload ~reply:(fun r ->
+         Session.request_up (broker t) ?timeout ?attempts ?idempotent ~topic payload
+           ~reply:(fun r ->
              ignore (Engine.schedule eng ~delay:t.ipc (fun () -> reply r) : Engine.handle)))
       : Engine.handle)
 
-let rpc t ~topic payload =
+let rpc t ?timeout ?attempts ?idempotent ~topic payload =
   let iv = Ivar.create () in
   let eng = Session.engine t.sess in
-  rpc_async t ~topic payload ~reply:(fun r -> Ivar.fill eng iv r);
+  rpc_async t ?timeout ?attempts ?idempotent ~topic payload ~reply:(fun r ->
+      Ivar.fill eng iv r);
   Proc.await iv
 
-let rpc_rank t ~dst ~topic payload =
+let rpc_rank t ?timeout ?attempts ?idempotent ~dst ~topic payload =
   let iv = Ivar.create () in
   let eng = Session.engine t.sess in
   ignore
     (Engine.schedule eng ~delay:t.ipc (fun () ->
-         Session.rpc_rank (broker t) ~dst ~topic payload ~reply:(fun r ->
+         Session.rpc_rank (broker t) ?timeout ?attempts ?idempotent ~dst ~topic payload
+           ~reply:(fun r ->
              ignore
                (Engine.schedule eng ~delay:t.ipc (fun () -> Ivar.fill eng iv r)
                  : Engine.handle)))

@@ -13,14 +13,38 @@ val connect : Session.t -> rank:int -> t
 val rank : t -> int
 val session : t -> Session.t
 
-val rpc : t -> topic:string -> Flux_json.Json.t -> Session.reply
+val rpc :
+  t ->
+  ?timeout:float ->
+  ?attempts:int ->
+  ?idempotent:bool ->
+  topic:string ->
+  Flux_json.Json.t ->
+  Session.reply
 (** Blocking RPC injected at the local broker and routed upstream. Only
-    valid inside a process body. *)
+    valid inside a process body. Returns [Error "timeout"] if the
+    deadline (see {!Session.rpc_config}) expires; [timeout]/[attempts]/
+    [idempotent] are forwarded to {!Session.request_up}. *)
 
 val rpc_async :
-  t -> topic:string -> Flux_json.Json.t -> reply:(Session.reply -> unit) -> unit
+  t ->
+  ?timeout:float ->
+  ?attempts:int ->
+  ?idempotent:bool ->
+  topic:string ->
+  Flux_json.Json.t ->
+  reply:(Session.reply -> unit) ->
+  unit
 
-val rpc_rank : t -> dst:int -> topic:string -> Flux_json.Json.t -> Session.reply
+val rpc_rank :
+  t ->
+  ?timeout:float ->
+  ?attempts:int ->
+  ?idempotent:bool ->
+  dst:int ->
+  topic:string ->
+  Flux_json.Json.t ->
+  Session.reply
 (** Blocking rank-addressed RPC over the ring plane. *)
 
 val publish : t -> topic:string -> Flux_json.Json.t -> unit

@@ -9,6 +9,18 @@ type rank_topology = Ring | Direct
 
 type reply = (Json.t, string) result
 
+(* --- RPC lifecycle configuration ----------------------------------- *)
+
+type rpc_config = {
+  rpc_timeout : float;
+  rpc_attempts : int;
+  rpc_backoff_base : float;
+  rpc_backoff_cap : float;
+}
+
+let default_rpc_config =
+  { rpc_timeout = 2.0; rpc_attempts = 4; rpc_backoff_base = 0.05; rpc_backoff_cap = 1.0 }
+
 type handled = Consumed | Pass
 
 type module_instance = {
@@ -34,19 +46,34 @@ type t = {
   mutable parent : (t * int list) option; (* parent session + host ranks *)
   mutable children : t list; (* creation order, live only *)
   mutable destroyed : bool;
+  rpc : rpc_config;
+  mutable rpc_timeouts : int;
+  mutable rpc_retries : int;
 }
 
 and broker = {
   b_rank : int;
   b_session : t;
   mutable modules : module_instance list; (* in load order *)
-  pending : (int, reply -> unit) Hashtbl.t;
+  pending : (int, pending_rpc) Hashtbl.t;
   mutable subs : (string * (Message.t -> unit)) list;
   mutable last_seq : int;
   event_log : Message.t Ring_buffer.t;
   stashed : (int, Message.t) Hashtbl.t; (* out-of-order events by seq *)
   mutable resync_in_flight : bool;
   nonces : Idgen.t;
+}
+
+(* One in-flight RPC at its origin broker. The deadline timer is re-armed
+   on every retransmit; completing the RPC (response, timeout, or final
+   failure) cancels it and removes the table entry, so nothing dangles. *)
+and pending_rpc = {
+  pr_reply : reply -> unit;
+  mutable pr_timer : Engine.handle option;
+  mutable pr_sends : int;
+  pr_timeout : float;
+  pr_attempts : int; (* max total transmissions; 1 = no retry *)
+  pr_resend : (unit -> unit) option; (* re-route via the current topology *)
 }
 
 and module_factory = broker -> module_instance
@@ -142,6 +169,93 @@ let ring_next_live t from =
   in
   go from 0
 
+(* --- RPC deadlines and retransmission --------------------------------- *)
+
+let fresh_nonce b =
+  (* Nonces are unique per originating broker; responses are matched in
+     the origin broker's pending table only. Retransmits reuse the nonce
+     of the original send, so a late response to any attempt completes
+     the RPC and later duplicates are ignored. *)
+  Idgen.next_int b.nonces + 1
+
+let cancel_deadline pr =
+  match pr.pr_timer with
+  | Some h ->
+    Engine.cancel h;
+    pr.pr_timer <- None
+  | None -> ()
+
+let complete_pending b nonce r =
+  match Hashtbl.find_opt b.pending nonce with
+  | Some pr ->
+    Hashtbl.remove b.pending nonce;
+    cancel_deadline pr;
+    pr.pr_reply r
+  | None -> ()
+
+let rec arm_deadline b nonce pr =
+  if pr.pr_timeout < infinity then
+    pr.pr_timer <-
+      Some
+        (Engine.schedule b.b_session.eng ~delay:pr.pr_timeout (fun () ->
+             expire_pending b nonce pr))
+
+and expire_pending b nonce pr =
+  if Hashtbl.mem b.pending nonce then begin
+    pr.pr_timer <- None;
+    let t = b.b_session in
+    match pr.pr_resend with
+    | Some resend when pr.pr_sends < pr.pr_attempts ->
+      (* Exponential backoff, then retransmit through whatever topology
+         is in effect by then (a healed overlay routes via the new
+         parent). *)
+      let backoff =
+        Float.min t.rpc.rpc_backoff_cap
+          (t.rpc.rpc_backoff_base *. (2.0 ** float_of_int (pr.pr_sends - 1)))
+      in
+      pr.pr_timer <-
+        Some
+          (Engine.schedule t.eng ~delay:backoff (fun () ->
+               if Hashtbl.mem b.pending nonce then begin
+                 pr.pr_sends <- pr.pr_sends + 1;
+                 t.rpc_retries <- t.rpc_retries + 1;
+                 trace t ~name:"rpc.retry" ~rank:b.b_rank
+                   ~fields:[ ("attempt", Json.int pr.pr_sends) ]
+                   ();
+                 arm_deadline b nonce pr;
+                 resend ()
+               end))
+    | _ ->
+      Hashtbl.remove b.pending nonce;
+      t.rpc_timeouts <- t.rpc_timeouts + 1;
+      trace t ~name:"rpc.timeout" ~rank:b.b_rank ();
+      pr.pr_reply (Error "timeout")
+  end
+
+let register_pending b ~nonce ~timeout ~attempts ?resend reply =
+  let pr =
+    {
+      pr_reply = reply;
+      pr_timer = None;
+      pr_sends = 1;
+      pr_timeout = timeout;
+      pr_attempts = attempts;
+      pr_resend = resend;
+    }
+  in
+  Hashtbl.replace b.pending nonce pr;
+  arm_deadline b nonce pr
+
+let rpc_opts t ?timeout ?attempts ~idempotent () =
+  let timeout = match timeout with Some x -> x | None -> t.rpc.rpc_timeout in
+  let attempts =
+    match attempts with
+    | Some a when a < 1 -> invalid_arg "Session: rpc attempts must be >= 1"
+    | Some a -> a
+    | None -> if idempotent then t.rpc.rpc_attempts else 1
+  in
+  (timeout, attempts)
+
 (* --- Request routing ------------------------------------------------ *)
 
 let rec route_request b (msg : Message.t) =
@@ -169,16 +283,14 @@ and deliver_response b (resp : Message.t) =
          over the ring plane, so the response circulates forward around
          the ring to its origin. *)
       ring_forward b { resp with Message.dst = Some resp.Message.origin }
-    else begin
-      (* Route exhausted at the origin: complete the local RPC. *)
-      match Hashtbl.find_opt b.pending resp.Message.nonce with
-      | Some cb ->
-        Hashtbl.remove b.pending resp.Message.nonce;
+    else
+      (* Route exhausted at the origin: complete the local RPC. A
+         duplicate response (from a retransmitted request) finds no
+         pending entry and is dropped here. *)
+      complete_pending b resp.Message.nonce
         (match resp.Message.error with
-        | Some e -> cb (Error e)
-        | None -> cb (Ok resp.Message.payload))
-      | None -> ()
-    end
+        | Some e -> Error e
+        | None -> Ok resp.Message.payload)
 
 and ring_forward b msg =
   match b.b_session.rank_topo with
@@ -196,50 +308,58 @@ and ring_forward b msg =
 let respond b req payload = deliver_response b (Message.response ~of_:req payload)
 let respond_error b req err = deliver_response b (Message.error_response ~of_:req err)
 
-let fresh_nonce b =
-  (* Nonces are unique per originating broker; responses are matched in
-     the origin broker's pending table only. *)
-  Idgen.next_int b.nonces + 1
-
-let request_up b ~topic payload ~reply =
-  let nonce = fresh_nonce b in
+let request_up b ?timeout ?attempts ?(idempotent = false) ~topic payload ~reply =
+  let t = b.b_session in
+  let timeout, attempts = rpc_opts t ?timeout ?attempts ~idempotent () in
   let reply =
-    match b.b_session.tracer with
+    match t.tracer with
     | None -> reply
     | Some _ ->
-      let t0 = Engine.now b.b_session.eng in
+      let t0 = Engine.now t.eng in
       fun r ->
-        trace b.b_session ~name:"rpc.done" ~rank:b.b_rank
+        trace t ~name:"rpc.done" ~rank:b.b_rank
           ~fields:
             [
               ("topic", Json.string topic);
-              ("dur", Json.float (Engine.now b.b_session.eng -. t0));
+              ("dur", Json.float (Engine.now t.eng -. t0));
               ("ok", Json.bool (match r with Ok _ -> true | Error _ -> false));
             ]
           ();
         reply r
   in
-  Hashtbl.replace b.pending nonce reply;
-  route_request b (Message.request ~topic ~origin:b.b_rank ~nonce payload)
-
-let request_from_module b ~topic payload ~reply =
   let nonce = fresh_nonce b in
-  Hashtbl.replace b.pending nonce reply;
-  forward_up b (Message.request ~topic ~origin:b.b_rank ~nonce payload)
+  let msg = Message.request ~topic ~origin:b.b_rank ~nonce payload in
+  let resend = if attempts > 1 then Some (fun () -> route_request b msg) else None in
+  register_pending b ~nonce ~timeout ~attempts ?resend reply;
+  route_request b msg
+
+let request_from_module b ?timeout ?attempts ?(idempotent = false) ~topic payload ~reply =
+  let timeout, attempts = rpc_opts b.b_session ?timeout ?attempts ~idempotent () in
+  let nonce = fresh_nonce b in
+  let msg = Message.request ~topic ~origin:b.b_rank ~nonce payload in
+  let resend = if attempts > 1 then Some (fun () -> forward_up b msg) else None in
+  register_pending b ~nonce ~timeout ~attempts ?resend reply;
+  forward_up b msg
 
 (* --- Ring plane ------------------------------------------------------ *)
 
-let rec rpc_rank b ~dst ~topic payload ~reply =
+let rec rpc_rank b ?timeout ?attempts ?(idempotent = false) ~dst ~topic payload ~reply =
+  let timeout, attempts = rpc_opts b.b_session ?timeout ?attempts ~idempotent () in
   let nonce = fresh_nonce b in
-  Hashtbl.replace b.pending nonce reply;
   let msg = Message.request ~dst ~topic ~origin:b.b_rank ~nonce payload in
-  if dst = b.b_rank then
-    (* Loop-back: deliver to the local module directly. *)
-    ignore
-      (Engine.schedule b.b_session.eng ~delay:(Net.config b.b_session.ring_net).Net.local_delivery
-         (fun () -> handle_ring_arrival b msg)
-        : Engine.handle)
-  else ring_forward b msg
+  let transmit () =
+    if dst = b.b_rank then
+      (* Loop-back: deliver to the local module directly. *)
+      ignore
+        (Engine.schedule b.b_session.eng
+           ~delay:(Net.config b.b_session.ring_net).Net.local_delivery (fun () ->
+             handle_ring_arrival b msg)
+          : Engine.handle)
+    else ring_forward b msg
+  in
+  let resend = if attempts > 1 then Some transmit else None in
+  register_pending b ~nonce ~timeout ~attempts ?resend reply;
+  transmit ()
 
 and handle_ring_arrival b (msg : Message.t) =
   match msg.Message.kind with
@@ -303,7 +423,10 @@ and drain_stash b =
 and request_resync b =
   if not b.resync_in_flight then begin
     b.resync_in_flight <- true;
-    request_from_module b ~topic:"cmb.resync"
+    (* Resync is a pure read of the parent's event log: safe to
+       retransmit, and a timeout clears [resync_in_flight] so a later
+       gap can trigger a fresh attempt. *)
+    request_from_module b ~idempotent:true ~topic:"cmb.resync"
       (Json.obj [ ("from", Json.int (b.last_seq + 1)) ])
       ~reply:(fun r ->
         b.resync_in_flight <- false;
@@ -389,7 +512,8 @@ let cmb_module b =
 
 (* --- Session construction --------------------------------------------- *)
 
-let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring) ~size () =
+let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring)
+    ?(rpc_config = default_rpc_config) ~size () =
   if size <= 0 then invalid_arg "Session.create: size must be positive";
   if fanout < 2 then invalid_arg "Session.create: fanout must be >= 2";
   let mk_net () =
@@ -415,6 +539,9 @@ let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring) ~size () =
       parent = None;
       children = [];
       destroyed = false;
+      rpc = rpc_config;
+      rpc_timeouts = 0;
+      rpc_retries = 0;
     }
   in
   t.brokers <-
@@ -477,13 +604,11 @@ let create_child parent ?fanout ?rank_topology ~nodes () =
       if parent.down.(r) then
         invalid_arg (Printf.sprintf "Session.create_child: parent rank %d is down" r))
     nodes;
+  let fanout = match fanout with Some k -> k | None -> 2 in
+  let rank_topology = match rank_topology with Some rt -> rt | None -> Ring in
   let child =
-    match (fanout, rank_topology) with
-    | Some k, Some rt ->
-      create parent.eng ~fanout:k ~rank_topology:rt ~size:(List.length nodes) ()
-    | Some k, None -> create parent.eng ~fanout:k ~size:(List.length nodes) ()
-    | None, Some rt -> create parent.eng ~rank_topology:rt ~size:(List.length nodes) ()
-    | None, None -> create parent.eng ~size:(List.length nodes) ()
+    create parent.eng ~fanout ~rank_topology ~rpc_config:parent.rpc
+      ~size:(List.length nodes) ()
   in
   child.parent <- Some (parent, nodes);
   parent.children <- child :: parent.children;
@@ -531,6 +656,14 @@ let mark_down t r =
   end
 
 (* --- Accounting --------------------------------------------------------- *)
+
+let rpc_timeouts t = t.rpc_timeouts
+let rpc_retries t = t.rpc_retries
+let pending_rpc_count t r = Hashtbl.length t.brokers.(r).pending
+
+let rpc_net t = t.rpc_net
+let event_net t = t.event_net
+let ring_net t = t.ring_net
 
 let rpc_net_stats t = Net.stats t.rpc_net
 let event_net_stats t = Net.stats t.event_net

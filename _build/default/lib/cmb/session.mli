@@ -36,6 +36,32 @@ type module_instance = {
 
 type module_factory = broker -> module_instance
 
+(** {1 RPC lifecycle configuration}
+
+    Every RPC registered in a broker's pending table carries a deadline
+    scheduled on the engine: if no response arrives in time the
+    continuation fires with [Error "timeout"] and the table entry is
+    removed, so requests addressed to a rank that dies in flight never
+    dangle. Idempotent requests are additionally retransmitted (same
+    nonce, so duplicate responses are ignored) with exponential backoff,
+    re-routed through whatever topology is in effect at retransmit time
+    — a slave whose parent died retries through its new parent once the
+    overlay heals. *)
+
+type rpc_config = {
+  rpc_timeout : float;  (** per-attempt deadline, seconds; [infinity]
+                            disables the timer (for RPCs that block by
+                            design, e.g. a fence) *)
+  rpc_attempts : int;  (** default max transmissions for idempotent
+                           requests; non-idempotent requests always use 1 *)
+  rpc_backoff_base : float;  (** delay before the first retransmit *)
+  rpc_backoff_cap : float;  (** upper bound on the backoff delay *)
+}
+
+val default_rpc_config : rpc_config
+(** 2 s per-attempt timeout, 4 attempts, 50 ms base backoff doubling up
+    to a 1 s cap. *)
+
 (** {1 Session lifecycle} *)
 
 type rank_topology =
@@ -49,12 +75,14 @@ val create :
   ?net_config:Flux_sim.Net.config ->
   ?fanout:int ->
   ?rank_topology:rank_topology ->
+  ?rpc_config:rpc_config ->
   size:int ->
   unit ->
   t
 (** [create eng ~size ()] wires up a session of [size] brokers with the
-    given RPC-tree fan-out (default 2, the paper's binary tree) and
-    rank-addressed overlay topology (default {!Ring}). *)
+    given RPC-tree fan-out (default 2, the paper's binary tree),
+    rank-addressed overlay topology (default {!Ring}), and RPC deadline
+    policy (default {!default_rpc_config}). *)
 
 val engine : t -> Flux_sim.Engine.t
 val size : t -> int
@@ -87,18 +115,46 @@ val respond : broker -> Message.t -> Flux_json.Json.t -> unit
 val respond_error : broker -> Message.t -> string -> unit
 
 val request_up :
-  broker -> topic:string -> Flux_json.Json.t -> reply:(reply -> unit) -> unit
+  broker ->
+  ?timeout:float ->
+  ?attempts:int ->
+  ?idempotent:bool ->
+  topic:string ->
+  Flux_json.Json.t ->
+  reply:(reply -> unit) ->
+  unit
 (** Inject a request at this broker destined upstream: local modules are
-    consulted first, then it ascends hop by hop. *)
+    consulted first, then it ascends hop by hop. [reply] always fires
+    exactly once: with the response, or with [Error "timeout"] after the
+    deadline (and any retransmits) are exhausted. [timeout] and
+    [attempts] override the session {!rpc_config}; [idempotent] (default
+    [false]) opts into retransmission with the configured attempt
+    budget. *)
 
 val request_from_module :
-  broker -> topic:string -> Flux_json.Json.t -> reply:(reply -> unit) -> unit
+  broker ->
+  ?timeout:float ->
+  ?attempts:int ->
+  ?idempotent:bool ->
+  topic:string ->
+  Flux_json.Json.t ->
+  reply:(reply -> unit) ->
+  unit
 (** Like {!request_up} but skips this broker's own modules — used by a
     module instance forwarding aggregated work toward its upstream peer. *)
 
 val rpc_rank :
-  broker -> dst:int -> topic:string -> Flux_json.Json.t -> reply:(reply -> unit) -> unit
-(** Rank-addressed RPC over the ring plane. *)
+  broker ->
+  ?timeout:float ->
+  ?attempts:int ->
+  ?idempotent:bool ->
+  dst:int ->
+  topic:string ->
+  Flux_json.Json.t ->
+  reply:(reply -> unit) ->
+  unit
+(** Rank-addressed RPC over the ring plane. Deadline semantics as in
+    {!request_up}. *)
 
 val publish : broker -> topic:string -> Flux_json.Json.t -> unit
 (** Publish an event: it ascends to the session root, receives a session
@@ -169,6 +225,23 @@ val set_tracer : t -> Flux_trace.Tracer.t option -> unit
     [heal]/[mark_down] on topology changes. *)
 
 (** {1 Accounting} *)
+
+val rpc_timeouts : t -> int
+(** RPCs that completed with [Error "timeout"] across all brokers. *)
+
+val rpc_retries : t -> int
+(** Retransmissions performed across all brokers. *)
+
+val pending_rpc_count : t -> int -> int
+(** In-flight RPCs registered at one rank's broker (dangling entries
+    would show up here). *)
+
+val rpc_net : t -> Message.t Flux_sim.Net.t
+(** The RPC-tree fabric — exposed so tests and benchmarks can inject
+    faults ({!Flux_sim.Net.set_loss}, {!Flux_sim.Net.cut_link}, ...). *)
+
+val event_net : t -> Message.t Flux_sim.Net.t
+val ring_net : t -> Message.t Flux_sim.Net.t
 
 val rpc_net_stats : t -> Flux_sim.Net.stats
 val event_net_stats : t -> Flux_sim.Net.stats

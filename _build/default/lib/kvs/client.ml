@@ -35,7 +35,12 @@ let put t ~key v =
   | Error e -> Error e
 
 let get t ~key =
-  match Api.rpc t.api ~topic:"kvs.get" (Json.obj [ ("key", Json.string key) ]) with
+  (* Reads are side-effect free: retransmit on timeout so a parent dying
+     mid-get resolves through the healed topology. *)
+  match
+    Api.rpc t.api ~idempotent:true ~topic:"kvs.get"
+      (Json.obj [ ("key", Json.string key) ])
+  with
   | Ok payload -> Ok (Proto.load_reply_value payload)
   | Error e -> Error e
 
@@ -57,9 +62,10 @@ let commit t =
 
 let fence t ~name ~nprocs =
   let tuples = List.rev t.pending in
+  (* A fence blocks until all [nprocs] participants enter: no deadline. *)
   match
     version_reply
-      (Api.rpc t.api ~topic:"kvs.fence"
+      (Api.rpc t.api ~timeout:infinity ~topic:"kvs.fence"
          (Json.obj
             [
               ("name", Json.string name);
@@ -72,11 +78,14 @@ let fence t ~name ~nprocs =
     Ok v
   | Error e -> Error e
 
-let get_version t = version_reply (Api.rpc t.api ~topic:"kvs.getversion" Json.null)
+let get_version t =
+  version_reply (Api.rpc t.api ~idempotent:true ~topic:"kvs.getversion" Json.null)
 
 let wait_version t v =
+  (* Blocks until the store reaches version [v]: no deadline. *)
   unit_reply
-    (Api.rpc t.api ~topic:"kvs.waitversion" (Json.obj [ ("version", Json.int v) ]))
+    (Api.rpc t.api ~timeout:infinity ~topic:"kvs.waitversion"
+       (Json.obj [ ("version", Json.int v) ]))
 
 (* Watches re-get the key on every root update; because of the hash-tree
    organization a watched directory changes whenever any key beneath it

@@ -55,6 +55,15 @@ type routing = {
   rt_direct : bool;
 }
 
+(* Receiver-side duplicate suppression for retransmitted flushes.  The
+   first arrival of ([origin], [fid]) registers an entry; retransmits
+   that land while the original is still being processed wait on it, and
+   retransmits after completion get the recorded result. *)
+type flush_dup = {
+  mutable fd_result : (Json.t, string) result option;
+  mutable fd_waiting : Message.t list;
+}
+
 type t = {
   b : Session.broker;
   cfg : config;
@@ -72,6 +81,8 @@ type t = {
   mutable version_waiters : (int * Message.t) list;
   dir_index : (string, (string, Json.t) Hashtbl.t) Hashtbl.t;
   mutable cpu_free_at : float; (* serializes local put hashing *)
+  mutable next_fid : int; (* stamps outgoing flushes for dedup *)
+  flush_seen : (int * int, flush_dup) Hashtbl.t; (* (origin, fid) *)
   mutable bytes_held : int;
   mutable n_loads_issued : int;
   mutable tracer : Flux_trace.Tracer.t option;
@@ -149,13 +160,68 @@ let find_entry t sha dir name =
 
 (* Upstream transport: the session's RPC tree by default, or a direct
    rank-addressed hop along the volume's relabeled tree. *)
-let send_up t ~method_ payload ~reply =
+let send_up t ?timeout ?attempts ?idempotent ~method_ payload ~reply =
   let topic = t.routing.rt_service ^ "." ^ method_ in
   if t.routing.rt_direct then
     match t.routing.rt_parent () with
-    | Some p -> Session.rpc_rank t.b ~dst:p ~topic payload ~reply
+    | Some p ->
+      Session.rpc_rank t.b ?timeout ?attempts ?idempotent ~dst:p ~topic payload ~reply
     | None -> reply (Error (t.routing.rt_service ^ ": master has no parent"))
-  else Session.request_from_module t.b ~topic payload ~reply
+  else Session.request_from_module t.b ?timeout ?attempts ?idempotent ~topic payload ~reply
+
+(* --- Flush duplicate suppression ---------------------------------------- *)
+
+let fresh_fid t =
+  let fid = t.next_fid in
+  t.next_fid <- t.next_fid + 1;
+  fid
+
+(* A flush may be retransmitted with the same fid while the first copy is
+   in flight (the response was lost, or the fence it joined is slow), so
+   applying it must be keyed on ([origin], [fid]).  [flush_dup_key]
+   extracts that key from any request that carries one. *)
+let flush_dup_key (req : Message.t) =
+  if String.equal (Topic.method_ req.Message.topic) "flush" then begin
+    match Json.member_opt "fid" req.Message.payload with
+    | Some fj -> Some (req.Message.origin, Json.to_int fj)
+    | None -> None
+  end
+  else None
+
+(* Drop completed dedup entries when the table grows large; in-flight
+   entries (waiters still queued) are kept so retransmits keep folding
+   into the original request. *)
+let flush_seen_compact t =
+  if Hashtbl.length t.flush_seen > 8192 then begin
+    let stale =
+      Hashtbl.fold
+        (fun key d acc ->
+          if d.fd_result <> None && d.fd_waiting = [] then key :: acc else acc)
+        t.flush_seen []
+    in
+    List.iter (Hashtbl.remove t.flush_seen) stale
+  end
+
+(* Respond to [req] and, if it carries a dedup key, record the result so
+   retransmits that arrived meanwhile (or arrive later) are answered
+   without being re-applied. *)
+let respond_result t (req : Message.t) result =
+  let answer q =
+    match result with
+    | Ok payload -> Session.respond t.b q payload
+    | Error e -> Session.respond_error t.b q e
+  in
+  answer req;
+  match flush_dup_key req with
+  | None -> ()
+  | Some key -> (
+    match Hashtbl.find_opt t.flush_seen key with
+    | Some d ->
+      d.fd_result <- Some result;
+      let waiting = d.fd_waiting in
+      d.fd_waiting <- [];
+      List.iter answer waiting
+    | None -> ())
 
 (* --- Fault-in with coalescing ------------------------------------------- *)
 
@@ -166,7 +232,9 @@ let fault_in t sha k =
   | None ->
     Hashtbl.replace t.pending_loads h (ref [ k ]);
     t.n_loads_issued <- t.n_loads_issued + 1;
-    send_up t ~method_:"load" (Proto.load_request sha)
+    (* Loads are pure reads: retransmit on timeout so a parent dying
+       mid-load resolves through the healed topology. *)
+    send_up t ~idempotent:true ~method_:"load" (Proto.load_request sha)
       ~reply:(fun r ->
         let outcome =
           match r with
@@ -226,7 +294,7 @@ let master_apply t ~tuples ~objects ~respond_to =
       t.root <- new_root
     end;
     let payload = Proto.commit_reply ~version:t.version ~root:t.root in
-    List.iter (fun req -> Session.respond t.b req payload) respond_to;
+    List.iter (fun req -> respond_result t req (Ok payload)) respond_to;
     if ntuples > 0 then
       Session.publish t.b ~topic:(t.routing.rt_service ^ ".setroot") payload;
     (* Wake local wait_version callers. *)
@@ -341,15 +409,18 @@ let rec fence_forward t name fs =
   fs.fs_pending <- [];
   let payload =
     Proto.flush_to_json
-      { Proto.fence = Some (name, fs.fs_nprocs); count; tuples; objects }
+      { Proto.fence = Some (name, fs.fs_nprocs); count; fid = fresh_fid t; tuples; objects }
   in
-  send_up t ~method_:"flush" payload ~reply:(fun r ->
+  (* The reply blocks until the whole fence completes, so the deadline
+     must cover a slow collective; the fid lets the parent suppress the
+     duplicate contribution if an attempt's response is lost. *)
+  send_up t ~timeout:30.0 ~idempotent:true ~method_:"flush" payload ~reply:(fun r ->
       (match r with
       | Ok reply ->
         let v, root = Proto.commit_reply_decode reply in
         apply_root t ~version:v ~root;
-        List.iter (fun req -> Session.respond t.b req reply) pending
-      | Error e -> List.iter (fun req -> Session.respond_error t.b req e) pending);
+        List.iter (fun req -> respond_result t req (Ok reply)) pending
+      | Error e -> List.iter (fun req -> respond_result t req (Error e)) pending);
       if fs.fs_count = 0 && fs.fs_pending = [] then Hashtbl.remove t.fences name)
 
 (* Forwarding policy: forward as soon as the subtree is known complete;
@@ -471,8 +542,11 @@ let handle_commit t (req : Message.t) =
   let objects = resolve_objects t tuples in
   if t.master then master_apply t ~tuples ~objects ~respond_to:[ req ]
   else
-    let payload = Proto.flush_to_json { Proto.fence = None; count = 0; tuples; objects } in
-    send_up t ~method_:"flush" payload ~reply:(fun r ->
+    let payload =
+      Proto.flush_to_json
+        { Proto.fence = None; count = 0; fid = fresh_fid t; tuples; objects }
+    in
+    send_up t ~idempotent:true ~method_:"flush" payload ~reply:(fun r ->
         match r with
         | Ok reply ->
           let v, root = Proto.commit_reply_decode reply in
@@ -508,8 +582,12 @@ let handle_mput t (req : Message.t) =
   let tuples = List.rev tuples and objects = List.rev objects in
   if t.master then master_apply t ~tuples ~objects ~respond_to:[ req ]
   else
-    let payload = Proto.flush_to_json { Proto.fence = None; count = 0; tuples; objects } in
-    Session.request_from_module t.b ~topic:"kvs.flush" payload ~reply:(fun r ->
+    let payload =
+      Proto.flush_to_json
+        { Proto.fence = None; count = 0; fid = fresh_fid t; tuples; objects }
+    in
+    Session.request_from_module t.b ~idempotent:true ~topic:"kvs.flush" payload
+      ~reply:(fun r ->
         match r with
         | Ok reply ->
           let v, root = Proto.commit_reply_decode reply in
@@ -517,29 +595,55 @@ let handle_mput t (req : Message.t) =
           Session.respond t.b req reply
         | Error e -> Session.respond_error t.b req e)
 
+(* Retransmitted flushes must be applied exactly once: the first arrival
+   of an ([origin], [fid]) pair registers a dedup entry and is processed;
+   later copies are answered from the recorded result, or queued behind
+   the in-flight original. Returns [true] when [req] was a duplicate. *)
+let flush_duplicate t (req : Message.t) fid =
+  fid >= 0
+  &&
+  let key = (req.Message.origin, fid) in
+  match Hashtbl.find_opt t.flush_seen key with
+  | Some d ->
+    (match d.fd_result with
+    | Some (Ok payload) -> Session.respond t.b req payload
+    | Some (Error e) -> Session.respond_error t.b req e
+    | None -> d.fd_waiting <- req :: d.fd_waiting);
+    true
+  | None ->
+    flush_seen_compact t;
+    Hashtbl.replace t.flush_seen key { fd_result = None; fd_waiting = [] };
+    false
+
 let handle_flush t (req : Message.t) =
   let f = Proto.flush_of_json req.Message.payload in
-  (* [origin] is the rank of the child kvs instance that forwarded. *)
-  let from_child = Some req.Message.origin in
-  match f.Proto.fence with
-  | Some (name, nprocs) ->
-    fence_contribute t ~name ~nprocs ~count:f.Proto.count ~tuples:f.Proto.tuples
-      ~objects:f.Proto.objects ~from_child (Some req)
-  | None ->
-    if t.master then
-      master_apply t ~tuples:f.Proto.tuples ~objects:f.Proto.objects ~respond_to:[ req ]
-    else begin
-      (* Plain commit: write objects through this cache and forward. *)
-      List.iter (fun (o : Proto.obj) -> cache_put t o.Proto.osha o.Proto.value) f.Proto.objects;
-      send_up t ~method_:"flush" req.Message.payload
-        ~reply:(fun r ->
-          match r with
-          | Ok reply ->
-            let v, root = Proto.commit_reply_decode reply in
-            apply_root t ~version:v ~root;
-            Session.respond t.b req reply
-          | Error e -> Session.respond_error t.b req e)
-    end
+  if not (flush_duplicate t req f.Proto.fid) then begin
+    (* [origin] is the rank of the child kvs instance that forwarded. *)
+    let from_child = Some req.Message.origin in
+    match f.Proto.fence with
+    | Some (name, nprocs) ->
+      fence_contribute t ~name ~nprocs ~count:f.Proto.count ~tuples:f.Proto.tuples
+        ~objects:f.Proto.objects ~from_child (Some req)
+    | None ->
+      if t.master then
+        master_apply t ~tuples:f.Proto.tuples ~objects:f.Proto.objects ~respond_to:[ req ]
+      else begin
+        (* Plain commit: write objects through this cache and forward.
+           Re-stamp with this instance's own fid — the child's fid is only
+           unique per sender, and the next hop sees this rank as origin. *)
+        List.iter
+          (fun (o : Proto.obj) -> cache_put t o.Proto.osha o.Proto.value)
+          f.Proto.objects;
+        let fwd = Proto.flush_to_json { f with Proto.fid = fresh_fid t } in
+        send_up t ~idempotent:true ~method_:"flush" fwd ~reply:(fun r ->
+            match r with
+            | Ok reply ->
+              let v, root = Proto.commit_reply_decode reply in
+              apply_root t ~version:v ~root;
+              respond_result t req (Ok reply)
+            | Error e -> respond_result t req (Error e))
+      end
+  end
 
 let handle_getversion t (req : Message.t) =
   Session.respond t.b req (Json.obj [ ("version", Json.int t.version) ])
@@ -583,11 +687,17 @@ let create_instance cfg ?routing b =
       version_waiters = [];
       dir_index = Hashtbl.create 16;
       cpu_free_at = 0.0;
+      next_fid = 0;
+      flush_seen = Hashtbl.create 64;
       bytes_held = 0;
       n_loads_issued = 0;
       tracer = None;
     }
   in
+  (* Evicted cache entries must release their accounted bytes, or
+     [bytes_held] creeps upward forever on a busy slave. *)
+  Lru.set_on_evict t.cache (fun _h v ->
+      t.bytes_held <- t.bytes_held - Json.serialized_size v);
   (* Seed the empty root directory everywhere. *)
   cache_put t Tree.empty_dir_sha Tree.empty_dir;
   t

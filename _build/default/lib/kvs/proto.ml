@@ -8,6 +8,7 @@ type obj = { osha : Sha1.digest; value : Json.t }
 type flush = {
   fence : (string * int) option;
   count : int;
+  fid : int; (* per-sender flush id for duplicate suppression; -1 = none *)
   tuples : tuple list;
   objects : obj list;
 }
@@ -32,16 +33,17 @@ let obj_of_json j =
 
 let flush_to_json f =
   Json.obj
-    [
-      ( "fence",
-        match f.fence with
-        | Some (name, nprocs) ->
-          Json.obj [ ("name", Json.string name); ("nprocs", Json.int nprocs) ]
-        | None -> Json.null );
-      ("count", Json.int f.count);
-      ("tuples", Json.list (List.map tuple_to_json f.tuples));
-      ("objects", Json.list (List.map obj_to_json f.objects));
-    ]
+    (( "fence",
+       match f.fence with
+       | Some (name, nprocs) ->
+         Json.obj [ ("name", Json.string name); ("nprocs", Json.int nprocs) ]
+       | None -> Json.null )
+    :: ("count", Json.int f.count)
+    :: (if f.fid >= 0 then [ ("fid", Json.int f.fid) ] else [])
+    @ [
+        ("tuples", Json.list (List.map tuple_to_json f.tuples));
+        ("objects", Json.list (List.map obj_to_json f.objects));
+      ])
 
 let flush_of_json j =
   {
@@ -53,6 +55,7 @@ let flush_of_json j =
           ( Json.to_string_v (Json.member "name" fj),
             Json.to_int (Json.member "nprocs" fj) ));
     count = Json.to_int (Json.member "count" j);
+    fid = (match Json.member_opt "fid" j with Some f -> Json.to_int f | None -> -1);
     tuples = List.map tuple_of_json (Json.to_list (Json.member "tuples" j));
     objects = List.map obj_of_json (Json.to_list (Json.member "objects" j));
   }

@@ -15,6 +15,9 @@ type obj = { osha : Sha1.digest; value : Json.t }
 type flush = {
   fence : (string * int) option;  (** fence name and nprocs, [None] = plain commit *)
   count : int;  (** fence contributions aggregated into this message *)
+  fid : int;  (** per-sender flush id: receivers suppress duplicates of
+                  ([origin], [fid]) so retransmitted flushes are applied
+                  exactly once; [-1] disables dedup *)
   tuples : tuple list;
   objects : obj list;
 }

@@ -13,6 +13,13 @@ type barrier_state = {
   bs_nprocs : int;
 }
 
+(* Receiver-side duplicate suppression for retransmitted aggregate
+   enters, keyed ([origin], [bid]); mirrors the KVS flush dedup. *)
+type enter_dup = {
+  mutable ed_result : (Json.t, string) result option;
+  mutable ed_waiting : Message.t list;
+}
+
 type t = {
   b : Session.broker;
   eng : Engine.t;
@@ -20,6 +27,8 @@ type t = {
   master : bool;
   states : (string, barrier_state) Hashtbl.t;
   master_counts : (string, int * Message.t list) Hashtbl.t;
+  mutable next_bid : int; (* stamps forwarded aggregates for dedup *)
+  seen : (int * int, enter_dup) Hashtbl.t; (* (origin, bid) *)
   mutable total_enters : int;
 }
 
@@ -42,19 +51,50 @@ let state_get t name nprocs =
     Hashtbl.replace t.states name s;
     s
 
+(* Respond to [req] and, if it was a deduplicated aggregate, record the
+   result so retransmits are answered without being re-counted. *)
+let respond_enter t (req : Message.t) result =
+  let answer q =
+    match result with
+    | Ok payload -> Session.respond t.b q payload
+    | Error e -> Session.respond_error t.b q e
+  in
+  answer req;
+  match Json.member_opt "bid" req.Message.payload with
+  | None -> ()
+  | Some bj -> (
+    match Hashtbl.find_opt t.seen (req.Message.origin, Json.to_int bj) with
+    | Some d ->
+      d.ed_result <- Some result;
+      let waiting = d.ed_waiting in
+      d.ed_waiting <- [];
+      List.iter answer waiting
+    | None -> ())
+
 let forward t name s =
   let count = s.bs_count in
   let pending = s.bs_pending in
   s.bs_count <- 0;
   s.bs_pending <- [];
+  let bid = t.next_bid in
+  t.next_bid <- t.next_bid + 1;
   let payload =
     Json.obj
-      [ ("name", Json.string name); ("nprocs", Json.int s.bs_nprocs); ("count", Json.int count) ]
+      [
+        ("name", Json.string name);
+        ("nprocs", Json.int s.bs_nprocs);
+        ("count", Json.int count);
+        ("bid", Json.int bid);
+      ]
   in
-  Session.request_from_module t.b ~topic:"barrier.enter" payload ~reply:(fun r ->
+  (* The reply blocks until the whole barrier completes, so the deadline
+     must cover a slow collective; the bid lets the parent suppress the
+     duplicate count if an attempt's response is lost. *)
+  Session.request_from_module t.b ~timeout:30.0 ~idempotent:true ~topic:"barrier.enter"
+    payload ~reply:(fun r ->
       (match r with
-      | Ok _ -> List.iter (fun req -> Session.respond t.b req Json.null) pending
-      | Error e -> List.iter (fun req -> Session.respond_error t.b req e) pending);
+      | Ok _ -> List.iter (fun req -> respond_enter t req (Ok Json.null)) pending
+      | Error e -> List.iter (fun req -> respond_enter t req (Error e)) pending);
       if s.bs_count = 0 && s.bs_pending = [] then Hashtbl.remove t.states name)
 
 let rec check_ready t name s =
@@ -88,7 +128,7 @@ let master_contribute t name nprocs count req =
   in
   if total >= nprocs then begin
     Hashtbl.remove t.master_counts name;
-    List.iter (fun r -> Session.respond t.b r Json.null) pending;
+    List.iter (fun r -> respond_enter t r (Ok Json.null)) pending;
     Session.publish t.b ~topic:"barrier.exit" (Json.obj [ ("name", Json.string name) ])
   end
   else Hashtbl.replace t.master_counts name (total, pending)
@@ -116,17 +156,35 @@ let module_of t =
         (match Topic.method_ req.Message.topic with
         | "enter" ->
           let p = req.Message.payload in
-          let name = Json.to_string_v (Json.member "name" p) in
-          let nprocs = Json.to_int (Json.member "nprocs" p) in
-          let count =
-            match Json.member_opt "count" p with Some c -> Json.to_int c | None -> 1
+          let duplicate =
+            match Json.member_opt "bid" p with
+            | None -> false
+            | Some bj -> (
+              let key = (req.Message.origin, Json.to_int bj) in
+              match Hashtbl.find_opt t.seen key with
+              | Some d ->
+                (match d.ed_result with
+                | Some (Ok payload) -> Session.respond t.b req payload
+                | Some (Error e) -> Session.respond_error t.b req e
+                | None -> d.ed_waiting <- req :: d.ed_waiting);
+                true
+              | None ->
+                Hashtbl.replace t.seen key { ed_result = None; ed_waiting = [] };
+                false)
           in
-          let from_child =
-            (* Aggregated contributions come from a child instance; a
-               client enter originates at this very rank. *)
-            if req.Message.origin = Session.rank t.b then None else Some req.Message.origin
-          in
-          contribute t ~name ~nprocs ~count ~from_child req
+          if not duplicate then begin
+            let name = Json.to_string_v (Json.member "name" p) in
+            let nprocs = Json.to_int (Json.member "nprocs" p) in
+            let count =
+              match Json.member_opt "count" p with Some c -> Json.to_int c | None -> 1
+            in
+            let from_child =
+              (* Aggregated contributions come from a child instance; a
+                 client enter originates at this very rank. *)
+              if req.Message.origin = Session.rank t.b then None else Some req.Message.origin
+            in
+            contribute t ~name ~nprocs ~count ~from_child req
+          end
         | m -> Session.respond_error t.b req (Printf.sprintf "barrier: unknown method %S" m));
         Session.Consumed);
     on_event = (fun _ -> ());
@@ -143,6 +201,8 @@ let load sess ?(window = 200e-6) () =
           master = r = 0;
           states = Hashtbl.create 8;
           master_counts = Hashtbl.create 8;
+          next_bid = 0;
+          seen = Hashtbl.create 16;
           total_enters = 0;
         })
   in
@@ -150,8 +210,9 @@ let load sess ?(window = 200e-6) () =
   instances
 
 let enter api ~name ~nprocs =
+  (* A barrier blocks until all [nprocs] participants enter: no deadline. *)
   match
-    Flux_cmb.Api.rpc api ~topic:"barrier.enter"
+    Flux_cmb.Api.rpc api ~timeout:infinity ~topic:"barrier.enter"
       (Json.obj [ ("name", Json.string name); ("nprocs", Json.int nprocs) ])
   with
   | Ok _ -> Ok ()

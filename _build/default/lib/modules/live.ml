@@ -21,7 +21,11 @@ let send_hello t epoch =
   match Session.tree_parent t.b with
   | None -> ()
   | Some _ ->
-    Session.request_from_module t.b ~topic:"live.hello"
+    (* A hello unanswered for two heartbeat periods is stale — the next
+       pulse carries a fresh epoch anyway, so bound the deadline rather
+       than retransmit and let the pending entry be reclaimed. *)
+    Session.request_from_module t.b ~timeout:(2.0 *. t.period) ~attempts:1
+      ~topic:"live.hello"
       (Json.obj [ ("rank", Json.int (Session.rank t.b)); ("epoch", Json.int epoch) ])
       ~reply:(fun _ -> ())
 

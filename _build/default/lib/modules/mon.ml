@@ -87,7 +87,9 @@ let forward t epoch a =
       | None -> ()
     end
     else
-      Session.request_from_module t.b ~topic:"mon.reduce"
+      (* Safe to retransmit: the parent folds at most one contribution
+         per (child, epoch) — see the [heard] guard in [contribute]. *)
+      Session.request_from_module t.b ~idempotent:true ~topic:"mon.reduce"
         (Json.obj [ ("epoch", Json.int epoch); ("sample", sample_to_json s) ])
         ~reply:(fun _ -> ())
 
@@ -105,13 +107,21 @@ let arm_timer t epoch a =
   end
 
 let contribute t ~epoch ~from_child s =
-  let a = acc_get t epoch in
-  a.acc <- (match a.acc with None -> Some s | Some prev -> Some (sample_merge prev s));
-  (match from_child with
-  | Some c -> if not (List.mem c a.heard) then a.heard <- c :: a.heard
-  | None -> ());
-  arm_timer t epoch a;
-  check_ready t epoch a
+  (* Each child forwards once per epoch, so a second arrival from the
+     same child is a retransmitted duplicate: drop it instead of
+     double-merging its sample. *)
+  let duplicate =
+    match from_child with Some c -> List.mem c (acc_get t epoch).heard | None -> false
+  in
+  if not duplicate then begin
+    let a = acc_get t epoch in
+    a.acc <- (match a.acc with None -> Some s | Some prev -> Some (sample_merge prev s));
+    (match from_child with
+    | Some c -> if not (List.mem c a.heard) then a.heard <- c :: a.heard
+    | None -> ());
+    arm_timer t epoch a;
+    check_ready t epoch a
+  end
 
 let on_heartbeat t epoch =
   match t.script with
@@ -142,7 +152,7 @@ let module_of t =
         (* Activation rides the KVS: every setroot, re-read the config
            key (cheap: it is cached after the first fault-in). *)
         if String.equal ev.Message.topic "kvs.setroot" then
-          Session.request_up t.b ~topic:"kvs.get"
+          Session.request_up t.b ~idempotent:true ~topic:"kvs.get"
             (Json.obj [ ("key", Json.string "conf.mon.script") ])
             ~reply:(fun r ->
               match r with

@@ -1,1 +1,1 @@
-lib/sim/net.ml: Array Engine Float Hashtbl Printf
+lib/sim/net.ml: Array Engine Float Flux_util Hashtbl List Printf

@@ -44,22 +44,27 @@ let every t ~period fn =
   ignore (schedule t ~delay:period (fun () -> tick ()) : handle);
   h
 
-let step t =
+(* Cancelled events are drained without advancing the clock: a timer
+   that was disarmed (e.g. an RPC deadline whose response arrived) must
+   not distort the simulation's end time. *)
+let rec step t =
   match Heap.pop t.queue with
   | None -> false
   | Some (time, ev) ->
-    t.clock <- time;
-    if not ev.h.cancelled then begin
+    if ev.h.cancelled then step t
+    else begin
+      t.clock <- time;
       t.executed <- t.executed + 1;
-      ev.fn ()
-    end;
-    true
+      ev.fn ();
+      true
+    end
 
 let run ?until t =
   let continue = ref true in
   while !continue do
     match Heap.peek t.queue with
     | None -> continue := false
+    | Some (_, ev) when ev.h.cancelled -> ignore (Heap.pop t.queue : _ option)
     | Some (time, _) -> (
       match until with
       | Some limit when time > limit ->

@@ -1,3 +1,5 @@
+module Rng = Flux_util.Rng
+
 type config = {
   link_latency : float;
   bandwidth : float;
@@ -31,12 +33,18 @@ type 'msg t = {
   n : int;
   hosts : 'msg host array;
   links : (int, link) Hashtbl.t; (* key: src * n + dst *)
+  cuts : (int, float) Hashtbl.t; (* key: src * n + dst -> blackout end *)
+  rng : Rng.t;
+  mutable loss_prob : float;
+  mutable jitter : float;
   mutable messages : int;
   mutable total_bytes : int;
   mutable dropped : int;
+  mutable dropped_bytes : int;
+  mutable dead_letters : int;
 }
 
-let create eng ?(config = default_config) ~nodes () =
+let create eng ?(config = default_config) ?(fault_seed = 0x464c5558) ~nodes () =
   if nodes <= 0 then invalid_arg "Net.create: need at least one node";
   {
     eng;
@@ -44,9 +52,15 @@ let create eng ?(config = default_config) ~nodes () =
     n = nodes;
     hosts = Array.init nodes (fun _ -> { alive = true; cpu_free_at = 0.0; handler = None });
     links = Hashtbl.create 64;
+    cuts = Hashtbl.create 8;
+    rng = Rng.create fault_seed;
+    loss_prob = 0.0;
+    jitter = 0.0;
     messages = 0;
     total_bytes = 0;
     dropped = 0;
+    dropped_bytes = 0;
+    dead_letters = 0;
   }
 
 let engine t = t.eng
@@ -69,44 +83,129 @@ let link_of t src dst =
     Hashtbl.replace t.links key l;
     l
 
-(* Charge receiver CPU, then deliver through the host handler. *)
-let deliver_via_cpu t dst ~arrive ~size ~src payload =
+(* --- Fault injection --------------------------------------------------- *)
+
+let set_loss t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Net.set_loss: probability out of [0,1]";
+  t.loss_prob <- p
+
+let set_jitter t j =
+  if j < 0.0 then invalid_arg "Net.set_jitter: negative jitter";
+  t.jitter <- j
+
+let cut_key t ~src ~dst = (src * t.n) + dst
+
+let cut_link t ~src ~dst =
+  check_rank t src "cut_link";
+  check_rank t dst "cut_link";
+  Hashtbl.replace t.cuts (cut_key t ~src ~dst) infinity
+
+let heal_link t ~src ~dst =
+  check_rank t src "heal_link";
+  check_rank t dst "heal_link";
+  Hashtbl.remove t.cuts (cut_key t ~src ~dst)
+
+let blackout t ~src ~dst ~duration =
+  check_rank t src "blackout";
+  check_rank t dst "blackout";
+  if duration < 0.0 then invalid_arg "Net.blackout: negative duration";
+  Hashtbl.replace t.cuts (cut_key t ~src ~dst) (Engine.now t.eng +. duration)
+
+let link_cut t ~src ~dst =
+  check_rank t src "link_cut";
+  check_rank t dst "link_cut";
+  match Hashtbl.find_opt t.cuts (cut_key t ~src ~dst) with
+  | Some until -> Engine.now t.eng < until
+  | None -> false
+
+let partition t ranks =
+  List.iter (fun r -> check_rank t r "partition") ranks;
+  let inside = Array.make t.n false in
+  List.iter (fun r -> inside.(r) <- true) ranks;
+  for a = 0 to t.n - 1 do
+    for b = 0 to t.n - 1 do
+      if inside.(a) <> inside.(b) then begin
+        cut_link t ~src:a ~dst:b;
+        cut_link t ~src:b ~dst:a
+      end
+    done
+  done
+
+let heal_all_links t = Hashtbl.reset t.cuts
+
+(* --- Delivery ----------------------------------------------------------- *)
+
+let drop t ~wire ~fault =
+  t.dropped <- t.dropped + 1;
+  t.dropped_bytes <- t.dropped_bytes + wire;
+  if fault then t.dead_letters <- t.dead_letters + 1
+
+(* Runs at arrival time, when the message reaches the receiving host.
+   Dead hosts drop without any CPU charge; live hosts serialize through
+   the receive core and may still lose the message if they die before
+   processing completes. *)
+let deliver_via_cpu t dst ~wire ~size ~src ?link payload =
   let host = t.hosts.(dst) in
-  let cpu_start = Float.max arrive host.cpu_free_at in
-  let work = t.cfg.host_cpu_per_msg +. (float_of_int size *. t.cfg.host_cpu_per_byte) in
-  host.cpu_free_at <- cpu_start +. work;
-  let done_at = cpu_start +. work in
-  ignore
-    (Engine.schedule_at t.eng ~time:done_at (fun () ->
-         if host.alive then begin
-           t.messages <- t.messages + 1;
-           t.total_bytes <- t.total_bytes + size;
-           match host.handler with
-           | Some f -> f ~src payload
-           | None -> ()
-         end
-         else t.dropped <- t.dropped + 1)
-      : Engine.handle)
+  if not host.alive then drop t ~wire ~fault:false
+  else begin
+    let cpu_start = Float.max (Engine.now t.eng) host.cpu_free_at in
+    let work = t.cfg.host_cpu_per_msg +. (float_of_int size *. t.cfg.host_cpu_per_byte) in
+    host.cpu_free_at <- cpu_start +. work;
+    ignore
+      (Engine.schedule_at t.eng ~time:(cpu_start +. work) (fun () ->
+           if host.alive then begin
+             t.messages <- t.messages + 1;
+             t.total_bytes <- t.total_bytes + wire;
+             (match link with
+             | Some l ->
+               l.bytes <- l.bytes + wire;
+               l.msgs <- l.msgs + 1
+             | None -> ());
+             match host.handler with
+             | Some f -> f ~src payload
+             | None -> ()
+           end
+           else drop t ~wire ~fault:false)
+        : Engine.handle)
+  end
 
 let send t ~src ~dst ~size m =
   check_rank t src "send";
   check_rank t dst "send";
   if size < 0 then invalid_arg "Net.send: negative size";
-  if not t.hosts.(src).alive then t.dropped <- t.dropped + 1
-  else if src = dst then
-    deliver_via_cpu t dst ~arrive:(Engine.now t.eng +. t.cfg.local_delivery) ~size ~src m
+  if not t.hosts.(src).alive then drop t ~wire:size ~fault:false
+  else if src = dst then begin
+    (* Loop-back: no framing, no link, just the local delivery cost. *)
+    let arrive = Engine.now t.eng +. t.cfg.local_delivery in
+    ignore
+      (Engine.schedule_at t.eng ~time:arrive (fun () ->
+           deliver_via_cpu t dst ~wire:size ~size ~src m)
+        : Engine.handle)
+  end
   else begin
-    let link = link_of t src dst in
-    let now = Engine.now t.eng in
-    let wire_bytes = size + t.cfg.per_msg_overhead in
-    let xfer = float_of_int wire_bytes /. t.cfg.bandwidth in
-    let start = Float.max now link.free_at in
-    link.free_at <- start +. xfer;
-    link.bytes <- link.bytes + size;
-    link.msgs <- link.msgs + 1;
-    let arrive = start +. xfer +. t.cfg.link_latency in
-    if t.hosts.(dst).alive then deliver_via_cpu t dst ~arrive ~size ~src m
-    else t.dropped <- t.dropped + 1
+    let wire = size + t.cfg.per_msg_overhead in
+    if link_cut t ~src ~dst then drop t ~wire ~fault:true
+    else begin
+      let lost = t.loss_prob > 0.0 && Rng.float t.rng 1.0 < t.loss_prob in
+      let jit = if t.jitter > 0.0 then Rng.float t.rng t.jitter else 0.0 in
+      let link = link_of t src dst in
+      let now = Engine.now t.eng in
+      let xfer = float_of_int wire /. t.cfg.bandwidth in
+      let start = Float.max now link.free_at in
+      (* Lost messages still occupy the pipe: the sender transmitted
+         them, the fault eats them en route. *)
+      link.free_at <- start +. xfer;
+      let arrive = start +. xfer +. t.cfg.link_latency +. jit in
+      if lost then
+        ignore
+          (Engine.schedule_at t.eng ~time:arrive (fun () -> drop t ~wire ~fault:true)
+            : Engine.handle)
+      else
+        ignore
+          (Engine.schedule_at t.eng ~time:arrive (fun () ->
+               deliver_via_cpu t dst ~wire ~size ~src ~link m)
+            : Engine.handle)
+    end
   end
 
 let fail_node t r =
@@ -121,10 +220,22 @@ let is_alive t r =
   check_rank t r "is_alive";
   t.hosts.(r).alive
 
-type stats = { messages : int; bytes : int; dropped : int }
+type stats = {
+  messages : int;
+  bytes : int;
+  dropped : int;
+  dropped_bytes : int;
+  dead_letters : int;
+}
 
 let stats (t : _ t) =
-  { messages = t.messages; bytes = t.total_bytes; dropped = t.dropped }
+  {
+    messages = t.messages;
+    bytes = t.total_bytes;
+    dropped = t.dropped;
+    dropped_bytes = t.dropped_bytes;
+    dead_letters = t.dead_letters;
+  }
 
 let link_bytes t ~src ~dst =
   match Hashtbl.find_opt t.links ((src * t.n) + dst) with

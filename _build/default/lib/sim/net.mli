@@ -7,6 +7,11 @@
     (the KVS master during a fence) becomes the bottleneck exactly as in
     the paper's measurements.
 
+    The fabric can also inject faults — probabilistic message loss,
+    latency jitter, directed link cuts and timed blackouts — so the
+    layers above (CMB RPC timeouts/retries, KVS failover) can be
+    exercised under realistic failure semantics.
+
     ['msg] is the payload type carried; the model only inspects the
     declared [size]. *)
 
@@ -25,9 +30,12 @@ val default_config : config
 
 type 'msg t
 
-val create : Engine.t -> ?config:config -> nodes:int -> unit -> 'msg t
+val create : Engine.t -> ?config:config -> ?fault_seed:int -> nodes:int -> unit -> 'msg t
 (** [create eng ~nodes ()] builds a fabric connecting ranks
-    [0 .. nodes-1]. Raises [Invalid_argument] if [nodes <= 0]. *)
+    [0 .. nodes-1]. [fault_seed] seeds the generator behind {!set_loss}
+    and {!set_jitter}; with faults disabled (the default) no random
+    draws occur and runs are bit-for-bit deterministic. Raises
+    [Invalid_argument] if [nodes <= 0]. *)
 
 val engine : 'msg t -> Engine.t
 val nodes : 'msg t -> int
@@ -38,9 +46,10 @@ val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
     replacing any previous one. *)
 
 val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
-(** [send t ~src ~dst ~size m] queues [m] for delivery. Sends from or to
-    a dead node are silently dropped (the transport reports nothing, as
-    with a crashed peer). [size] is the payload size in bytes. *)
+(** [send t ~src ~dst ~size m] queues [m] for delivery. Sends from a
+    dead node, over a cut link, or to a node dead at arrival time are
+    silently dropped (the transport reports nothing, as with a crashed
+    peer). [size] is the payload size in bytes. *)
 
 (** {1 Failure injection} *)
 
@@ -52,15 +61,51 @@ val revive_node : 'msg t -> int -> unit
 
 val is_alive : 'msg t -> int -> bool
 
+val set_loss : 'msg t -> float -> unit
+(** [set_loss t p] drops each subsequent non-loopback message with
+    probability [p]. Lost messages still occupy link bandwidth (they
+    were transmitted; the fault eats them en route) and are counted as
+    dead letters at their would-be arrival time. Raises
+    [Invalid_argument] unless [0 <= p <= 1]. *)
+
+val set_jitter : 'msg t -> float -> unit
+(** [set_jitter t j] adds a uniform extra delay in [[0, j)] seconds to
+    every subsequent non-loopback delivery. *)
+
+val cut_link : 'msg t -> src:int -> dst:int -> unit
+(** [cut_link t ~src ~dst] severs the directed link: subsequent sends
+    over it become dead letters until {!heal_link}. *)
+
+val heal_link : 'msg t -> src:int -> dst:int -> unit
+
+val blackout : 'msg t -> src:int -> dst:int -> duration:float -> unit
+(** [blackout t ~src ~dst ~duration] cuts the directed link for
+    [duration] seconds of virtual time, then it heals by itself. *)
+
+val link_cut : 'msg t -> src:int -> dst:int -> bool
+(** Whether the directed link is currently cut or blacked out. *)
+
+val partition : 'msg t -> int list -> unit
+(** [partition t ranks] cuts every link (both directions) between
+    [ranks] and the rest of the fabric. Heal with {!heal_link} or
+    {!heal_all_links}. *)
+
+val heal_all_links : 'msg t -> unit
+(** Removes every cut and blackout. *)
+
 (** {1 Accounting} *)
 
 type stats = {
   messages : int;  (** total messages delivered *)
-  bytes : int;  (** total payload bytes delivered *)
-  dropped : int;  (** messages lost to dead nodes *)
+  bytes : int;  (** wire bytes (payload + framing) delivered *)
+  dropped : int;  (** messages lost for any reason *)
+  dropped_bytes : int;  (** wire bytes of dropped messages *)
+  dead_letters : int;  (** subset of [dropped] due to injected faults
+                           (loss, cut links, blackouts) rather than dead
+                           hosts *)
 }
 
 val stats : 'msg t -> stats
 
 val link_bytes : 'msg t -> src:int -> dst:int -> int
-(** Payload bytes delivered so far over one directed link. *)
+(** Wire bytes delivered so far over one directed link. *)

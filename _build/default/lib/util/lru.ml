@@ -13,11 +13,24 @@ type 'a t = {
   mutable head : 'a node option; (* most recently used *)
   mutable tail : 'a node option; (* least recently used *)
   mutable evicted : int;
+  mutable on_evict : (string -> 'a -> unit) option;
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
-  { capacity; table = Hashtbl.create 64; head = None; tail = None; evicted = 0 }
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    evicted = 0;
+    on_evict = None;
+  }
+
+let set_on_evict c f = c.on_evict <- Some f
+
+let notify_evict c k v =
+  match c.on_evict with Some f -> f k v | None -> ()
 
 let length c = Hashtbl.length c.table
 
@@ -53,7 +66,8 @@ let evict_lru c =
   | Some node ->
     unlink c node;
     Hashtbl.remove c.table node.key;
-    c.evicted <- c.evicted + 1
+    c.evicted <- c.evicted + 1;
+    notify_evict c node.key node.value
 
 let put c k v =
   (match Hashtbl.find_opt c.table k with
@@ -74,7 +88,8 @@ let remove c k =
   | None -> ()
   | Some node ->
     unlink c node;
-    Hashtbl.remove c.table k
+    Hashtbl.remove c.table k;
+    notify_evict c node.key node.value
 
 let evictions c = c.evicted
 

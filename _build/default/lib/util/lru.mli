@@ -24,10 +24,17 @@ val put : 'a t -> string -> 'a -> unit
 
 val remove : 'a t -> string -> unit
 
+val set_on_evict : 'a t -> (string -> 'a -> unit) -> unit
+(** [set_on_evict c f] registers [f] to run whenever an entry leaves the
+    cache via capacity eviction or {!remove} — the hook byte-accounting
+    callers need to keep their totals honest. Not fired by {!clear}
+    (bulk invalidation resets accounting wholesale). *)
+
 val evictions : 'a t -> int
 (** [evictions c] counts entries evicted by capacity pressure so far. *)
 
 val clear : 'a t -> unit
+(** Empties the cache without firing the eviction hook. *)
 
 val iter : (string -> 'a -> unit) -> 'a t -> unit
 (** [iter f c] applies [f] to every binding, most recent first. *)

@@ -26,22 +26,29 @@ let echo_module b =
 
 (* --- Direct plane edge cases ------------------------------------------------- *)
 
-let test_direct_rpc_to_dead_rank_is_silent () =
+let test_direct_rpc_to_dead_rank_times_out () =
   let eng = Engine.create () in
   let sess = Session.create eng ~rank_topology:Session.Direct ~size:8 () in
   Session.load_module sess echo_module;
   Session.mark_down sess 5;
-  let got = ref None in
+  let tree = ref None and dead = ref None in
   let api = Api.connect sess ~rank:1 in
-  Api.rpc_async api ~topic:"cmb.ping" Json.null ~reply:(fun r -> got := Some r);
+  Api.rpc_async api ~topic:"cmb.ping" Json.null ~reply:(fun r -> tree := Some r);
   (* Rank-addressed call to a dead rank: the transport drops it (as a
-     crashed peer would); no crash, no spurious reply. *)
+     crashed peer would); the RPC deadline fires the continuation with
+     [Error "timeout"] instead of leaving it dangling forever. *)
   Session.rpc_rank (Session.broker sess 1) ~dst:5 ~topic:"echo.run" Json.null
-    ~reply:(fun r -> got := Some r);
+    ~reply:(fun r -> dead := Some r);
   Engine.run eng;
-  match !got with
-  | Some (Ok p) -> check int "only the tree rpc answered" 1 (Json.to_int (Json.member "rank" p))
-  | _ -> Alcotest.fail "tree rpc should have answered"
+  (match !tree with
+  | Some (Ok p) -> check int "tree rpc answered" 1 (Json.to_int (Json.member "rank" p))
+  | _ -> Alcotest.fail "tree rpc should have answered");
+  (match !dead with
+  | Some (Error "timeout") -> ()
+  | Some _ -> Alcotest.fail "rpc to dead rank: expected Error timeout"
+  | None -> Alcotest.fail "rpc to dead rank never completed");
+  check int "no dangling pending entry" 0 (Session.pending_rpc_count sess 1);
+  check int "timeout counted" 1 (Session.rpc_timeouts sess)
 
 let test_ring_skips_dead_ranks () =
   let eng = Engine.create () in
@@ -210,18 +217,26 @@ let test_session_hierarchy_lifecycle () =
   check bool "child destroyed" true (Session.is_destroyed child);
   check bool "grandchild destroyed" true (Session.is_destroyed grandchild);
   check int "root childless" 0 (List.length (Session.child_sessions root));
-  (* Traffic in a destroyed session goes nowhere. *)
-  let after = ref 0 in
+  (* Traffic in a destroyed session never reaches a module; the RPC
+     lifecycle completes the continuation with a timeout instead of
+     leaving it dangling. *)
+  let delivered = ref 0 in
+  let outcome = ref None in
   Session.load_module child ~ranks:[ 0 ] (fun _b ->
       {
         Session.mod_name = "probe";
-        on_request = (fun _ -> incr after; Session.Consumed);
+        on_request = (fun _ -> incr delivered; Session.Consumed);
         on_event = (fun _ -> ());
       });
   Session.request_up (Session.broker child 1) ~topic:"probe.x" Json.null
-    ~reply:(fun _ -> incr after);
+    ~reply:(fun r -> outcome := Some r);
   Engine.run eng;
-  check int "destroyed session is silent" 0 !after
+  check int "destroyed session delivers nothing" 0 !delivered;
+  (match !outcome with
+  | Some (Error "timeout") -> ()
+  | Some _ -> Alcotest.fail "expected Error timeout in destroyed session"
+  | None -> Alcotest.fail "rpc in destroyed session never completed");
+  check int "no dangling pending entry" 0 (Session.pending_rpc_count child 1)
 
 let test_session_child_validation () =
   let eng = Engine.create () in
@@ -243,7 +258,7 @@ let () =
     [
       ( "planes",
         [
-          Alcotest.test_case "direct to dead rank" `Quick test_direct_rpc_to_dead_rank_is_silent;
+          Alcotest.test_case "direct to dead rank" `Quick test_direct_rpc_to_dead_rank_times_out;
           Alcotest.test_case "ring skips dead ranks" `Quick test_ring_skips_dead_ranks;
         ] );
       ( "events",

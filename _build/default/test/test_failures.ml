@@ -1,0 +1,234 @@
+(* Failure-path coverage for the RPC lifecycle: injected faults on the
+   fabric (loss, blackouts), deadline/retransmit behaviour, fence
+   liveness with dead or silent children, and cache byte accounting
+   under eviction pressure. *)
+
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Net = Flux_sim.Net
+module Proc = Flux_sim.Proc
+module Session = Flux_cmb.Session
+module Api = Flux_cmb.Api
+module Kvs = Flux_kvs.Kvs_module
+module Client = Flux_kvs.Client
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let json_t = Alcotest.testable Json.pp Json.equal
+
+let expect_ok label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+let echo_module b =
+  {
+    Session.mod_name = "echo";
+    on_request =
+      (fun msg ->
+        Session.respond b msg (Json.obj [ ("rank", Json.int (Session.rank b)) ]);
+        Session.Consumed);
+    on_event = (fun _ -> ());
+  }
+
+(* --- Retransmission through a healed link ------------------------------- *)
+
+let test_retry_succeeds_after_blackout () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:8 () in
+  Session.load_module sess ~ranks:[ 0 ] echo_module;
+  (* Black out the uplink before the request goes out: the first attempt
+     becomes a dead letter, the deadline fires, and the retransmit (same
+     nonce) goes through once the link has healed itself. *)
+  Net.blackout (Session.rpc_net sess) ~src:1 ~dst:0 ~duration:1.0;
+  let got = ref None in
+  Session.request_up (Session.broker sess 1) ~idempotent:true ~topic:"echo.run"
+    Json.null ~reply:(fun r -> got := Some r);
+  Engine.run eng;
+  (match !got with
+  | Some (Ok p) -> check int "answered by the root" 0 (Json.to_int (Json.member "rank" p))
+  | Some (Error e) -> Alcotest.failf "rpc failed: %s" e
+  | None -> Alcotest.fail "rpc never completed");
+  check bool "retransmitted at least once" true (Session.rpc_retries sess >= 1);
+  check bool "first attempt was a dead letter" true
+    ((Net.stats (Session.rpc_net sess)).Net.dead_letters >= 1);
+  check int "no dangling pending entry" 0 (Session.pending_rpc_count sess 1)
+
+let test_non_idempotent_rpc_fails_fast () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:8 () in
+  Session.load_module sess ~ranks:[ 0 ] echo_module;
+  Net.cut_link (Session.rpc_net sess) ~src:1 ~dst:0;
+  let got = ref None in
+  (* Without [idempotent] there is exactly one attempt: the deadline
+     reports the loss instead of silently re-executing the request. *)
+  Session.request_up (Session.broker sess 1) ~topic:"echo.run" Json.null
+    ~reply:(fun r -> got := Some r);
+  Engine.run eng;
+  (match !got with
+  | Some (Error "timeout") -> ()
+  | Some _ -> Alcotest.fail "expected Error timeout"
+  | None -> Alcotest.fail "rpc never completed");
+  check int "no retransmissions" 0 (Session.rpc_retries sess);
+  check int "timeout counted" 1 (Session.rpc_timeouts sess)
+
+(* --- KVS get under injected loss through a healed parent ----------------- *)
+
+let test_kvs_get_under_loss_via_healed_parent () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:15 () in
+  let _kvs = Kvs.load sess () in
+  let big = Json.string (String.make 400 'x') in
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Client.connect sess ~rank:0 in
+         expect_ok "put" (Client.put c ~key:"deep.a.b" big);
+         ignore (expect_ok "commit" (Client.commit c) : int)));
+  Engine.run eng;
+  (* Kill rank 13's parent (rank 6) and degrade the fabric: every load
+     the get faults in must now survive 10% message loss while routing
+     through the healed parent (rank 2). *)
+  Session.mark_down sess 6;
+  Net.set_loss (Session.rpc_net sess) 0.10;
+  let result = ref None in
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Client.connect sess ~rank:13 in
+         result := Some (Client.get c ~key:"deep.a.b")));
+  Engine.run eng;
+  (match !result with
+  | Some (Ok v) -> check json_t "value survives loss + reparenting" big v
+  | Some (Error e) -> Alcotest.failf "get failed under loss: %s" e
+  | None -> Alcotest.fail "get never completed");
+  check int "no dangling pending entries" 0
+    (List.fold_left
+       (fun acc r -> acc + Session.pending_rpc_count sess r)
+       0
+       (List.init 15 Fun.id))
+
+(* --- Fence liveness ------------------------------------------------------- *)
+
+let test_sparse_fence_with_dead_child () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:7 () in
+  let kvs = Kvs.load sess () in
+  ignore kvs;
+  let window = Kvs.default_config.Kvs.fence_window in
+  (* Rank 6 is dead but never marked down: its parent (rank 2) keeps it
+     in the children list and must give up waiting for it after two quiet
+     windows instead of deadlocking the fence. *)
+  Session.crash sess 6;
+  let elapsed = ref infinity in
+  let done_count = ref 0 in
+  List.iter
+    (fun i ->
+      ignore
+        (Proc.spawn eng (fun () ->
+             let c = Client.connect sess ~rank:5 in
+             expect_ok "put" (Client.put c ~key:(Printf.sprintf "sf.%d" i) (Json.int i));
+             let t0 = Engine.now eng in
+             ignore (expect_ok "fence" (Client.fence c ~name:"sparse" ~nprocs:2) : int);
+             elapsed := Float.min !elapsed (Engine.now eng -. t0);
+             incr done_count)))
+    [ 0; 1 ];
+  Engine.run eng;
+  check int "both participants released" 2 !done_count;
+  (* Per-hop the forwarding policy waits at most two windows of quiet;
+     with one silent-sibling hop on the path the whole fence stays within
+     three windows end to end. *)
+  check bool "completed within the sparse-fence deadline" true
+    (!elapsed <= 3.0 *. window)
+
+let test_fence_survives_parent_death () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:15 () in
+  let _kvs = Kvs.load sess () in
+  (* Rank 6 (parent of 13 and 14) is dead from the start but only marked
+     down later: the slaves' fence flushes are swallowed by the dead
+     host, time out, and the retransmit must route through the healed
+     parent (rank 2) and complete the collective exactly once. *)
+  Session.crash sess 6;
+  ignore (Engine.schedule eng ~delay:1.0 (fun () -> Session.mark_down sess 6) : Engine.handle);
+  let versions = ref [] in
+  let bodies = [ 5; 13; 14 ] in
+  List.iter
+    (fun r ->
+      ignore
+        (Proc.spawn eng (fun () ->
+             let c = Client.connect sess ~rank:r in
+             expect_ok "put" (Client.put c ~key:(Printf.sprintf "pf.%d" r) (Json.int r));
+             let v = expect_ok "fence" (Client.fence c ~name:"pdeath" ~nprocs:3) in
+             versions := v :: !versions;
+             (* After the fence every participant's write is visible. *)
+             List.iter
+               (fun r' ->
+                 check json_t
+                   (Printf.sprintf "pf.%d visible at %d" r' r)
+                   (Json.int r')
+                   (expect_ok "get" (Client.get c ~key:(Printf.sprintf "pf.%d" r'))))
+               bodies)))
+    bodies;
+  Engine.run eng;
+  check int "all participants released" 3 (List.length !versions);
+  (match !versions with
+  | v :: rest -> List.iter (fun v' -> check int "same fence version" v v') rest
+  | [] -> ());
+  check bool "flushes were retransmitted" true (Session.rpc_retries sess >= 1);
+  check int "exactly one version bump" 1
+    (match !versions with v :: _ -> v | [] -> 0)
+
+(* --- Cache byte accounting under eviction -------------------------------- *)
+
+let test_lru_eviction_bounds_store_bytes () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:3 () in
+  let cfg = { Kvs.default_config with Kvs.cache_capacity = 4 } in
+  let kvs = Kvs.load sess ~config:cfg () in
+  let rounds = 20 in
+  let value_bytes = 400 in
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Client.connect sess ~rank:1 in
+         for i = 1 to rounds do
+           expect_ok "put"
+             (Client.put c ~key:(Printf.sprintf "ev.k%d" i)
+                (Json.string (String.make value_bytes (Char.chr (97 + (i mod 26))))));
+           ignore (expect_ok "commit" (Client.commit c) : int)
+         done));
+  Engine.run eng;
+  let slave = kvs.(1) in
+  check int "no dirty leftovers" 0 (Kvs.dirty_count slave);
+  check bool "cache bounded by capacity" true (Kvs.cached_objects slave <= 4);
+  (* Without the eviction hook the slave would still account all
+     [rounds] values (> 8000 B); with it, [store_bytes] tracks only what
+     the cache actually holds. *)
+  let held = Kvs.store_bytes slave in
+  check bool "bytes released on eviction" true
+    (held <= (4 + 1) * (value_bytes + 16));
+  check bool "accounting never goes negative" true (held >= 0)
+
+let () =
+  Alcotest.run "failures"
+    [
+      ( "rpc",
+        [
+          Alcotest.test_case "retry succeeds after blackout heals" `Quick
+            test_retry_succeeds_after_blackout;
+          Alcotest.test_case "non-idempotent fails fast" `Quick
+            test_non_idempotent_rpc_fails_fast;
+        ] );
+      ( "kvs",
+        [
+          Alcotest.test_case "get under 10% loss via healed parent" `Quick
+            test_kvs_get_under_loss_via_healed_parent;
+          Alcotest.test_case "lru eviction bounds store bytes" `Quick
+            test_lru_eviction_bounds_store_bytes;
+        ] );
+      ( "fence",
+        [
+          Alcotest.test_case "sparse fence with dead child" `Quick
+            test_sparse_fence_with_dead_child;
+          Alcotest.test_case "fence survives parent death" `Quick
+            test_fence_survives_parent_death;
+        ] );
+    ]
