@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check clean
+.PHONY: all build test fmt chaos check clean
 
 all: build
 
@@ -17,9 +17,18 @@ fmt:
 		echo "ocamlformat not found: skipping fmt"; \
 	fi
 
+# Chaos sweep: seeded randomized fault schedules (kills and revives,
+# including the KVS master mid-commit) with every consistency guarantee
+# asserted per run. The alcotest suite covers 24 seeds; the bench sweep
+# adds 10 more and prints per-seed fault counters.
+chaos:
+	dune exec test/test_chaos.exe -- -q
+	dune exec bench/main.exe -- chaos
+
 # The pre-merge gate: format (when available), build with warnings
-# promoted to errors under lib/ (see lib/dune), and run every test.
-check: fmt build test
+# promoted to errors under lib/ (see lib/dune), and run every test,
+# then the chaos sweep.
+check: fmt build test chaos
 
 clean:
 	dune clean

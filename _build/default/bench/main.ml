@@ -3,7 +3,7 @@
 
    Usage: main.exe [experiment...] where experiment is one of
      table1 fig2 fig3 fig4a fig4b sweep model ablate-sched ablate-fanout
-     ablate-shards faults micro
+     ablate-shards faults chaos micro
    No arguments runs everything. Scales can be reduced with
    BENCH_FAST=1 for a quick pass. *)
 
@@ -26,8 +26,29 @@ module Job = Flux_core.Job
 module Jobspec = Flux_core.Jobspec
 module Workload = Flux_core.Workload
 module Central = Flux_baseline.Central
+module Chaos = Flux_kap.Chaos
+module Export = Flux_trace.Export
 
 let fast = Sys.getenv_opt "BENCH_FAST" <> None
+
+(* Machine-readable one-line summary of a fault experiment: the
+   lifecycle/accounting counters as JSON, for downstream scraping. *)
+let fault_summary ~experiment sess ?(extra = []) () =
+  let rpc = Session.rpc_net_stats sess in
+  let ev = Session.event_net_stats sess in
+  let ring = Session.ring_net_stats sess in
+  Printf.printf "  summary %s\n%!"
+    (Json.to_string
+       (Json.obj
+          ([
+             ("experiment", Json.string experiment);
+             ("rpc_timeouts", Json.int (Session.rpc_timeouts sess));
+             ("rpc_retries", Json.int (Session.rpc_retries sess));
+             ( "dead_letters",
+               Json.int (rpc.Net.dead_letters + ev.Net.dead_letters + ring.Net.dead_letters) );
+             ("dropped", Json.int (rpc.Net.dropped + ev.Net.dropped + ring.Net.dropped));
+           ]
+          @ extra)))
 
 let node_scales = if fast then [ 16; 32; 64 ] else [ 64; 128; 256; 512 ]
 let vsizes = if fast then [ 8; 512; 8192 ] else [ 8; 32; 128; 512; 2048; 8192; 32768 ]
@@ -477,7 +498,10 @@ let faults () =
       Printf.printf
         "  loss %3.0f%%: released %d/%d in %8.5f s, retries %3d, timeouts %2d, dead letters %3d\n%!"
         (100.0 *. loss) !released nprocs !t_done (Session.rpc_retries sess)
-        (Session.rpc_timeouts sess) st.Net.dead_letters)
+        (Session.rpc_timeouts sess) st.Net.dead_letters;
+      fault_summary ~experiment:"faults-loss" sess
+        ~extra:[ ("loss", Json.float loss); ("released", Json.int !released) ]
+        ())
     [ 0.0; 0.02; 0.05; 0.10 ];
   (* (b) the EXPERIMENTS.md scenario: rank 6 (parent of 13 and 14) dies
      before their flushes arrive and is marked down a second later; the
@@ -507,7 +531,50 @@ let faults () =
   Engine.run eng;
   Printf.printf
     "  parent death mid-fence: released %d/3 in %.3f s via the healed parent (retries %d, timeouts %d)\n%!"
-    !released !t_done (Session.rpc_retries sess) (Session.rpc_timeouts sess)
+    !released !t_done (Session.rpc_retries sess) (Session.rpc_timeouts sess);
+  fault_summary ~experiment:"faults-parent-death" sess
+    ~extra:[ ("released", Json.int !released) ]
+    ();
+  Printf.printf "%s" (Export.fault_counters_csv
+    ~rpc_timeouts:(Session.rpc_timeouts sess)
+    ~rpc_retries:(Session.rpc_retries sess)
+    ~dead_letters:(Session.rpc_net_stats sess).Net.dead_letters
+    ~dropped:(Session.rpc_net_stats sess).Net.dropped ())
+
+let chaos () =
+  header "Chaos: seeded fault schedules over a live workload (consistency proved per run)";
+  let seeds = if fast then [ 1; 2; 3 ] else List.init 10 (fun i -> 1 + i) in
+  let total_viol = ref 0 in
+  List.iter
+    (fun seed ->
+      let r = Chaos.run { Chaos.default with Chaos.seed } in
+      total_viol := !total_viol + List.length r.Chaos.violations;
+      Printf.printf
+        "  seed %2d: commits %3d (+%d indet), fences %2d (+%d indet), kills %2d (%d master), \
+         takeovers %d, final v%d, violations %d\n%!"
+        seed r.Chaos.commits_ok r.Chaos.commits_indeterminate r.Chaos.fences_ok
+        r.Chaos.fences_indeterminate r.Chaos.kills r.Chaos.master_kills r.Chaos.takeovers
+        r.Chaos.final_version
+        (List.length r.Chaos.violations);
+      List.iter (fun v -> Printf.printf "    violation: %s\n%!" v) r.Chaos.violations;
+      Printf.printf "  summary %s\n%!"
+        (Json.to_string
+           (Json.obj
+              [
+                ("experiment", Json.string "chaos");
+                ("seed", Json.int seed);
+                ("rpc_timeouts", Json.int r.Chaos.rpc_timeouts);
+                ("rpc_retries", Json.int r.Chaos.rpc_retries);
+                ("dead_letters", Json.int r.Chaos.dead_letters);
+                ("dropped", Json.int r.Chaos.dropped);
+                ("master_kills", Json.int r.Chaos.master_kills);
+                ("takeovers", Json.int r.Chaos.takeovers);
+                ("keys_checked", Json.int r.Chaos.keys_checked);
+                ("violations", Json.int (List.length r.Chaos.violations));
+              ])))
+    seeds;
+  Printf.printf "  %d seeds, %d total violations%s\n%!" (List.length seeds) !total_viol
+    (if !total_viol = 0 then " — all consistency guarantees held" else " — INVARIANT BREACH")
 
 (* --- Driver -------------------------------------------------------------------------- *)
 
@@ -524,6 +591,7 @@ let experiments =
     ("ablate-fanout", ablate_fanout);
     ("ablate-shards", ablate_shards);
     ("faults", faults);
+    ("chaos", chaos);
     ("micro", micro);
   ]
 

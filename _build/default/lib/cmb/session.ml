@@ -49,6 +49,9 @@ type t = {
   rpc : rpc_config;
   mutable rpc_timeouts : int;
   mutable rpc_retries : int;
+  mutable root_rank : int; (* lowest live rank; overlay root after heal *)
+  mutable topo_epoch : int; (* bumped on every mark_down / mark_up *)
+  mutable on_liveness : (int -> bool -> unit) list; (* rank, is_up *)
 }
 
 and broker = {
@@ -107,19 +110,42 @@ let is_down t r = t.down.(r)
 let alive_ranks t =
   List.filter (fun r -> not t.down.(r)) (List.init t.n Fun.id)
 
-(* Effective topology: each live rank's parent is its nearest live
-   ancestor in the static k-ary tree. *)
+let root_rank t = t.root_rank
+let topology_epoch t = t.topo_epoch
+
+let add_liveness_watch t f = t.on_liveness <- t.on_liveness @ [ f ]
+
+(* Effective topology: the overlay re-roots at the lowest live rank, and
+   each other live rank's parent is its nearest live ancestor in the
+   static k-ary tree. A live rank whose whole static ancestor chain is
+   dead (the root's death orphans its other subtrees) attaches directly
+   to the overlay root, keeping the session a single connected tree. In
+   heap numbering ancestors are always lower-ranked, so the lowest live
+   rank has no live ancestor and attachment stays acyclic. *)
 let heal t =
   Array.fill t.children_of 0 t.n [];
+  let root = ref (-1) in
+  (try
+     for r = 0 to t.n - 1 do
+       if not t.down.(r) then begin
+         root := r;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  t.root_rank <- !root;
   for r = 0 to t.n - 1 do
-    if t.down.(r) then t.parent_of.(r) <- None
+    if t.down.(r) || r = !root then t.parent_of.(r) <- None
     else begin
       let rec find_live_ancestor rank =
         match Treemath.parent ~k:t.k rank with
         | None -> None
         | Some p -> if t.down.(p) then find_live_ancestor p else Some p
       in
-      t.parent_of.(r) <- find_live_ancestor r
+      t.parent_of.(r) <-
+        (match find_live_ancestor r with
+        | Some p -> Some p
+        | None -> Some !root)
     end
   done;
   for r = t.n - 1 downto 0 do
@@ -293,17 +319,23 @@ and deliver_response b (resp : Message.t) =
         | None -> Ok resp.Message.payload)
 
 and ring_forward b msg =
-  match b.b_session.rank_topo with
-  | Direct -> (
-    (* One hop straight to the destination. *)
-    match msg.Message.dst with
-    | Some d when not b.b_session.down.(d) ->
+  (* A ring message is only consumable at its destination: if that rank
+     is down (it may have died while the message was mid-circulation),
+     drop the message here — hop-by-hop forwarding skips dead ranks, so
+     it would otherwise circle the live ring forever. The originator's
+     RPC deadline recovers. *)
+  match msg.Message.dst with
+  | None -> ()
+  | Some d when b.b_session.down.(d) -> ()
+  | Some d -> (
+    match b.b_session.rank_topo with
+    | Direct ->
+      (* One hop straight to the destination. *)
       send_on b.b_session.ring_net ~src:b.b_rank ~dst:d msg
-    | Some _ | None -> ())
-  | Ring -> (
-    match ring_next_live b.b_session b.b_rank with
-    | Some nxt -> send_on b.b_session.ring_net ~src:b.b_rank ~dst:nxt msg
-    | None -> ())
+    | Ring -> (
+      match ring_next_live b.b_session b.b_rank with
+      | Some nxt -> send_on b.b_session.ring_net ~src:b.b_rank ~dst:nxt msg
+      | None -> ()))
 
 let respond b req payload = deliver_response b (Message.response ~of_:req payload)
 let respond_error b req err = deliver_response b (Message.error_response ~of_:req err)
@@ -423,22 +455,46 @@ and drain_stash b =
 and request_resync b =
   if not b.resync_in_flight then begin
     b.resync_in_flight <- true;
-    (* Resync is a pure read of the parent's event log: safe to
+    (* Resync is a pure read of the provider's event log: safe to
        retransmit, and a timeout clears [resync_in_flight] so a later
        gap can trigger a fresh attempt. *)
-    request_from_module b ~idempotent:true ~topic:"cmb.resync"
-      (Json.obj [ ("from", Json.int (b.last_seq + 1)) ])
-      ~reply:(fun r ->
-        b.resync_in_flight <- false;
-        match r with
-        | Ok payload ->
-          let evs = List.map event_of_json (Json.to_list (Json.member "events" payload)) in
-          List.iter (deliver_event b) evs;
-          drain_stash b;
-          (* Still behind (e.g. the parent's log had been trimmed):
-             keep asking while there is a known gap. *)
-          if Hashtbl.length b.stashed > 0 then request_resync b
-        | Error _ -> ())
+    let before = b.last_seq in
+    let on_reply r =
+      b.resync_in_flight <- false;
+      match r with
+      | Ok payload ->
+        let evs = List.map event_of_json (Json.to_list (Json.member "events" payload)) in
+        List.iter (deliver_event b) evs;
+        drain_stash b;
+        if Hashtbl.length b.stashed > 0 then
+          if b.last_seq > before then
+            (* Progress was made; keep asking for the remaining gap. *)
+            request_resync b
+          else begin
+            (* The provider's log has been trimmed past our cursor, so
+               the gap can never be filled. Accept the loss and
+               fast-forward to the oldest stashed event; modules
+               tolerate gaps (version/epoch-guarded state). *)
+            let oldest = Hashtbl.fold (fun s _ acc -> min s acc) b.stashed max_int in
+            trace b.b_session ~name:"event.gap" ~rank:b.b_rank
+              ~fields:[ ("from", Json.int (b.last_seq + 1)); ("upto", Json.int oldest) ]
+              ();
+            b.last_seq <- oldest - 1;
+            drain_stash b
+          end
+      | Error _ -> ()
+    in
+    let payload = Json.obj [ ("from", Json.int (b.last_seq + 1)) ] in
+    match tree_parent b with
+    | Some _ -> request_from_module b ~idempotent:true ~topic:"cmb.resync" payload ~reply:on_reply
+    | None -> (
+      (* The session root itself can be behind: a revived broker
+         re-rooted here missed events its children kept delivering while
+         it was dark. Pull the backlog from the first live child over
+         the rank plane. *)
+      match tree_children b with
+      | c :: _ -> rpc_rank b ~idempotent:true ~dst:c ~topic:"cmb.resync" payload ~reply:on_reply
+      | [] -> b.resync_in_flight <- false)
   end
 
 let publish_msg b (ev : Message.t) =
@@ -542,6 +598,9 @@ let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring)
       rpc = rpc_config;
       rpc_timeouts = 0;
       rpc_retries = 0;
+      root_rank = 0;
+      topo_epoch = 0;
+      on_liveness = [];
     }
   in
   t.brokers <-
@@ -645,6 +704,7 @@ let mark_down t r =
     trace t ~name:"mark_down" ~rank:r ();
     crash t r;
     t.down.(r) <- true;
+    t.topo_epoch <- t.topo_epoch + 1;
     let old_parents = Array.copy t.parent_of in
     heal t;
     (* Brokers adopted by a new parent may have missed events; resync. *)
@@ -652,7 +712,35 @@ let mark_down t r =
       (fun rr b ->
         if (not t.down.(rr)) && old_parents.(rr) <> t.parent_of.(rr) && t.parent_of.(rr) <> None
         then request_resync b)
-      t.brokers
+      t.brokers;
+    List.iter (fun f -> f r false) t.on_liveness
+  end
+
+let mark_up t r =
+  if t.down.(r) && not t.destroyed then begin
+    trace t ~name:"mark_up" ~rank:r ();
+    Net.revive_node t.rpc_net r;
+    Net.revive_node t.event_net r;
+    Net.revive_node t.ring_net r;
+    t.down.(r) <- false;
+    t.topo_epoch <- t.topo_epoch + 1;
+    let old_parents = Array.copy t.parent_of in
+    heal t;
+    (* The revived broker rejoins with a stale event cursor: drop any
+       resync latched before it went dark and pull the backlog through
+       the healed topology (the overlay root pulls from a child). *)
+    let b = t.brokers.(r) in
+    b.resync_in_flight <- false;
+    request_resync b;
+    Array.iteri
+      (fun rr br ->
+        if rr <> r
+           && (not t.down.(rr))
+           && old_parents.(rr) <> t.parent_of.(rr)
+           && t.parent_of.(rr) <> None
+        then request_resync br)
+      t.brokers;
+    List.iter (fun f -> f r true) t.on_liveness
   end
 
 (* --- Accounting --------------------------------------------------------- *)

@@ -206,15 +206,43 @@ val crash : t -> int -> unit
 
 val mark_down : t -> int -> unit
 (** [mark_down t r] records [r] as dead and rewires the overlays: orphan
-    subtrees reattach to their nearest live ancestor; brokers whose
-    parent changed resynchronize their event streams. Idempotent. *)
+    subtrees reattach to their nearest live ancestor (or, when the whole
+    ancestor chain is dead, directly to the new overlay root — the
+    lowest live rank); brokers whose parent changed resynchronize their
+    event streams. Registered liveness watchers fire after the heal.
+    Idempotent. *)
+
+val mark_up : t -> int -> unit
+(** [mark_up t r] reverses {!mark_down}: the rank's network endpoints
+    are revived on all three planes, the overlay re-heals (the static
+    topology is restored once every rank is back), the revived broker
+    pulls the event backlog it missed (the overlay root pulls from a
+    live child over the rank plane), and liveness watchers fire with
+    [is_up = true]. Idempotent; a no-op on destroyed sessions. *)
 
 val heal : t -> unit
-(** Recompute effective topology from liveness (called by {!mark_down}). *)
+(** Recompute effective topology from liveness (called by {!mark_down}
+    and {!mark_up}). *)
 
 val is_down : t -> int -> bool
 
 val alive_ranks : t -> int list
+
+val root_rank : t -> int
+(** The current overlay root: the lowest live rank (-1 if every rank is
+    down). Deterministic, which is what services use for leader
+    election. *)
+
+val topology_epoch : t -> int
+(** Bumped by every {!mark_down} / {!mark_up}; lets modules detect that
+    the overlay changed under them. *)
+
+val add_liveness_watch : t -> (int -> bool -> unit) -> unit
+(** [add_liveness_watch t f] registers [f rank is_up] to run after every
+    {!mark_down} ([is_up = false]) and {!mark_up} ([is_up = true]), once
+    the topology has healed. Watchers run in registration order and are
+    how services (kvs election, live, group) react to membership
+    changes. *)
 
 (** {1 Tracing} *)
 

@@ -1,0 +1,1 @@
+lib/kap/chaos.ml: Array Char Flux_cmb Flux_json Flux_kvs Flux_sim Flux_util Format Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/kap/chaos.mli: Flux_kvs Format

@@ -1,0 +1,424 @@
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Net = Flux_sim.Net
+module Proc = Flux_sim.Proc
+module Rng = Flux_util.Rng
+module Session = Flux_cmb.Session
+module Kvs = Flux_kvs.Kvs_module
+module Client = Flux_kvs.Client
+
+type config = {
+  seed : int;
+  size : int;
+  fanout : int;
+  clients : int list;
+  rounds : int;
+  fence_every : int;
+  value_bytes : int;
+  fault_mean : float;
+  duration : float;
+  max_dead : int;
+  master_kill_bias : float;
+  op_timeout : float;
+  kvs : Kvs.config;
+}
+
+let default =
+  {
+    seed = 1;
+    size = 15;
+    fanout = 2;
+    clients = [ 9; 11; 13 ];
+    rounds = 24;
+    fence_every = 6;
+    value_bytes = 400;
+    fault_mean = 0.8;
+    duration = 25.0;
+    max_dead = 3;
+    master_kill_bias = 0.4;
+    op_timeout = 8.0;
+    (* Acked commits must survive master loss: replicate every fresh
+       interior object with the setroot announcing it. *)
+    kvs = { Kvs.default_config with Kvs.setroot_delta_max = max_int };
+  }
+
+type report = {
+  commits_ok : int;
+  commits_indeterminate : int;
+  fences_ok : int;
+  fences_indeterminate : int;
+  gets_ok : int;
+  gets_failed : int;
+  kills : int;
+  revives : int;
+  master_kills : int;
+  takeovers : int;
+  final_version : int;
+  final_master : int;
+  keys_checked : int;
+  keys_indeterminate : int;
+  violations : string list;
+  rpc_timeouts : int;
+  rpc_retries : int;
+  dead_letters : int;
+  dropped : int;
+}
+
+(* Shared mutable state of one schedule run. *)
+type state = {
+  cfg : config;
+  eng : Engine.t;
+  sess : Session.t;
+  kvs : Kvs.t array;
+  rng : Rng.t;
+  (* Authoritative model of what must be readable: key -> committed
+     value. Keys are namespaced per writer, so clients never race on an
+     entry. *)
+  model : (string, Json.t) Hashtbl.t;
+  indeterminate : (string, unit) Hashtbl.t;
+  mutable dead : int list; (* in order of death, oldest first *)
+  mutable in_flight_commits : int;
+  mutable violations : string list; (* reversed *)
+  mutable commits_ok : int;
+  mutable commits_indeterminate : int;
+  mutable fences_ok : int;
+  mutable fences_indeterminate : int;
+  mutable gets_ok : int;
+  mutable gets_failed : int;
+  mutable kills : int;
+  mutable revives : int;
+  mutable master_kills : int;
+}
+
+let violate st fmt =
+  Printf.ksprintf
+    (fun s ->
+      st.violations <-
+        Printf.sprintf "t=%.3f %s" (Engine.now st.eng) s :: st.violations)
+    fmt
+
+(* The rank currently acting as master, if any live instance claims it.
+   A dead rank's instance still believes it is master until it rejoins,
+   so down ranks must be skipped. *)
+let acting_master st =
+  let m = ref (-1) in
+  Array.iteri
+    (fun r t -> if Kvs.is_master t && not (Session.is_down st.sess r) then m := r)
+    st.kvs;
+  !m
+
+let kill_rank st r =
+  if not (Session.is_down st.sess r) then begin
+    if r = acting_master st then st.master_kills <- st.master_kills + 1;
+    Session.mark_down st.sess r;
+    st.dead <- st.dead @ [ r ];
+    st.kills <- st.kills + 1
+  end
+
+let revive_oldest st =
+  match st.dead with
+  | [] -> ()
+  | r :: rest ->
+    st.dead <- rest;
+    Session.mark_up st.sess r;
+    st.revives <- st.revives + 1
+
+(* --- Fault injection ----------------------------------------------------- *)
+
+(* Ranks that may be killed right now. *)
+let victims st =
+  List.filter
+    (fun r -> (not (List.mem r st.cfg.clients)) && not (Session.is_down st.sess r))
+    (List.init st.cfg.size Fun.id)
+
+(* Every schedule is guaranteed one master kill while a commit is in
+   flight: the assassin waits for the first concurrent commit and
+   strikes. Randomized injection covers the rest of the space. *)
+let assassin st =
+  Proc.sleep 0.01;
+  let deadline = st.cfg.duration in
+  while
+    (st.in_flight_commits = 0 || acting_master st < 0)
+    && Engine.now st.eng < deadline
+  do
+    Proc.sleep 0.0005
+  done;
+  let m = acting_master st in
+  if m >= 0 && (not (List.mem m st.cfg.clients)) && not (Session.is_down st.sess m)
+  then kill_rank st m
+
+let injector st =
+  let rng = Rng.split st.rng in
+  let continue = ref true in
+  while !continue do
+    Proc.sleep (Rng.exponential rng st.cfg.fault_mean);
+    if Engine.now st.eng >= st.cfg.duration then continue := false
+    else if List.length st.dead >= st.cfg.max_dead then revive_oldest st
+    else begin
+      let m = acting_master st in
+      let want_master =
+        Rng.float rng 1.0 < st.cfg.master_kill_bias
+        && m >= 0
+        && (not (List.mem m st.cfg.clients))
+        && not (Session.is_down st.sess m)
+      in
+      if want_master then kill_rank st m
+      else if st.dead <> [] && Rng.bool rng then revive_oldest st
+      else
+        match victims st with
+        | [] -> ()
+        | vs -> kill_rank st (List.nth vs (Rng.int rng (List.length vs)))
+    end
+  done
+
+(* --- Client workload ----------------------------------------------------- *)
+
+let value_for cfg ~rank ~round =
+  if round mod 3 = 0 then Json.string (String.make cfg.value_bytes (Char.chr (97 + (rank mod 26))))
+  else Json.obj [ ("r", Json.int rank); ("n", Json.int round) ]
+
+let fence_key ~round ~rank = Printf.sprintf "f%d.c%d" round rank
+let commit_key ~rank ~round = Printf.sprintf "c%d.k%d" rank round
+
+(* One client process: puts, commits, fences, and checks the guarantees
+   after every op. [last_seen] is this client's version horizon for the
+   monotonic-reads check. *)
+let client_proc st ~rank =
+  let c = Client.connect st.sess ~rank in
+  let rng = Rng.split st.rng in
+  let last_seen = ref 0 in
+  let own_committed = ref [] in
+  let nprocs = List.length st.cfg.clients in
+  let observe_version label v =
+    if v < !last_seen then
+      violate st "rank %d: %s version regressed %d -> %d" rank label !last_seen v
+    else last_seen := v
+  in
+  let check_version () =
+    match Client.get_version c with
+    | Ok v -> observe_version "get_version" v
+    | Error _ -> st.gets_failed <- st.gets_failed + 1
+  in
+  (* Pace rounds across the injector's window so ops genuinely overlap
+     the kill/revive churn instead of finishing before the first fault. *)
+  let round_gap = st.cfg.duration /. float_of_int (st.cfg.rounds + 1) in
+  for round = 1 to st.cfg.rounds do
+    Proc.sleep (Rng.exponential rng round_gap);
+    let is_fence = st.cfg.fence_every > 0 && round mod st.cfg.fence_every = 0 in
+    if is_fence then begin
+      let key = fence_key ~round ~rank in
+      let v = value_for st.cfg ~rank ~round in
+      match Client.put c ~key v with
+      | Error _ ->
+        (* The local broker never dies in a schedule; treat a failed put
+           as an indeterminate round anyway. *)
+        Hashtbl.replace st.indeterminate key ();
+        st.fences_indeterminate <- st.fences_indeterminate + 1;
+        Client.abort c
+      | Ok () -> (
+        st.in_flight_commits <- st.in_flight_commits + 1;
+        let r =
+          Client.fence ~timeout:st.cfg.op_timeout c
+            ~name:(Printf.sprintf "chaos.%d" round)
+            ~nprocs
+        in
+        st.in_flight_commits <- st.in_flight_commits - 1;
+        match r with
+        | Ok fv ->
+          st.fences_ok <- st.fences_ok + 1;
+          observe_version "fence" fv;
+          Hashtbl.replace st.model key v;
+          (* Atomicity: the fence completed, so every participant's
+             contribution must be visible — all or nothing. *)
+          List.iter
+            (fun peer ->
+              let pk = fence_key ~round ~rank:peer in
+              match Client.get c ~key:pk with
+              | Ok pv ->
+                st.gets_ok <- st.gets_ok + 1;
+                if not (Json.equal pv (value_for st.cfg ~rank:peer ~round)) then
+                  violate st "rank %d: fence %d key %s has wrong value" rank round pk
+              | Error _ -> st.gets_failed <- st.gets_failed + 1)
+            st.cfg.clients
+        | Error _ ->
+          st.fences_indeterminate <- st.fences_indeterminate + 1;
+          Hashtbl.replace st.indeterminate key ();
+          Client.abort c)
+    end
+    else begin
+      let key = commit_key ~rank ~round in
+      let v = value_for st.cfg ~rank ~round in
+      (match Client.put c ~key v with
+      | Error _ ->
+        Hashtbl.replace st.indeterminate key ();
+        st.commits_indeterminate <- st.commits_indeterminate + 1;
+        Client.abort c
+      | Ok () -> (
+        st.in_flight_commits <- st.in_flight_commits + 1;
+        let r = Client.commit c in
+        st.in_flight_commits <- st.in_flight_commits - 1;
+        match r with
+        | Ok cv ->
+          st.commits_ok <- st.commits_ok + 1;
+          (* Read-your-writes: our commit was acked at a version strictly
+             newer than anything we had observed. *)
+          if cv <= !last_seen then
+            violate st "rank %d: commit version %d not newer than seen %d" rank cv !last_seen;
+          last_seen := max !last_seen cv;
+          Hashtbl.replace st.model key v;
+          own_committed := key :: !own_committed;
+          (match Client.get c ~key with
+          | Ok got ->
+            st.gets_ok <- st.gets_ok + 1;
+            if not (Json.equal got v) then
+              violate st "rank %d: read-your-writes broken for %s" rank key
+          | Error _ -> st.gets_failed <- st.gets_failed + 1)
+        | Error _ ->
+          st.commits_indeterminate <- st.commits_indeterminate + 1;
+          Hashtbl.replace st.indeterminate key ();
+          Client.abort c));
+      (* Lost-write check on a random earlier own key. *)
+      (match !own_committed with
+      | [] -> ()
+      | keys -> (
+        let k = List.nth keys (Rng.int rng (List.length keys)) in
+        match Client.get c ~key:k with
+        | Ok got ->
+          st.gets_ok <- st.gets_ok + 1;
+          if not (Json.equal got (Hashtbl.find st.model k)) then
+            violate st "rank %d: lost write %s" rank k
+        | Error _ -> st.gets_failed <- st.gets_failed + 1))
+    end;
+    check_version ()
+  done
+
+(* --- Final convergence and verification ---------------------------------- *)
+
+let finalize st =
+  (* Revive everything and let the rejoin handshakes settle. *)
+  List.iter (fun r -> Session.mark_up st.sess r) st.dead;
+  st.revives <- st.revives + List.length st.dead;
+  let was_dead = st.dead in
+  st.dead <- [];
+  Engine.run st.eng;
+  let masters =
+    Array.to_list st.kvs
+    |> List.mapi (fun r t -> (r, Kvs.is_master t))
+    |> List.filter snd |> List.map fst
+  in
+  (match masters with
+  | [ _ ] -> ()
+  | ms -> violate st "expected exactly one master, got [%s]"
+            (String.concat ";" (List.map string_of_int ms)));
+  let final_master = acting_master st in
+  let vmax = Array.fold_left (fun acc t -> max acc (Kvs.version t)) 0 st.kvs in
+  let emax = Array.fold_left (fun acc t -> max acc (Kvs.epoch t)) 0 st.kvs in
+  Array.iteri
+    (fun r t ->
+      if Kvs.version t <> vmax then
+        violate st "rank %d stuck at version %d (cluster at %d)" r (Kvs.version t) vmax;
+      if Kvs.epoch t <> emax then
+        violate st "rank %d stuck at epoch %d (cluster at %d)" r (Kvs.epoch t) emax)
+    st.kvs;
+  (* Verify the whole surviving model from a rank that died and rejoined
+     (falling back to any non-client rank): it must serve every key. *)
+  let verify_rank =
+    match List.filter (fun r -> not (List.mem r st.cfg.clients)) was_dead with
+    | r :: _ -> r
+    | [] -> ( match victims st with r :: _ -> r | [] -> List.hd st.cfg.clients)
+  in
+  let checked = ref 0 in
+  ignore
+    (Proc.spawn st.eng (fun () ->
+         let c = Client.connect st.sess ~rank:verify_rank in
+         Hashtbl.iter
+           (fun key v ->
+             if not (Hashtbl.mem st.indeterminate key) then begin
+               incr checked;
+               match Client.get c ~key with
+               | Ok got ->
+                 if not (Json.equal got v) then
+                   violate st "verify@%d: key %s diverged" verify_rank key
+               | Error e -> violate st "verify@%d: key %s unreadable: %s" verify_rank key e
+             end)
+           st.model)
+      : Proc.pid);
+  Engine.run st.eng;
+  (final_master, vmax, emax, !checked)
+
+let run cfg =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~fanout:cfg.fanout ~size:cfg.size () in
+  let kvs = Kvs.load sess ~config:cfg.kvs () in
+  let st =
+    {
+      cfg;
+      eng;
+      sess;
+      kvs;
+      rng = Rng.create cfg.seed;
+      model = Hashtbl.create 256;
+      indeterminate = Hashtbl.create 64;
+      dead = [];
+      in_flight_commits = 0;
+      violations = [];
+      commits_ok = 0;
+      commits_indeterminate = 0;
+      fences_ok = 0;
+      fences_indeterminate = 0;
+      gets_ok = 0;
+      gets_failed = 0;
+      kills = 0;
+      revives = 0;
+      master_kills = 0;
+    }
+  in
+  List.iter
+    (fun r ->
+      if r < 0 || r >= cfg.size then invalid_arg "Chaos.run: client rank out of range")
+    cfg.clients;
+  ignore (Proc.spawn eng (fun () -> assassin st) : Proc.pid);
+  ignore (Proc.spawn eng (fun () -> injector st) : Proc.pid);
+  List.iter
+    (fun r -> ignore (Proc.spawn eng (fun () -> client_proc st ~rank:r) : Proc.pid))
+    cfg.clients;
+  Engine.run eng;
+  let final_master, final_version, takeovers, keys_checked = finalize st in
+  let rpc = Session.rpc_net_stats sess in
+  let ev = Session.event_net_stats sess in
+  let ring = Session.ring_net_stats sess in
+  {
+    commits_ok = st.commits_ok;
+    commits_indeterminate = st.commits_indeterminate;
+    fences_ok = st.fences_ok;
+    fences_indeterminate = st.fences_indeterminate;
+    gets_ok = st.gets_ok;
+    gets_failed = st.gets_failed;
+    kills = st.kills;
+    revives = st.revives;
+    master_kills = st.master_kills;
+    takeovers;
+    final_version;
+    final_master;
+    keys_checked;
+    keys_indeterminate = Hashtbl.length st.indeterminate;
+    violations = List.rev st.violations;
+    rpc_timeouts = Session.rpc_timeouts sess;
+    rpc_retries = Session.rpc_retries sess;
+    dead_letters = rpc.Net.dead_letters + ev.Net.dead_letters + ring.Net.dead_letters;
+    dropped = rpc.Net.dropped + ev.Net.dropped + ring.Net.dropped;
+  }
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>commits ok/indet: %d/%d@,fences ok/indet: %d/%d@,gets ok/failed: %d/%d@,\
+     kills/revives: %d/%d (master kills %d)@,takeovers: %d@,final: master=%d version=%d@,\
+     keys checked/indet: %d/%d@,rpc timeouts/retries: %d/%d@,net dead_letters/dropped: %d/%d@,\
+     violations: %d%a@]"
+    r.commits_ok r.commits_indeterminate r.fences_ok r.fences_indeterminate r.gets_ok
+    r.gets_failed r.kills r.revives r.master_kills r.takeovers r.final_master
+    r.final_version r.keys_checked r.keys_indeterminate r.rpc_timeouts r.rpc_retries
+    r.dead_letters r.dropped
+    (List.length r.violations)
+    (fun ppf -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v))
+    r.violations

@@ -60,12 +60,16 @@ let commit t =
     Ok v
   | Error e -> Error e
 
-let fence t ~name ~nprocs =
+let abort t = t.pending <- []
+
+let fence ?(timeout = infinity) t ~name ~nprocs =
   let tuples = List.rev t.pending in
-  (* A fence blocks until all [nprocs] participants enter: no deadline. *)
+  (* A fence blocks until all [nprocs] participants enter: no deadline by
+     default. Fault-tolerant callers pass [timeout] so a fence whose
+     aggregated contributions died with a master can be abandoned. *)
   match
     version_reply
-      (Api.rpc t.api ~timeout:infinity ~topic:"kvs.fence"
+      (Api.rpc t.api ~timeout ~topic:"kvs.fence"
          (Json.obj
             [
               ("name", Json.string name);

@@ -27,10 +27,18 @@ val commit : t -> (int, string) result
     master; returns the new root version (read-your-writes: the local
     root is switched before returning). *)
 
-val fence : t -> name:string -> nprocs:int -> (int, string) result
+val abort : t -> unit
+(** Drop this handle's uncommitted tuples — after a failed commit or
+    fence leaves the transaction in an indeterminate state, the caller
+    can start the next one clean. *)
+
+val fence : ?timeout:float -> t -> name:string -> nprocs:int -> (int, string) result
 (** Collective commit: completes once [nprocs] processes have entered
     the fence named [name]; contributions aggregate up the tree. Fence
-    names must be fresh (not reused by an earlier fence). *)
+    names must be fresh (not reused by an earlier fence). By default a
+    fence blocks forever; pass [timeout] to abandon one whose aggregated
+    contributions were lost with a failed master (the transaction is
+    then indeterminate — see {!abort}). *)
 
 val get_version : t -> (int, string) result
 (** Current root version at the local slave. *)

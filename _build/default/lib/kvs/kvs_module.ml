@@ -14,6 +14,7 @@ type config = {
   apply_cpu_per_tuple : float;
   dir_index_threshold : int;
   inline_threshold : int;
+  setroot_delta_max : int;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     apply_cpu_per_tuple = 0.3e-6;
     dir_index_threshold = 64;
     inline_threshold = 256;
+    setroot_delta_max = 0;
   }
 
 (* Fence aggregation state at a slave (or interior) instance. *)
@@ -64,12 +66,21 @@ type flush_dup = {
   mutable fd_waiting : Message.t list;
 }
 
+(* While frozen (a takeover or rejoin is reconstructing authoritative
+   state) only pure read-side methods are served; everything else queues
+   and replays once the instance thaws. *)
+type freeze_reason = Takeover | Rejoin
+
 type t = {
   b : Session.broker;
   cfg : config;
   eng : Engine.t;
   routing : routing;
-  master : bool;
+  mutable master : bool;
+  mutable epoch : int; (* mastership epoch; bumped by every takeover *)
+  mutable master_rank : int; (* current believed master *)
+  mutable service_ranks : int list; (* sorted ranks hosting this service *)
+  mutable frozen : (freeze_reason * Message.t list ref) option;
   cache : Json.t Lru.t; (* slave object cache *)
   store : (string, Json.t) Hashtbl.t; (* master authoritative store *)
   mutable root : Sha1.digest;
@@ -102,6 +113,8 @@ let trace t ~name ?fields () =
   | None -> ()
 
 let is_master t = t.master
+let epoch t = t.epoch
+let master_rank t = t.master_rank
 let version t = t.version
 let root_ref t = t.root
 let cached_objects t = if t.master then Hashtbl.length t.store else Lru.length t.cache
@@ -158,6 +171,13 @@ let find_entry t sha dir name =
       Hashtbl.find_opt idx name
     end
 
+(* Service peers that are currently reachable (election candidates and
+   fetch sources). *)
+let live_peers t =
+  let sess = Session.session_of t.b in
+  let self = Session.rank t.b in
+  List.filter (fun r -> r <> self && not (Session.is_down sess r)) t.service_ranks
+
 (* Upstream transport: the session's RPC tree by default, or a direct
    rank-addressed hop along the volume's relabeled tree. *)
 let send_up t ?timeout ?attempts ?idempotent ~method_ payload ~reply =
@@ -167,7 +187,22 @@ let send_up t ?timeout ?attempts ?idempotent ~method_ payload ~reply =
     | Some p ->
       Session.rpc_rank t.b ?timeout ?attempts ?idempotent ~dst:p ~topic payload ~reply
     | None -> reply (Error (t.routing.rt_service ^ ": master has no parent"))
-  else Session.request_from_module t.b ?timeout ?attempts ?idempotent ~topic payload ~reply
+  else
+    match t.routing.rt_parent () with
+    | Some _ ->
+      Session.request_from_module t.b ?timeout ?attempts ?idempotent ~topic payload ~reply
+    | None ->
+      (* This broker is the overlay root but not the master: the session
+         re-rooted here (e.g. rank 0 revived) while mastership stayed
+         with the elected successor. Hop straight to the master over the
+         rank plane; a loop-back to self lands in our own handler, which
+         queues it while a takeover is still in flight. *)
+      if t.master then reply (Error (t.routing.rt_service ^ ": master has no parent"))
+      else if t.master_rank = Session.rank t.b && t.frozen = None then
+        reply (Error (t.routing.rt_service ^ ": no live master"))
+      else
+        Session.rpc_rank t.b ?timeout ?attempts ?idempotent ~dst:t.master_rank ~topic
+          payload ~reply
 
 (* --- Flush duplicate suppression ---------------------------------------- *)
 
@@ -232,35 +267,104 @@ let fault_in t sha k =
   | None ->
     Hashtbl.replace t.pending_loads h (ref [ k ]);
     t.n_loads_issued <- t.n_loads_issued + 1;
-    (* Loads are pure reads: retransmit on timeout so a parent dying
-       mid-load resolves through the healed topology. *)
-    send_up t ~idempotent:true ~method_:"load" (Proto.load_request sha)
-      ~reply:(fun r ->
-        let outcome =
+    let finish outcome =
+      match Hashtbl.find_opt t.pending_loads h with
+      | Some waiters ->
+        Hashtbl.remove t.pending_loads h;
+        List.iter (fun k -> k outcome) (List.rev !waiters)
+      | None -> ()
+    in
+    if t.master then begin
+      (* The master is authoritative yet a freshly elected one may hold
+         an incomplete store: any replica of a content-addressed object
+         is as good as another (the git-store property the paper leans
+         on), so fault missing objects in from surviving slave caches. *)
+      let topic = t.routing.rt_service ^ ".fetch" in
+      let rec try_peers = function
+        | [] -> finish (Error (Printf.sprintf "object %s lost" (Sha1.short sha)))
+        | p :: rest ->
+          Session.rpc_rank t.b ~idempotent:true ~timeout:1.0 ~dst:p ~topic
+            (Proto.load_request sha) ~reply:(function
+            | Ok payload ->
+              cache_put t sha (Proto.load_reply_value payload);
+              finish (Ok ())
+            | Error _ -> try_peers rest)
+      in
+      try_peers (live_peers t)
+    end
+    else
+      (* Loads are pure reads: retransmit on timeout so a parent dying
+         mid-load resolves through the healed topology. *)
+      send_up t ~idempotent:true ~method_:"load" (Proto.load_request sha)
+        ~reply:(fun r ->
           match r with
           | Ok payload ->
             cache_put t sha (Proto.load_reply_value payload);
-            Ok ()
-          | Error e -> Error e
-        in
-        match Hashtbl.find_opt t.pending_loads h with
-        | Some waiters ->
-          Hashtbl.remove t.pending_loads h;
-          List.iter (fun k -> k outcome) (List.rev !waiters)
-        | None -> ())
+            finish (Ok ())
+          | Error e -> finish (Error e))
 
 (* --- Root/version management -------------------------------------------- *)
 
-let apply_root t ~version ~root =
-  if version > t.version then begin
-    t.version <- version;
-    t.root <- root;
-    let ready, waiting =
-      List.partition (fun (v, _) -> v <= t.version) t.version_waiters
-    in
-    t.version_waiters <- waiting;
-    List.iter (fun (_, req) -> Session.respond t.b req Json.null) ready
+(* Step down to a caching slave: fail the collectives this master was
+   aggregating (the participants' idempotent retransmits will find the
+   successor) and fold the authoritative store back into the ordinary
+   object cache. *)
+let demote t =
+  t.master <- false;
+  let mfs = Hashtbl.fold (fun name mf acc -> (name, mf) :: acc) t.master_fences [] in
+  Hashtbl.reset t.master_fences;
+  List.iter
+    (fun (_, mf) ->
+      List.iter (fun req -> respond_result t req (Error "kvs: master deposed")) mf.mf_pending)
+    mfs;
+  let entries = Hashtbl.fold (fun h v acc -> (h, v) :: acc) t.store [] in
+  Hashtbl.reset t.store;
+  t.bytes_held <- 0;
+  Hashtbl.iter
+    (fun _ v -> t.bytes_held <- t.bytes_held + Json.serialized_size v)
+    t.dirty_objs;
+  List.iter
+    (fun (h, v) ->
+      if not (Lru.mem t.cache h) then begin
+        t.bytes_held <- t.bytes_held + Json.serialized_size v;
+        Lru.put t.cache h v
+      end)
+    entries
+
+(* Adopt an epoch-stamped root announcement. Ordering is lexicographic
+   on (epoch, version): announcements from a stale epoch are ignored
+   outright — that is the split-brain guard — and within the current
+   epoch the version only moves forward, so reads at this rank are
+   monotonic even across failovers. A master that learns of a newer
+   epoch led by someone else demotes itself. *)
+let apply_root t (ri : Proto.root_info) =
+  if ri.Proto.ri_epoch >= t.epoch then begin
+    if ri.Proto.ri_epoch > t.epoch then t.epoch <- ri.Proto.ri_epoch;
+    if ri.Proto.ri_master >= 0 && ri.Proto.ri_master <> t.master_rank then begin
+      t.master_rank <- ri.Proto.ri_master;
+      if t.master && ri.Proto.ri_master <> Session.rank t.b then begin
+        trace t ~name:"demote" ~fields:[ ("epoch", Json.int t.epoch) ] ();
+        demote t
+      end
+    end;
+    if ri.Proto.ri_version > t.version then begin
+      t.version <- ri.Proto.ri_version;
+      t.root <- ri.Proto.ri_root;
+      let ready, waiting =
+        List.partition (fun (v, _) -> v <= t.version) t.version_waiters
+      in
+      t.version_waiters <- waiting;
+      List.iter (fun (_, req) -> Session.respond t.b req Json.null) ready
+    end
   end
+
+let current_ri t =
+  {
+    Proto.ri_epoch = t.epoch;
+    ri_master = t.master_rank;
+    ri_version = t.version;
+    ri_root = t.root;
+  }
 
 (* --- Master: applying batches --------------------------------------------- *)
 
@@ -282,23 +386,46 @@ let master_apply t ~tuples ~objects ~respond_to =
   in
   let finish () =
     trace t ~name:"apply" ~fields:[ ("tuples", Json.int ntuples) ] ();
+    let delta = ref [] in
+    let delta_bytes = ref 0 in
     if ntuples > 0 then begin
       let new_root =
         Tree.apply_tuples
           ~fetch:(fun sha -> lookup_obj t sha)
-          ~store:(fun v -> master_store t v)
+          ~store:(fun v ->
+            let sha = master_store t v in
+            (* Record the interior objects this apply created so the
+               setroot event can replicate them to every live slave:
+               value objects already ride the flush path, and with the
+               interior nodes mirrored too a takeover finds everything
+               it needs in surviving caches. Capped so huge directories
+               do not turn every setroot into a bulk transfer. *)
+            let sz = Json.serialized_size v in
+            if !delta_bytes + sz <= t.cfg.setroot_delta_max then begin
+              delta := { Proto.osha = sha; value = v } :: !delta;
+              delta_bytes := !delta_bytes + sz
+            end;
+            sha)
           ~root:t.root
           (List.map (fun (tp : Proto.tuple) -> (tp.Proto.key, dirent_of tp)) tuples)
       in
-      t.version <- t.version + 1;
-      t.root <- new_root
+      (* Adopting through [apply_root] bumps the version and wakes local
+         wait_version callers in one place. *)
+      apply_root t
+        {
+          Proto.ri_epoch = t.epoch;
+          ri_master = Session.rank t.b;
+          ri_version = t.version + 1;
+          ri_root = new_root;
+        }
     end;
-    let payload = Proto.commit_reply ~version:t.version ~root:t.root in
+    let ri = current_ri t in
+    let payload = Proto.commit_reply ri in
     List.iter (fun req -> respond_result t req (Ok payload)) respond_to;
     if ntuples > 0 then
-      Session.publish t.b ~topic:(t.routing.rt_service ^ ".setroot") payload;
-    (* Wake local wait_version callers. *)
-    apply_root t ~version:t.version ~root:t.root
+      Session.publish t.b
+        ~topic:(t.routing.rt_service ^ ".setroot")
+        (Proto.setroot_to_json ri ~objects:(List.rev !delta))
   in
   (* Charge the master CPU for tuple application, serialized across
      concurrent batches: this is the linear term that keeps the
@@ -417,8 +544,7 @@ let rec fence_forward t name fs =
   send_up t ~timeout:30.0 ~idempotent:true ~method_:"flush" payload ~reply:(fun r ->
       (match r with
       | Ok reply ->
-        let v, root = Proto.commit_reply_decode reply in
-        apply_root t ~version:v ~root;
+        apply_root t (Proto.commit_reply_decode reply);
         List.iter (fun req -> respond_result t req (Ok reply)) pending
       | Error e -> List.iter (fun req -> respond_result t req (Error e)) pending);
       if fs.fs_count = 0 && fs.fs_pending = [] then Hashtbl.remove t.fences name)
@@ -519,19 +645,28 @@ let handle_load t (req : Message.t) =
   match lookup_obj t sha with
   | Some v -> Session.respond t.b req (Proto.load_reply v)
   | None ->
-    if t.master then
-      Session.respond_error t.b req
-        (Printf.sprintf "unknown object %s" (Sha1.short sha))
-    else
-      fault_in t sha (function
-        | Ok () -> (
-          match lookup_obj t sha with
-          | Some v -> Session.respond t.b req (Proto.load_reply v)
-          | None ->
-            (* Evicted between fault-in and reply: extremely unlikely;
-               treat as a miss the client may retry. *)
-            Session.respond_error t.b req "object evicted during load")
-        | Error e -> Session.respond_error t.b req e)
+    (* A slave faults upstream; the master faults sideways into the
+       surviving slave caches (see [fault_in]). *)
+    fault_in t sha (function
+      | Ok () -> (
+        match lookup_obj t sha with
+        | Some v -> Session.respond t.b req (Proto.load_reply v)
+        | None ->
+          (* Evicted between fault-in and reply: extremely unlikely;
+             treat as a miss the client may retry. *)
+          Session.respond_error t.b req "object evicted during load")
+      | Error e -> Session.respond_error t.b req e)
+
+(* Strictly local object lookup — the peer-fetch used by a newly elected
+   master to reconstruct its store. Never recurses into [fault_in], so a
+   fetch can never ping-pong between two incomplete replicas. *)
+let handle_fetch t (req : Message.t) =
+  let sha = Proto.load_request_sha req.Message.payload in
+  match lookup_obj t sha with
+  | Some v -> Session.respond t.b req (Proto.load_reply v)
+  | None ->
+    Session.respond_error t.b req
+      (Printf.sprintf "object %s not cached" (Sha1.short sha))
 
 let handle_commit t (req : Message.t) =
   let tuples =
@@ -549,8 +684,7 @@ let handle_commit t (req : Message.t) =
     send_up t ~idempotent:true ~method_:"flush" payload ~reply:(fun r ->
         match r with
         | Ok reply ->
-          let v, root = Proto.commit_reply_decode reply in
-          apply_root t ~version:v ~root;
+          apply_root t (Proto.commit_reply_decode reply);
           Session.respond t.b req reply
         | Error e -> Session.respond_error t.b req e)
 
@@ -590,8 +724,7 @@ let handle_mput t (req : Message.t) =
       ~reply:(fun r ->
         match r with
         | Ok reply ->
-          let v, root = Proto.commit_reply_decode reply in
-          apply_root t ~version:v ~root;
+          apply_root t (Proto.commit_reply_decode reply);
           Session.respond t.b req reply
         | Error e -> Session.respond_error t.b req e)
 
@@ -638,8 +771,7 @@ let handle_flush t (req : Message.t) =
         send_up t ~idempotent:true ~method_:"flush" fwd ~reply:(fun r ->
             match r with
             | Ok reply ->
-              let v, root = Proto.commit_reply_decode reply in
-              apply_root t ~version:v ~root;
+              apply_root t (Proto.commit_reply_decode reply);
               respond_result t req (Ok reply)
             | Error e -> respond_result t req (Error e))
       end
@@ -654,7 +786,157 @@ let handle_waitversion t (req : Message.t) =
   else t.version_waiters <- (v, req) :: t.version_waiters
 
 let handle_getroot t (req : Message.t) =
-  Session.respond t.b req (Proto.commit_reply ~version:t.version ~root:t.root)
+  Session.respond t.b req (Proto.commit_reply (current_ri t))
+
+(* --- Freeze / dispatch ---------------------------------------------------------- *)
+
+(* Methods safe to serve while frozen: pure local reads that can never
+   recurse into a self-addressed RPC. ("get"/"load" are excluded — they
+   may fault in through [send_up], which can loop back to this very
+   instance mid-takeover.) *)
+let pure_while_frozen = function
+  | "getversion" | "getroot" | "fetch" | "waitversion" -> true
+  | _ -> false
+
+let handle_request t (req : Message.t) =
+  let m = Topic.method_ req.Message.topic in
+  match t.frozen with
+  | Some (_, q) when not (pure_while_frozen m) -> q := req :: !q
+  | _ -> (
+    match m with
+    | "put" -> handle_put t req
+    | "get" -> handle_get t req
+    | "load" -> handle_load t req
+    | "fetch" -> handle_fetch t req
+    | "commit" -> handle_commit t req
+    | "fence" -> handle_fence t req
+    | "mput" -> handle_mput t req
+    | "flush" -> handle_flush t req
+    | "getversion" -> handle_getversion t req
+    | "waitversion" -> handle_waitversion t req
+    | "getroot" -> handle_getroot t req
+    | m ->
+      Session.respond_error t.b req
+        (Printf.sprintf "%s: unknown method %S" t.routing.rt_service m))
+
+let unfreeze t =
+  match t.frozen with
+  | None -> ()
+  | Some (_, q) ->
+    t.frozen <- None;
+    trace t ~name:"unfreeze" ~fields:[ ("queued", Json.int (List.length !q)) ] ();
+    let queued = List.rev !q in
+    q := [];
+    List.iter (fun req -> handle_request t req) queued
+
+(* --- Failover: election, takeover, rejoin --------------------------------------- *)
+
+(* Fold the object cache (and still-pinned dirty objects) into the
+   authoritative store of a rank assuming mastership. *)
+let promote t =
+  t.master <- true;
+  t.bytes_held <- 0;
+  let adopt h v =
+    if not (Hashtbl.mem t.store h) then begin
+      Hashtbl.replace t.store h v;
+      t.bytes_held <- t.bytes_held + Json.serialized_size v
+    end
+  in
+  Lru.iter adopt t.cache;
+  Lru.clear t.cache;
+  Hashtbl.reset t.dir_index;
+  Hashtbl.iter adopt t.dirty_objs
+
+(* Deterministic, non-preemptive takeover: freeze, snapshot the newest
+   (epoch, version, root) any surviving peer has seen, move to a fresh
+   epoch above all of them, promote the local cache to the store, and
+   re-announce via an epoch-stamped setroot. Objects the promoted cache
+   is missing are faulted in lazily from surviving peers ([fault_in]). *)
+let begin_takeover t =
+  if not t.master then begin
+    (match t.frozen with
+    | Some _ -> ()
+    | None -> t.frozen <- Some (Takeover, ref []));
+    trace t ~name:"takeover" ~fields:[ ("epoch", Json.int t.epoch) ] ();
+    let self = Session.rank t.b in
+    t.master_rank <- self;
+    let peers = live_peers t in
+    let best = ref (t.epoch, t.version, t.root) in
+    let remaining = ref (List.length peers) in
+    let finish () =
+      let e, v, root = !best in
+      apply_root t
+        { Proto.ri_epoch = e + 1; ri_master = self; ri_version = v; ri_root = root };
+      promote t;
+      let ri = current_ri t in
+      Session.publish t.b
+        ~topic:(t.routing.rt_service ^ ".setroot")
+        (Proto.setroot_to_json ri ~objects:[]);
+      trace t ~name:"master_elected"
+        ~fields:[ ("epoch", Json.int t.epoch); ("version", Json.int t.version) ]
+        ();
+      unfreeze t
+    in
+    if peers = [] then finish ()
+    else
+      List.iter
+        (fun p ->
+          Session.rpc_rank t.b ~idempotent:true ~timeout:1.0 ~dst:p
+            ~topic:(t.routing.rt_service ^ ".getroot")
+            Json.null
+            ~reply:(fun r ->
+              (match r with
+              | Ok payload ->
+                let ri = Proto.commit_reply_decode payload in
+                let be, bv, _ = !best in
+                if
+                  ri.Proto.ri_epoch > be
+                  || (ri.Proto.ri_epoch = be && ri.Proto.ri_version > bv)
+                then best := (ri.Proto.ri_epoch, ri.Proto.ri_version, ri.Proto.ri_root)
+              | Error _ -> ());
+              decr remaining;
+              if !remaining = 0 then finish ()))
+        peers
+  end
+
+(* A rank coming back from a blackout: everything it believed may be
+   stale and, if it was the master, a successor has been elected in the
+   meantime. Freeze, drop in-flight collective state (the participants
+   timed out long ago), announce ourselves, and thaw once the incumbent
+   master's epoch-stamped setroot arrives. With no surviving peer there
+   is nobody to learn from: adopt what we have via a self-takeover. *)
+let begin_rejoin t =
+  if t.master then demote t;
+  t.frozen <- Some (Rejoin, ref []);
+  Hashtbl.reset t.fences;
+  Hashtbl.reset t.master_fences;
+  let stale_loads = Hashtbl.fold (fun _ w acc -> List.rev !w @ acc) t.pending_loads [] in
+  Hashtbl.reset t.pending_loads;
+  List.iter (fun k -> k (Error "kvs: node rejoined")) stale_loads;
+  match live_peers t with
+  | [] -> begin_takeover t
+  | _ :: _ ->
+    trace t ~name:"rejoin" ();
+    Session.publish t.b
+      ~topic:(t.routing.rt_service ^ ".hello")
+      (Json.obj [ ("rank", Json.int (Session.rank t.b)) ])
+
+(* Liveness transitions, fed by the session's watch list. Election is
+   deterministic (the lowest live service rank succeeds a dead master)
+   and non-preemptive (mastership moves only when the master dies). *)
+let on_liveness t r up =
+  let sess = Session.session_of t.b in
+  let self = Session.rank t.b in
+  if up then begin
+    if r = self then begin_rejoin t
+  end
+  else if r <> self && r = t.master_rank && not (Session.is_down sess self) then begin
+    match List.filter (fun c -> not (Session.is_down sess c)) t.service_ranks with
+    | [] -> ()
+    | lowest :: _ ->
+      t.master_rank <- lowest;
+      if lowest = self then begin_takeover t
+  end
 
 (* --- Module wiring -------------------------------------------------------------- *)
 
@@ -676,6 +958,10 @@ let create_instance cfg ?routing b =
       eng = Session.b_engine b;
       routing;
       master = Session.rank b = routing.rt_master;
+      epoch = 0;
+      master_rank = routing.rt_master;
+      service_ranks = [ routing.rt_master ];
+      frozen = None;
       cache = Lru.create ~capacity:cfg.cache_capacity;
       store = Hashtbl.create 1024;
       root = Tree.empty_dir_sha;
@@ -708,24 +994,34 @@ let module_of t =
     on_request =
       (fun (req : Message.t) ->
         trace t ~name:(Topic.method_ req.Message.topic) ();
-        (match Topic.method_ req.Message.topic with
-        | "put" -> handle_put t req
-        | "get" -> handle_get t req
-        | "load" -> handle_load t req
-        | "commit" -> handle_commit t req
-        | "fence" -> handle_fence t req
-        | "mput" -> handle_mput t req
-        | "flush" -> handle_flush t req
-        | "getversion" -> handle_getversion t req
-        | "waitversion" -> handle_waitversion t req
-        | "getroot" -> handle_getroot t req
-        | m -> Session.respond_error t.b req (Printf.sprintf "kvs: unknown method %S" m));
+        handle_request t req;
         Session.Consumed);
     on_event =
       (fun (ev : Message.t) ->
-        if String.equal ev.Message.topic (t.routing.rt_service ^ ".setroot") then begin
-          let v, root = Proto.setroot_of_json ev.Message.payload in
-          apply_root t ~version:v ~root
+        let svc = t.routing.rt_service in
+        if String.equal ev.Message.topic (svc ^ ".setroot") then begin
+          let ri, objects = Proto.setroot_of_json ev.Message.payload in
+          (* Replicate the commit's interior objects before adopting the
+             root, so this cache can serve them to a future takeover. *)
+          List.iter (fun (o : Proto.obj) -> cache_put t o.Proto.osha o.Proto.value) objects;
+          apply_root t ri;
+          match t.frozen with
+          | Some (Rejoin, _)
+            when ri.Proto.ri_master >= 0
+                 && ri.Proto.ri_epoch >= t.epoch
+                 && not (Session.is_down (Session.session_of t.b) ri.Proto.ri_master) ->
+            (* The incumbent master answered our hello (or a fresh commit
+               flowed past): we know who leads the current epoch and hold
+               its root, so the rejoin is complete. *)
+            unfreeze t
+          | _ -> ()
+        end
+        else if String.equal ev.Message.topic (svc ^ ".hello") then begin
+          (* A rejoiner asked for the current root: only the live master
+             of the current epoch answers, with a fresh setroot. *)
+          if t.master && t.frozen = None then
+            Session.publish t.b ~topic:(svc ^ ".setroot")
+              (Proto.setroot_to_json (current_ri t) ~objects:[])
         end);
   }
 
@@ -746,11 +1042,23 @@ let load sess ?(config = default_config) ?ranks () =
   let instances =
     Array.of_list (List.map (fun r -> create_instance config (Session.broker sess r)) targets)
   in
+  let service_ranks = List.sort_uniq compare targets in
+  Array.iter (fun t -> t.service_ranks <- service_ranks) instances;
   let by_rank = Hashtbl.create 64 in
   List.iteri (fun i r -> Hashtbl.replace by_rank r instances.(i)) targets;
   Session.load_module sess ~ranks:targets (fun b ->
       module_of (Hashtbl.find by_rank (Session.rank b)));
+  (* Failover and rejoin are driven off the session's liveness
+     transitions; each instance reacts independently so the election is
+     symmetric (everyone computes the same lowest-live successor). *)
+  Session.add_liveness_watch sess (fun r up ->
+      Array.iter (fun t -> on_liveness t r up) instances);
   instances
+
+(* Routed families (Volumes) keep their statically assigned master: the
+   per-volume trees are relabeled so "lowest live rank" is meaningless
+   there, and the volume experiments never kill masters. No liveness
+   watch is registered for them. *)
 
 let load_routed sess ?(config = default_config) ~routing () =
   let instances =

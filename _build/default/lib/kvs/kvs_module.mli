@@ -33,6 +33,14 @@ type config = {
       (** values serialized to at most this many bytes are stored inline
           in their directory entry, as in the prototype — reading one
           small value then requires faulting in its whole directory *)
+  setroot_delta_max : int;
+      (** byte budget for replicating a commit's freshly created interior
+          tree objects inside its [setroot] event: with the interiors
+          mirrored into slave caches, a takeover after a master loss can
+          rebuild the full store from survivors. The default [0] keeps
+          the paper's fault-in phenomenology (slaves hold only what they
+          pulled or wrote) — deployments that need acked commits to
+          survive master loss set a budget, as the chaos harness does. *)
 }
 
 val default_config : config
@@ -74,9 +82,29 @@ val load_routed :
 (** Load one store family under the given per-rank routing, on every
     rank. *)
 
-(** {1 Introspection} *)
+(** {1 Failover and rejoin}
+
+    Loading via {!load} registers a session liveness watch. When the
+    master is marked down, the lowest live service rank deterministically
+    assumes mastership: it freezes non-pure requests, adopts the newest
+    (epoch, version, root) any surviving peer has seen, bumps the epoch,
+    promotes its object cache to the authoritative store (faulting
+    missing objects in from peers), and re-announces via an epoch-stamped
+    [setroot] — announcements from stale epochs are ignored everywhere,
+    so a deposed master cannot split-brain. When a rank is marked up
+    again it freezes, publishes a [hello], and thaws once the incumbent
+    master's setroot brings it to the current epoch and version.
+    Mastership is non-preemptive: a revived lower rank rejoins as a
+    slave. {!load_routed} families keep their static master. *)
 
 val is_master : t -> bool
+
+val epoch : t -> int
+(** Mastership epoch this instance has reached (0 until a failover). *)
+
+val master_rank : t -> int
+(** The rank this instance currently believes is master. *)
+
 val version : t -> int
 val root_ref : t -> Sha1.digest
 val cached_objects : t -> int

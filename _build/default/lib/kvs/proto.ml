@@ -66,18 +66,50 @@ let tuples_of_json j = List.map tuple_of_json (Json.to_list j)
 let put_reply sha = Json.obj [ ("s", Json.string (Sha1.to_hex sha)) ]
 let put_reply_sha j = Sha1.of_hex (Json.to_string_v (Json.member "s" j))
 
-let setroot_to_json ~version ~root =
+type root_info = {
+  ri_epoch : int;
+  ri_master : int;
+  ri_version : int;
+  ri_root : Sha1.digest;
+}
+
+let root_info_fields ri =
+  [
+    ("version", Json.int ri.ri_version);
+    ("rootref", Json.string (Sha1.to_hex ri.ri_root));
+    ("epoch", Json.int ri.ri_epoch);
+    ("master", Json.int ri.ri_master);
+  ]
+
+let root_info_to_json ri = Json.obj (root_info_fields ri)
+
+let root_info_of_json j =
+  {
+    ri_version = Json.to_int (Json.member "version" j);
+    ri_root = Sha1.of_hex (Json.to_string_v (Json.member "rootref" j));
+    (* Pre-failover peers omit epoch/master: default to the first epoch
+       with the conventional rank-0 master. *)
+    ri_epoch = (match Json.member_opt "epoch" j with Some e -> Json.to_int e | None -> 0);
+    ri_master = (match Json.member_opt "master" j with Some m -> Json.to_int m | None -> 0);
+  }
+
+let setroot_to_json ri ~objects =
   Json.obj
-    [ ("version", Json.int version); ("rootref", Json.string (Sha1.to_hex root)) ]
+    (root_info_fields ri
+    @
+    if objects = [] then []
+    else [ ("objects", Json.list (List.map obj_to_json objects)) ])
 
 let setroot_of_json j =
-  ( Json.to_int (Json.member "version" j),
-    Sha1.of_hex (Json.to_string_v (Json.member "rootref" j)) )
+  ( root_info_of_json j,
+    match Json.member_opt "objects" j with
+    | Some oj -> List.map obj_of_json (Json.to_list oj)
+    | None -> [] )
 
 let load_request sha = Json.obj [ ("s", Json.string (Sha1.to_hex sha)) ]
 let load_request_sha j = Sha1.of_hex (Json.to_string_v (Json.member "s" j))
 let load_reply v = Json.obj [ ("v", v) ]
 let load_reply_value j = Json.member "v" j
 
-let commit_reply ~version ~root = setroot_to_json ~version ~root
-let commit_reply_decode = setroot_of_json
+let commit_reply = root_info_to_json
+let commit_reply_decode = root_info_of_json

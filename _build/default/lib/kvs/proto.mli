@@ -34,13 +34,32 @@ val put_reply : Sha1.digest -> Json.t
 
 val put_reply_sha : Json.t -> Sha1.digest
 
-val setroot_to_json : version:int -> root:Sha1.digest -> Json.t
-val setroot_of_json : Json.t -> int * Sha1.digest
+type root_info = {
+  ri_epoch : int;
+      (** mastership epoch: bumped by every takeover, so announcements
+          from a deposed master are recognizably stale *)
+  ri_master : int;  (** the rank announcing itself as master for [ri_epoch] *)
+  ri_version : int;
+  ri_root : Sha1.digest;
+}
+(** The epoch-stamped authoritative root. Ordering is lexicographic on
+    ([ri_epoch], [ri_version]); decoders default missing [epoch]/[master]
+    fields to [0] for compatibility with pre-failover peers. *)
+
+val root_info_to_json : root_info -> Json.t
+val root_info_of_json : Json.t -> root_info
+
+val setroot_to_json : root_info -> objects:obj list -> Json.t
+(** The [setroot] event payload: the new root plus the interior tree
+    objects this commit created, so slaves can replicate them eagerly
+    (a later takeover then finds them in surviving caches). *)
+
+val setroot_of_json : Json.t -> root_info * obj list
 
 val load_request : Sha1.digest -> Json.t
 val load_request_sha : Json.t -> Sha1.digest
 val load_reply : Json.t -> Json.t
 val load_reply_value : Json.t -> Json.t
 
-val commit_reply : version:int -> root:Sha1.digest -> Json.t
-val commit_reply_decode : Json.t -> int * Sha1.digest
+val commit_reply : root_info -> Json.t
+val commit_reply_decode : Json.t -> root_info

@@ -5,9 +5,14 @@ module Topic = Flux_cmb.Topic
 
 type t = {
   b : Session.broker;
-  master : bool;
   groups : (string, (int * string) list ref) Hashtbl.t; (* root only; reversed *)
 }
+
+(* Mastership follows the overlay root dynamically so the service
+   survives a root failover: after rank 0 dies, join/leave/members
+   resolve at the new root. Its table starts empty — membership does not
+   migrate, members must re-join (a membership epoch, in effect). *)
+let is_root t = Session.tree_parent t.b = None
 
 let group_of t name =
   match Hashtbl.find_opt t.groups name with
@@ -22,7 +27,7 @@ let module_of t =
     Session.mod_name = "group";
     on_request =
       (fun (req : Message.t) ->
-        if not t.master then
+        if not (is_root t) then
           (* Non-root instances pass membership operations upstream so
              the root holds the authoritative view. *)
           Session.Pass
@@ -61,9 +66,18 @@ let module_of t =
 let load sess () =
   let instances =
     Array.init (Session.size sess) (fun r ->
-        { b = Session.broker sess r; master = r = 0; groups = Hashtbl.create 8 })
+        { b = Session.broker sess r; groups = Hashtbl.create 8 })
   in
   Session.load_module sess (fun b -> module_of instances.(Session.rank b));
+  (* A dead rank's processes cannot leave their groups; purge them so
+     group sizes (and the barriers sized from them) reflect the
+     survivors. *)
+  Session.add_liveness_watch sess (fun r up ->
+      if not up then
+        Array.iter
+          (fun t ->
+            Hashtbl.iter (fun _ g -> g := List.filter (fun (mr, _) -> mr <> r) !g) t.groups)
+          instances);
   instances
 
 let join api ~group ~tag =

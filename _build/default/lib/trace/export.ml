@@ -42,6 +42,30 @@ let to_text t =
     (Tracer.events t);
   Buffer.contents buf
 
+let counters_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "category,name,count,total_dur_s\n";
+  List.iter
+    (fun ((cat, name), count) ->
+      let dur = Tracer.total_duration t ~cat ~name in
+      Buffer.add_string buf (Printf.sprintf "%s,%s,%d,%.9f\n" cat name count dur))
+    (Tracer.counters t);
+  Buffer.contents buf
+
+let fault_counters_csv ?(extra = []) ~rpc_timeouts ~rpc_retries ~dead_letters ~dropped () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "metric,value\n";
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%s,%d\n" name v))
+    ([
+       ("rpc_timeouts", rpc_timeouts);
+       ("rpc_retries", rpc_retries);
+       ("dead_letters", dead_letters);
+       ("dropped", dropped);
+     ]
+    @ extra);
+  Buffer.contents buf
+
 let summary t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

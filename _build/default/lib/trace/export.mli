@@ -13,3 +13,21 @@ val to_text : Tracer.t -> string
 val summary : Tracer.t -> string
 (** Per-(category, name) table: occurrence count and, where spans were
     recorded, total virtual duration. *)
+
+val counters_csv : Tracer.t -> string
+(** {!summary} as machine-readable CSV:
+    [category,name,count,total_dur_s]. *)
+
+val fault_counters_csv :
+  ?extra:(string * int) list ->
+  rpc_timeouts:int ->
+  rpc_retries:int ->
+  dead_letters:int ->
+  dropped:int ->
+  unit ->
+  string
+(** The failure-diagnosis counters (session RPC lifecycle + Net
+    accounting) as a [metric,value] CSV. Takes plain integers so this
+    library stays independent of the simulator; callers feed it
+    [Session.rpc_timeouts], [Net.stats ...] etc., plus any [extra]
+    rows (e.g. takeover counts). *)

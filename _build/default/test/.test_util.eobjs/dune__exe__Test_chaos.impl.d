@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Array Flux_cmb Flux_json Flux_kap Flux_kvs Flux_sim List Printf Result

@@ -1,1 +1,1 @@
-test/test_failures.ml: Alcotest Array Char Float Flux_cmb Flux_json Flux_kvs Flux_sim Fun List Printf String
+test/test_failures.ml: Alcotest Array Char Float Flux_cmb Flux_json Flux_kvs Flux_modules Flux_sim Fun Hashtbl List Printf String

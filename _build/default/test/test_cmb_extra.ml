@@ -158,34 +158,53 @@ let test_event_total_order_large_kary () =
 (* --- Healing consistency property ------------------------------------------------------ *)
 
 let prop_heal_topology_consistent =
-  QCheck.Test.make ~name:"healing keeps a consistent forest over live ranks" ~count:60
-    QCheck.(pair (int_range 2 40) (small_list (int_range 1 39)))
+  QCheck.Test.make ~name:"healing keeps a live tree rooted at the lowest live rank" ~count:60
+    QCheck.(pair (int_range 2 40) (small_list (int_range 0 39)))
     (fun (n, kills) ->
       let eng = Engine.create () in
       let sess = Session.create eng ~size:n () in
-      List.iter (fun r -> if r < n then Session.mark_down sess r) kills;
+      (* Kill the requested ranks but always leave at least one alive. *)
+      List.iter
+        (fun r ->
+          if r < n && List.length (Session.alive_ranks sess) > 1 then Session.mark_down sess r)
+        kills;
       Engine.run eng;
       let alive = Session.alive_ranks sess in
-      List.for_all
-        (fun r ->
-          let b = Session.broker sess r in
-          let parent_ok =
-            match Session.tree_parent b with
-            | Some p ->
-              (* parent is alive, an ancestor in the static tree, and
-                 lists us as a child *)
-              (not (Session.is_down sess p))
-              && Treemath.on_path ~k:2 ~ancestor:p r
-              && List.mem r (Session.tree_children (Session.broker sess p))
-            | None -> r = 0 || Session.is_down sess 0 || kills <> []
-          in
-          let children_ok =
-            List.for_all
-              (fun c -> Session.tree_parent (Session.broker sess c) = Some r)
-              (Session.tree_children b)
-          in
-          parent_ok && children_ok)
-        alive)
+      let root = Session.root_rank sess in
+      let root_ok = root = List.fold_left min n alive in
+      let reaches_root r =
+        (* Walking parents terminates at the overlay root (no cycles). *)
+        let rec walk r steps =
+          if steps > n then false
+          else
+            match Session.tree_parent (Session.broker sess r) with
+            | None -> r = root
+            | Some p -> walk p (steps + 1)
+        in
+        walk r 0
+      in
+      root_ok
+      && List.for_all
+           (fun r ->
+             let b = Session.broker sess r in
+             let parent_ok =
+               match Session.tree_parent b with
+               | Some p ->
+                 (* parent is alive, lists us as a child, and is either a
+                    static-tree ancestor or the overlay root adopting an
+                    orphaned subtree *)
+                 (not (Session.is_down sess p))
+                 && (Treemath.on_path ~k:2 ~ancestor:p r || p = root)
+                 && List.mem r (Session.tree_children (Session.broker sess p))
+               | None -> r = root
+             in
+             let children_ok =
+               List.for_all
+                 (fun c -> Session.tree_parent (Session.broker sess c) = Some r)
+                 (Session.tree_children b)
+             in
+             parent_ok && children_ok && reaches_root r)
+           alive)
 
 (* --- Session hierarchy --------------------------------------------------------- *)
 

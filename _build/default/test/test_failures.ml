@@ -177,6 +177,139 @@ let test_fence_survives_parent_death () =
   check int "exactly one version bump" 1
     (match !versions with v :: _ -> v | [] -> 0)
 
+(* --- Heal edge cases: root death, cascades, wide fan-outs, rejoin -------- *)
+
+let subscribe_counters sess ranks =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace counts r 0;
+      let api = Api.connect sess ~rank:r in
+      Api.subscribe api ~prefix:"hx" (fun ~topic:_ _ ->
+          Hashtbl.replace counts r (Hashtbl.find counts r + 1)))
+    ranks;
+  counts
+
+let test_root_death_reroots () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:7 () in
+  let live = [ 1; 2; 3; 4; 5; 6 ] in
+  let counts = subscribe_counters sess live in
+  Session.mark_down sess 0;
+  Engine.run eng;
+  check int "lowest live rank is the new root" 1 (Session.root_rank sess);
+  (* Rank 2's only static ancestor (0) is dead: the whole orphaned
+     subtree attaches to the new root. *)
+  check (Alcotest.option int) "rank 2 adopted by new root" (Some 1)
+    (Session.tree_parent (Session.broker sess 2));
+  check (Alcotest.option int) "new root has no parent" None
+    (Session.tree_parent (Session.broker sess 1));
+  (* The root-stamped sequence survives: events published after the root
+     death still reach every live rank. *)
+  let api = Api.connect sess ~rank:5 in
+  Api.publish api ~topic:"hx.a" (Json.int 1);
+  Engine.run eng;
+  List.iter
+    (fun r -> check int (Printf.sprintf "rank %d got the event" r) 1 (Hashtbl.find counts r))
+    live
+
+let test_cascading_ancestor_deaths () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:15 () in
+  (* Rank 13's full static ancestor chain is 6 -> 2 -> 0; kill it bottom
+     to top so each heal must look further up, ending at the new root. *)
+  List.iter (fun r -> Session.mark_down sess r) [ 6; 2; 0 ];
+  Engine.run eng;
+  check int "new root" 1 (Session.root_rank sess);
+  check (Alcotest.option int) "rank 13 falls through to the root" (Some 1)
+    (Session.tree_parent (Session.broker sess 13));
+  check (Alcotest.option int) "rank 14 falls through to the root" (Some 1)
+    (Session.tree_parent (Session.broker sess 14));
+  (* Rank 5 still has its live static ancestor path cut at 2: adopts root. *)
+  check (Alcotest.option int) "rank 5 adopted by root" (Some 1)
+    (Session.tree_parent (Session.broker sess 5));
+  let live = Session.alive_ranks sess in
+  let counts = subscribe_counters sess live in
+  let api = Api.connect sess ~rank:14 in
+  Api.publish api ~topic:"hx.c" (Json.int 1);
+  Engine.run eng;
+  List.iter
+    (fun r -> check int (Printf.sprintf "rank %d got the event" r) 1 (Hashtbl.find counts r))
+    live
+
+let test_fanout3_root_death () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~fanout:3 ~size:13 () in
+  Session.mark_down sess 0;
+  Engine.run eng;
+  check int "new root" 1 (Session.root_rank sess);
+  (* All three static children of rank 0 must end up under the new root
+     (rank 1 by promotion, 2 and 3 by adoption). *)
+  let kids = List.sort compare (Session.tree_children (Session.broker sess 1)) in
+  check bool "rank 2 under new root" true (List.mem 2 kids);
+  check bool "rank 3 under new root" true (List.mem 3 kids);
+  (* Rank 1's own static children are still there. *)
+  List.iter (fun c -> check bool "static child kept" true (List.mem c kids)) [ 4; 5; 6 ]
+
+let test_heal_then_rejoin_roundtrip () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:15 () in
+  let epoch0 = Session.topology_epoch sess in
+  Session.mark_down sess 6;
+  Session.mark_down sess 0;
+  Engine.run eng;
+  check int "re-rooted at 1" 1 (Session.root_rank sess);
+  Session.mark_up sess 6;
+  Session.mark_up sess 0;
+  Engine.run eng;
+  (* Pristine static topology restored. *)
+  check int "rank 0 is root again" 0 (Session.root_rank sess);
+  check bool "topology epoch advanced" true (Session.topology_epoch sess > epoch0);
+  for r = 1 to 14 do
+    check (Alcotest.option int)
+      (Printf.sprintf "rank %d static parent restored" r)
+      (Some ((r - 1) / 2))
+      (Session.tree_parent (Session.broker sess r))
+  done;
+  (* Revived ranks receive post-rejoin events. *)
+  let all = List.init 15 Fun.id in
+  let counts = subscribe_counters sess all in
+  let api = Api.connect sess ~rank:13 in
+  Api.publish api ~topic:"hx.r" (Json.int 1);
+  Engine.run eng;
+  List.iter
+    (fun r -> check int (Printf.sprintf "rank %d got the event" r) 1 (Hashtbl.find counts r))
+    all
+
+let test_live_rejoin_clears_declared_down () =
+  let module Hb = Flux_modules.Hb in
+  let module Live = Flux_modules.Live in
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:7 () in
+  let hb = Hb.load sess ~period:0.05 () in
+  let live = Live.load sess ~hb ~max_missed:3 () in
+  (* Crash leaf 5 silently; its parent (rank 2) declares it. *)
+  ignore (Engine.schedule eng ~delay:0.3 (fun () -> Session.crash sess 5) : Engine.handle);
+  ignore
+    (Engine.schedule eng ~delay:1.0 (fun () ->
+         check bool "declared down before rejoin" true (List.mem 5 (Live.declared_down live.(2)));
+         Session.mark_up sess 5)
+      : Engine.handle);
+  ignore
+    (Engine.schedule eng ~delay:1.5 (fun () ->
+         (* Rejoin cleared the declaration and restarted 5's liveness
+            clock: no immediate re-declaration from the stale history. *)
+         check (Alcotest.list int) "declaration cleared on rejoin" []
+           (Live.declared_down live.(2));
+         check bool "session up" false (Session.is_down sess 5);
+         (* A second silent crash must be detected afresh. *)
+         Session.crash sess 5)
+      : Engine.handle);
+  ignore (Engine.schedule eng ~delay:2.5 (fun () -> Hb.stop hb) : Engine.handle);
+  Engine.run eng;
+  check bool "second crash re-detected" true (List.mem 5 (Live.declared_down live.(2)));
+  check bool "session marked down again" true (Session.is_down sess 5)
+
 (* --- Cache byte accounting under eviction -------------------------------- *)
 
 let test_lru_eviction_bounds_store_bytes () =
@@ -230,5 +363,14 @@ let () =
             test_sparse_fence_with_dead_child;
           Alcotest.test_case "fence survives parent death" `Quick
             test_fence_survives_parent_death;
+        ] );
+      ( "heal",
+        [
+          Alcotest.test_case "root death re-roots the overlay" `Quick test_root_death_reroots;
+          Alcotest.test_case "cascading ancestor deaths" `Quick test_cascading_ancestor_deaths;
+          Alcotest.test_case "fanout-3 root death" `Quick test_fanout3_root_death;
+          Alcotest.test_case "heal then rejoin round-trip" `Quick test_heal_then_rejoin_roundtrip;
+          Alcotest.test_case "live rejoin clears declared_down" `Quick
+            test_live_rejoin_clears_declared_down;
         ] );
     ]

@@ -119,6 +119,29 @@ let test_summary_table () =
   check bool "has duration" true
     (try ignore (Str.search_forward (Str.regexp_string "1.000000") s 0); true with Not_found -> false)
 
+let test_counters_csv () =
+  let clock = ref 0.0 in
+  let tr = Tracer.create ~now:(fun () -> !clock) () in
+  Tracer.emit tr ~cat:"cmb" ~name:"send" ();
+  Tracer.emit tr ~cat:"cmb" ~name:"send" ();
+  ignore (Tracer.span tr ~cat:"kvs" ~name:"fence" (fun () -> clock := 0.5));
+  let csv = Export.counters_csv tr in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check string "header" "category,name,count,total_dur_s" (List.hd lines);
+  check bool "cmb send row" true (List.exists (fun l -> l = "cmb,send,2,0.000000000") lines);
+  check bool "kvs fence duration" true
+    (List.exists (fun l -> l = "kvs,fence,1,0.500000000" || l = "kvs,fence,2,0.500000000") lines)
+
+let test_fault_counters_csv () =
+  let csv =
+    Export.fault_counters_csv
+      ~extra:[ ("takeovers", 2) ]
+      ~rpc_timeouts:3 ~rpc_retries:5 ~dead_letters:7 ~dropped:11 ()
+  in
+  check string "exact rows"
+    "metric,value\nrpc_timeouts,3\nrpc_retries,5\ndead_letters,7\ndropped,11\ntakeovers,2\n"
+    csv
+
 (* --- Integrations ------------------------------------------------------------- *)
 
 let test_session_integration () =
@@ -197,6 +220,8 @@ let () =
         [
           Alcotest.test_case "jsonl roundtrip" `Quick test_export_roundtrip;
           Alcotest.test_case "summary" `Quick test_summary_table;
+          Alcotest.test_case "counters csv" `Quick test_counters_csv;
+          Alcotest.test_case "fault counters csv" `Quick test_fault_counters_csv;
         ] );
       ( "integration",
         [

@@ -3,7 +3,13 @@
     operations.
 
     Membership is tracked at the session root; members are identified by
-    (rank, tag) pairs so several processes per node can join. *)
+    (rank, tag) pairs so several processes per node can join.
+
+    Failures: a rank marked down is purged from every group (its
+    processes cannot leave on their own). Mastership follows the overlay
+    root, so the service survives a root failover — but membership does
+    not migrate to the new root: the tables start a new epoch there and
+    survivors must re-join. *)
 
 type t
 

@@ -48,12 +48,29 @@ let check_children t epoch =
       | None -> Hashtbl.replace t.last_hello child epoch
       | Some last ->
         if gap then Hashtbl.replace t.last_hello child epoch
-        else if epoch - last > t.max_missed && not (Session.is_down sess child) then begin
+        else if
+          epoch - last > t.max_missed
+          && (not (Session.is_down sess child))
+          && not (List.mem child t.down)
+        then begin
           t.down <- child :: t.down;
           Session.publish t.b ~topic:"live.down" (Json.obj [ ("rank", Json.int child) ]);
           Session.mark_down sess child
         end)
     (Session.tree_children t.b)
+
+(* Keep hello history bounded to the current children: adoption and
+   rejoin both change the child set, and a stale entry would otherwise
+   let an old epoch count against a rank we no longer parent (or leak
+   entries forever). *)
+let prune_hello_history t =
+  let children = Session.tree_children t.b in
+  let stale =
+    Hashtbl.fold
+      (fun c _ acc -> if List.mem c children then acc else c :: acc)
+      t.last_hello []
+  in
+  List.iter (Hashtbl.remove t.last_hello) stale
 
 let module_of t =
   {
@@ -94,4 +111,18 @@ let load sess ~(hb : Hb.t array) ?(max_missed = 3) () =
           send_hello t epoch;
           check_children t epoch))
     instances;
+  (* Rejoin handling: a revived rank gets a fresh liveness clock — it
+     drops off every declared-down list and its hello history is erased,
+     so its first post-rejoin pulse re-registers it at the then-current
+     epoch instead of being judged on pre-blackout history. *)
+  Session.add_liveness_watch sess (fun r up ->
+      Array.iter
+        (fun t ->
+          Hashtbl.remove t.last_hello r;
+          if up then t.down <- List.filter (fun x -> x <> r) t.down;
+          prune_hello_history t)
+        instances;
+      if up then
+        Session.publish instances.(r).b ~topic:"live.up"
+          (Json.obj [ ("rank", Json.int r) ]));
   instances

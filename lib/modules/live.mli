@@ -3,7 +3,12 @@
     Each tree node receives heartbeat-synchronized hello messages from
     its children; after a configurable number of missed heartbeats a
     liveness event ([live.down]) is issued for the dead child and the
-    session overlays are rewired around it. *)
+    session overlays are rewired around it.
+
+    Rejoin: when a rank is marked up again ({!Flux_cmb.Session.mark_up})
+    a [live.up] event is published, the rank is removed from every
+    instance's declared-down list, and its hello history is reset so its
+    liveness clock restarts at the current heartbeat epoch. *)
 
 type t
 
