@@ -3,7 +3,7 @@
 
    Usage: main.exe [experiment...] where experiment is one of
      table1 fig2 fig3 fig4a fig4b sweep model ablate-sched ablate-fanout
-     ablate-shards faults chaos micro
+     ablate-shards faults chaos micro perf
    No arguments runs everything. Scales can be reduced with
    BENCH_FAST=1 for a quick pass. *)
 
@@ -576,6 +576,97 @@ let chaos () =
   Printf.printf "  %d seeds, %d total violations%s\n%!" (List.length seeds) !total_viol
     (if !total_viol = 0 then " — all consistency guarantees held" else " — INVARIANT BREACH")
 
+(* --- Perf tier: paper-scale workloads with a machine-readable baseline ---- *)
+
+(* Runs fig2/fig4-shaped KAP workloads at the paper's largest published
+   tier (512 nodes x 16 cores; Section V) and records, per scenario:
+   real wall-clock seconds, simulated events per real second (the
+   engine-throughput figure the tentpole optimizations target), total
+   allocation (minor+major words from [Gc.quick_stat]), and the
+   simulated clock + event count (the determinism fingerprint every
+   future PR must preserve). The rows land in BENCH_PERF.json so the
+   perf trajectory survives across PRs. *)
+
+let perf () =
+  header "Perf: paper-scale tier (wall s, simulated events/s, allocation words)";
+  let nodes = if fast then 64 else 512 in
+  let scenarios =
+    [
+      ( "fig2-put-fence",
+        fun () ->
+          Kap.run { (Kap.fully_populated ~nodes) with Kap.value_size = 512 } );
+      ( "fig2-redundant",
+        fun () ->
+          Kap.run
+            {
+              (Kap.fully_populated ~nodes) with
+              Kap.value_size = 512;
+              value_kind = Kap.Redundant;
+            } );
+      ( "fig4-multi-dir-get",
+        fun () ->
+          Kap.run
+            {
+              (Kap.fully_populated ~nodes) with
+              Kap.ngets = 4;
+              dir_layout = Kap.Multi_dir 128;
+              access_stride = 7;
+            } );
+    ]
+  in
+  Printf.printf "(%d nodes x 16 procs per scenario)\n" nodes;
+  Printf.printf "%-20s %10s %14s %14s %16s %12s\n" "scenario" "wall(s)" "sim-events"
+    "events/s" "alloc(Mwords)" "sim-clock";
+  let rows =
+    List.map
+      (fun (name, f) ->
+        (* Collect the previous scenario's garbage (dead sessions, caches,
+           memo tables) so each row measures its own workload, not its
+           predecessor's heap. *)
+        Gc.compact ();
+        let s0 = Gc.quick_stat () in
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        let wall = Unix.gettimeofday () -. t0 in
+        let s1 = Gc.quick_stat () in
+        let alloc_words =
+          s1.Gc.minor_words +. s1.Gc.major_words -. s1.Gc.promoted_words
+          -. (s0.Gc.minor_words +. s0.Gc.major_words -. s0.Gc.promoted_words)
+        in
+        let events_per_s = float_of_int r.Kap.r_events /. wall in
+        Printf.printf "%-20s %10.2f %14d %14.0f %16.1f %12.6f\n%!" name wall
+          r.Kap.r_events events_per_s (alloc_words /. 1e6) r.Kap.r_wallclock;
+        Json.obj
+          [
+            ("scenario", Json.string name);
+            ("nodes", Json.int nodes);
+            ("procs", Json.int (nodes * 16));
+            ("wall_s", Json.float wall);
+            ("sim_events", Json.int r.Kap.r_events);
+            ("sim_events_per_s", Json.float events_per_s);
+            ("alloc_words", Json.float alloc_words);
+            ("sim_clock", Json.float r.Kap.r_wallclock);
+            ("rpc_messages", Json.int r.Kap.r_rpc_messages);
+            ("put_max_s", Json.float r.Kap.r_producer.Kap.ph_max);
+            ("fence_max_s", Json.float r.Kap.r_sync.Kap.ph_max);
+            ("get_max_s", Json.float r.Kap.r_consumer.Kap.ph_max);
+          ])
+      scenarios
+  in
+  let doc =
+    Json.obj
+      [
+        ("tier", Json.string (if fast then "fast" else "paper-scale"));
+        ("scenarios", Json.list rows);
+      ]
+  in
+  let oc = open_out "BENCH_PERF.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_PERF.json (%d scenarios, %s tier)\n%!" (List.length rows)
+    (if fast then "fast" else "paper-scale")
+
 (* --- Driver -------------------------------------------------------------------------- *)
 
 let experiments =
@@ -593,6 +684,7 @@ let experiments =
     ("faults", faults);
     ("chaos", chaos);
     ("micro", micro);
+    ("perf", perf);
   ]
 
 let () =

@@ -21,6 +21,7 @@ let run nodes ppn producers consumers nputs ngets vsize redundant dirs stride sy
       fanout;
       net_config = None;
       kvs_config = None;
+      trace = false;
     }
   in
   let r = Kap.run cfg in

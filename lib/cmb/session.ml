@@ -52,12 +52,16 @@ type t = {
   mutable root_rank : int; (* lowest live rank; overlay root after heal *)
   mutable topo_epoch : int; (* bumped on every mark_down / mark_up *)
   mutable on_liveness : (int -> bool -> unit) list; (* rank, is_up *)
+  static_parent : int option array; (* k-ary tree parents, fixed at create *)
+  mutable alive_cache : int list; (* memoized [alive_ranks], valid for... *)
+  mutable alive_cache_epoch : int; (* ...this topology epoch (-1 = stale) *)
 }
 
 and broker = {
   b_rank : int;
   b_session : t;
   mutable modules : module_instance list; (* in load order *)
+  mod_index : (string, module_instance) Hashtbl.t; (* name -> instance *)
   pending : (int, pending_rpc) Hashtbl.t;
   mutable subs : (string * (Message.t -> unit)) list;
   mutable last_seq : int;
@@ -100,15 +104,28 @@ let b_size b = b.b_session.n
 let tree_parent b = b.b_session.parent_of.(b.b_rank)
 let tree_children b = b.b_session.children_of.(b.b_rank)
 
-let find_module b name =
-  List.find_opt (fun m -> String.equal m.mod_name name) b.modules
+let find_module b name = Hashtbl.find_opt b.mod_index name
+
+(* Event dispatch iterates [b.modules] (load order matters); the index
+   only serves name lookups, so both structures must stay in sync. *)
+let install_module b m =
+  b.modules <- b.modules @ [ m ];
+  Hashtbl.replace b.mod_index m.mod_name m
 
 let last_event_seq b = b.last_seq
 
 let is_down t r = t.down.(r)
 
 let alive_ranks t =
-  List.filter (fun r -> not t.down.(r)) (List.init t.n Fun.id)
+  if t.alive_cache_epoch <> t.topo_epoch then begin
+    let acc = ref [] in
+    for r = t.n - 1 downto 0 do
+      if not t.down.(r) then acc := r :: !acc
+    done;
+    t.alive_cache <- !acc;
+    t.alive_cache_epoch <- t.topo_epoch
+  end;
+  t.alive_cache
 
 let root_rank t = t.root_rank
 let topology_epoch t = t.topo_epoch
@@ -138,7 +155,7 @@ let heal t =
     if t.down.(r) || r = !root then t.parent_of.(r) <- None
     else begin
       let rec find_live_ancestor rank =
-        match Treemath.parent ~k:t.k rank with
+        match t.static_parent.(rank) with
         | None -> None
         | Some p -> if t.down.(p) then find_live_ancestor p else Some p
       in
@@ -601,6 +618,9 @@ let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring)
       root_rank = 0;
       topo_epoch = 0;
       on_liveness = [];
+      static_parent = Array.init size (fun r -> Treemath.parent ~k:fanout r);
+      alive_cache = [];
+      alive_cache_epoch = -1;
     }
   in
   t.brokers <-
@@ -609,6 +629,7 @@ let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring)
           b_rank = r;
           b_session = t;
           modules = [];
+          mod_index = Hashtbl.create 8;
           pending = Hashtbl.create 16;
           subs = [];
           last_seq = 0;
@@ -623,7 +644,7 @@ let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring)
       Net.set_handler t.rpc_net r (on_rpc_plane b);
       Net.set_handler t.event_net r (on_event_plane b);
       Net.set_handler t.ring_net r (on_ring_plane b);
-      b.modules <- [ cmb_module b ])
+      install_module b (cmb_module b))
     t.brokers;
   t
 
@@ -635,7 +656,7 @@ let load_module t ?ranks factory =
       let m = factory b in
       if find_module b m.mod_name <> None then
         invalid_arg (Printf.sprintf "Session.load_module: %S already loaded at rank %d" m.mod_name r);
-      b.modules <- b.modules @ [ m ])
+      install_module b m)
     targets
 
 (* --- Session hierarchy --------------------------------------------------- *)

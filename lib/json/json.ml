@@ -172,13 +172,54 @@ let escaped_length s =
     s;
   !n
 
-let rec serialized_size = function
+(* Values are immutable and containers are structurally shared (a message
+   payload keeps the same [Obj] across every tree hop; a rebuilt KVS
+   directory shares all untouched children), so the size of a container is
+   memoized by physical identity. Keys are held weakly: entries die with
+   the value they describe. [Hashtbl.hash] only inspects a bounded prefix
+   of the structure, and [(==)] resolves collisions exactly. *)
+module Size_memo = Ephemeron.K1.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let size_memo : int Size_memo.t = Size_memo.create 1024
+
+(* Small containers are cheaper to re-walk than to track: keeping every
+   two-field RPC payload in the weak table just fills it with entries
+   that die by the next GC, and the dead slots slow later lookups. Only
+   payloads big enough for the walk itself to hurt are remembered. *)
+let memo_threshold = 1024
+
+let rec serialized_size v =
+  match v with
   | Null -> 4
   | Bool true -> 4
   | Bool false -> 5
   | Int i -> String.length (string_of_int i)
   | Float f -> String.length (float_repr f)
   | String s -> escaped_length s
+  | List _ | Obj _ -> (
+    match Size_memo.find_opt size_memo v with
+    | Some n -> n
+    | None ->
+      let n = container_size v in
+      if n >= memo_threshold then begin
+        (* Structurally similar containers (successive versions of one
+           growing directory) share a bucket, and weak entries are only
+           swept lazily — keep the table small so lookups stay O(1). *)
+        if Size_memo.length size_memo > 512 then begin
+          Size_memo.clean size_memo;
+          if Size_memo.length size_memo > 512 then Size_memo.reset size_memo
+        end;
+        Size_memo.replace size_memo v n
+      end;
+      n)
+
+and container_size = function
+  | Null | Bool _ | Int _ | Float _ | String _ -> assert false
   | List l ->
     let inner = List.fold_left (fun acc v -> acc + serialized_size v) 0 l in
     let commas = Stdlib.max 0 (List.length l - 1) in

@@ -83,7 +83,10 @@ val of_string_opt : string -> t option
 val serialized_size : t -> int
 (** [serialized_size v] is [String.length (to_string v)], computed
     without building the string. The simulator charges this many bytes
-    of wire time for a payload. *)
+    of wire time for a payload. Container sizes are memoized per
+    physical value (values are immutable and payloads are structurally
+    shared across message hops), so repeated queries on a shared node
+    are O(1). *)
 
 (** {1 Miscellany} *)
 

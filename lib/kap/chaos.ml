@@ -62,6 +62,8 @@ type report = {
   rpc_retries : int;
   dead_letters : int;
   dropped : int;
+  final_clock : float;
+  sim_events : int;
 }
 
 (* Shared mutable state of one schedule run. *)
@@ -407,6 +409,8 @@ let run cfg =
     rpc_retries = Session.rpc_retries sess;
     dead_letters = rpc.Net.dead_letters + ev.Net.dead_letters + ring.Net.dead_letters;
     dropped = rpc.Net.dropped + ev.Net.dropped + ring.Net.dropped;
+    final_clock = Engine.now eng;
+    sim_events = Engine.events_executed eng;
   }
 
 let pp_report ppf (r : report) =
@@ -414,11 +418,11 @@ let pp_report ppf (r : report) =
     "@[<v>commits ok/indet: %d/%d@,fences ok/indet: %d/%d@,gets ok/failed: %d/%d@,\
      kills/revives: %d/%d (master kills %d)@,takeovers: %d@,final: master=%d version=%d@,\
      keys checked/indet: %d/%d@,rpc timeouts/retries: %d/%d@,net dead_letters/dropped: %d/%d@,\
-     violations: %d%a@]"
+     clock: %.6f (%d events)@,violations: %d%a@]"
     r.commits_ok r.commits_indeterminate r.fences_ok r.fences_indeterminate r.gets_ok
     r.gets_failed r.kills r.revives r.master_kills r.takeovers r.final_master
     r.final_version r.keys_checked r.keys_indeterminate r.rpc_timeouts r.rpc_retries
-    r.dead_letters r.dropped
+    r.dead_letters r.dropped r.final_clock r.sim_events
     (List.length r.violations)
     (fun ppf -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v))
     r.violations

@@ -70,6 +70,8 @@ type report = {
   rpc_retries : int;
   dead_letters : int;
   dropped : int;
+  final_clock : float;  (** virtual time when the run converged *)
+  sim_events : int;  (** engine callbacks fired (a determinism fingerprint) *)
 }
 
 val run : config -> report

@@ -29,6 +29,7 @@ type config = {
   fanout : int;
   net_config : Flux_sim.Net.config option;
   kvs_config : Flux_kvs.Kvs_module.config option;
+  trace : bool;
 }
 
 let default =
@@ -47,6 +48,7 @@ let default =
     fanout = 2;
     net_config = None;
     kvs_config = None;
+    trace = false;
   }
 
 let fully_populated ~nodes =
@@ -66,6 +68,8 @@ type result = {
   r_rpc_messages : int;
   r_loads_issued : int;
   r_wallclock : float;
+  r_events : int;
+  r_trace : Flux_trace.Tracer.t option;
 }
 
 (* --- Value generation -------------------------------------------------- *)
@@ -134,6 +138,15 @@ let run cfg =
     | None -> Kvs.load sess ()
   in
   ignore (Barrier.load sess () : Barrier.t array);
+  let tracer =
+    if cfg.trace then begin
+      let tr = Flux_trace.Tracer.create ~now:(fun () -> Engine.now eng) () in
+      Session.set_tracer sess (Some tr);
+      Kvs.set_tracer_all kvs tr;
+      Some tr
+    end
+    else None
+  in
   let setup_s = Stats.create () in
   let producer_s = Stats.create () in
   let sync_s = Stats.create () in
@@ -217,6 +230,8 @@ let run cfg =
     r_rpc_messages = (Session.rpc_net_stats sess).Flux_sim.Net.messages;
     r_loads_issued = loads;
     r_wallclock = Engine.now eng;
+    r_events = Engine.events_executed eng;
+    r_trace = tracer;
   }
 
 let pp_result ppf r =

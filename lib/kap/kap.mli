@@ -36,6 +36,7 @@ type config = {
   fanout : int;  (** CMB tree fan-out *)
   net_config : Flux_sim.Net.config option;
   kvs_config : Flux_kvs.Kvs_module.config option;
+  trace : bool;  (** attach a tracer to the session and KVS instances *)
 }
 
 val default : config
@@ -63,6 +64,8 @@ type result = {
   r_rpc_messages : int;
   r_loads_issued : int;  (** fault-in requests across all slaves *)
   r_wallclock : float;  (** virtual seconds for the whole run *)
+  r_events : int;  (** engine callbacks fired (a determinism fingerprint) *)
+  r_trace : Flux_trace.Tracer.t option;  (** present when [trace] was set *)
 }
 
 val run : config -> result

@@ -77,4 +77,11 @@ val apply_tuples :
     tuples win on duplicate keys. A path component that currently names
     a value is replaced by a directory when the update descends through
     it. [fetch] must succeed for every directory on the touched paths
-    (the master's store is authoritative). *)
+    (the master's store is authoritative).
+
+    The rebuild is git-style structural sharing: only the directory
+    spine touched by [tuples] is reconstructed and re-stored; every
+    unchanged sibling subtree keeps its existing entry, so its SHA-1 is
+    carried over from the previous commit rather than recomputed (and
+    {!Sha1.digest_json} additionally memoizes digests of the shared
+    interior nodes themselves by physical identity). *)

@@ -98,7 +98,45 @@ let digest_bytes_raw s =
 
 let digest_string s = Flux_util.Hexs.encode (digest_bytes_raw s)
 
-let digest_json v = digest_string (Flux_json.Json.to_string v)
+(* The KVS tree shares unchanged interior nodes across commits (only the
+   rebuilt directory spine is fresh), so re-hashing a node the store has
+   already digested is pure waste: memoize per physical value, exactly
+   like git reuses the object id of an unchanged subtree. Weak keys let
+   entries die with their value; [(==)] resolves the (bounded-prefix)
+   structural-hash collisions exactly. Scalars are cheap to hash and
+   rarely shared, so only containers are memoized. *)
+module Digest_memo = Ephemeron.K1.Make (struct
+  type t = Flux_json.Json.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let digest_memo : string Digest_memo.t = Digest_memo.create 256
+
+(* Matches the size-memo policy in [Json]: small values are cheaper to
+   re-hash than to track in the weak table. *)
+let memo_threshold = 1024
+
+let digest_json v =
+  match v with
+  | Flux_json.Json.List _ | Flux_json.Json.Obj _ -> (
+    match Digest_memo.find_opt digest_memo v with
+    | Some d -> d
+    | None ->
+      let s = Flux_json.Json.to_string v in
+      let d = digest_string s in
+      if String.length s >= memo_threshold then begin
+        (* Same bucket-hygiene policy as the Json size memo: weak entries
+           are swept lazily, so keep the table small. *)
+        if Digest_memo.length digest_memo > 512 then begin
+          Digest_memo.clean digest_memo;
+          if Digest_memo.length digest_memo > 512 then Digest_memo.reset digest_memo
+        end;
+        Digest_memo.replace digest_memo v d
+      end;
+      d)
+  | _ -> digest_string (Flux_json.Json.to_string v)
 
 let of_hex s =
   if String.length s <> 40 || not (Flux_util.Hexs.is_hex s) then

@@ -18,7 +18,16 @@ val now : t -> float
 
 val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet
-    drained). *)
+    drained or compacted away). *)
+
+val cancelled_pending : t -> int
+(** Cancelled entries still physically in the queue. The engine compacts
+    the queue — dropping them in one O(n) pass — whenever they outnumber
+    the live entries, so this is bounded by [pending t / 2] plus a small
+    floor. *)
+
+val compactions : t -> int
+(** Number of compaction passes run since creation. *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] fires [f] at [now t +. delay]. Negative delays

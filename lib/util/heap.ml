@@ -79,3 +79,21 @@ let pop_exn h =
 let clear h =
   Array.fill h.arr 0 h.size None;
   h.size <- 0
+
+(* Survivors keep their original {prio; seq}, and pop order is a pure
+   function of (prio, seq), so an O(n) compact-and-heapify cannot be
+   observed through pop/peek. *)
+let filter h keep =
+  let j = ref 0 in
+  for i = 0 to h.size - 1 do
+    let e = get h i in
+    if keep e.value then begin
+      h.arr.(!j) <- h.arr.(i);
+      incr j
+    end
+  done;
+  Array.fill h.arr !j (h.size - !j) None;
+  h.size <- !j;
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down h i
+  done

@@ -30,3 +30,8 @@ val clear : 'a t -> unit
 
 val pop_exn : 'a t -> float * 'a
 (** [pop_exn h] is [pop h] but raises [Invalid_argument] on an empty heap. *)
+
+val filter : 'a t -> ('a -> bool) -> unit
+(** [filter h keep] removes every element for which [keep] is false, in
+    O(n). Survivors keep their insertion rank, so their relative pop
+    order — including ties — is exactly what it would have been. *)

@@ -1,0 +1,77 @@
+(* Determinism golden tests: the engine's hot-path optimizations
+   (heap compaction, memoized payload sizes and digests, session fast
+   paths) must be unobservable. Each workload here runs twice in the
+   same process; everything a user can see — trace counters, the final
+   simulated clock, event and message counts — must match exactly. *)
+
+module Kap = Flux_kap.Kap
+module Chaos = Flux_kap.Chaos
+module Export = Flux_trace.Export
+
+let check = Alcotest.check
+
+(* A small fig2-shaped workload: every proc puts one value, fences, then
+   every proc reads one back. Traced so the counter CSV (per-event
+   category/name occurrence counts and virtual durations) can serve as a
+   behavioural digest of the whole run. *)
+let fig2_cfg =
+  {
+    (Kap.fully_populated ~nodes:8) with
+    Kap.value_size = 256;
+    ngets = 1;
+    trace = true;
+  }
+
+let test_kap_run_twice () =
+  let r1 = Kap.run fig2_cfg in
+  let r2 = Kap.run fig2_cfg in
+  let csv r =
+    match r.Kap.r_trace with
+    | Some tr -> Export.counters_csv tr
+    | None -> Alcotest.fail "expected a tracer on a trace=true run"
+  in
+  check Alcotest.string "trace counters identical" (csv r1) (csv r2);
+  check (Alcotest.float 0.0) "final simulated clock identical" r1.Kap.r_wallclock
+    r2.Kap.r_wallclock;
+  check Alcotest.int "engine events identical" r1.Kap.r_events r2.Kap.r_events;
+  check Alcotest.int "rpc messages identical" r1.Kap.r_rpc_messages r2.Kap.r_rpc_messages;
+  check Alcotest.int "loads identical" r1.Kap.r_loads_issued r2.Kap.r_loads_issued;
+  check (Alcotest.float 0.0) "producer max identical" r1.Kap.r_producer.Kap.ph_max
+    r2.Kap.r_producer.Kap.ph_max;
+  check (Alcotest.float 0.0) "sync max identical" r1.Kap.r_sync.Kap.ph_max
+    r2.Kap.r_sync.Kap.ph_max
+
+(* One chaos seed run twice: kills, revives, takeovers, the final
+   (epoch, version) and the virtual clock at convergence must all
+   repeat. The report record compares componentwise so a mismatch names
+   the field that drifted. *)
+let chaos_cfg = { Chaos.default with Chaos.seed = 77; rounds = 12; duration = 12.0 }
+
+let test_chaos_run_twice () =
+  let r1 = Chaos.run chaos_cfg in
+  let r2 = Chaos.run chaos_cfg in
+  check Alcotest.int "commits_ok" r1.Chaos.commits_ok r2.Chaos.commits_ok;
+  check Alcotest.int "fences_ok" r1.Chaos.fences_ok r2.Chaos.fences_ok;
+  check Alcotest.int "gets_ok" r1.Chaos.gets_ok r2.Chaos.gets_ok;
+  check Alcotest.int "kills" r1.Chaos.kills r2.Chaos.kills;
+  check Alcotest.int "revives" r1.Chaos.revives r2.Chaos.revives;
+  check Alcotest.int "master_kills" r1.Chaos.master_kills r2.Chaos.master_kills;
+  check Alcotest.int "takeovers" r1.Chaos.takeovers r2.Chaos.takeovers;
+  check Alcotest.int "final_version" r1.Chaos.final_version r2.Chaos.final_version;
+  check Alcotest.int "final_master" r1.Chaos.final_master r2.Chaos.final_master;
+  check Alcotest.int "rpc_timeouts" r1.Chaos.rpc_timeouts r2.Chaos.rpc_timeouts;
+  check Alcotest.int "rpc_retries" r1.Chaos.rpc_retries r2.Chaos.rpc_retries;
+  check (Alcotest.list Alcotest.string) "violations" r1.Chaos.violations
+    r2.Chaos.violations;
+  check (Alcotest.float 0.0) "final clock" r1.Chaos.final_clock r2.Chaos.final_clock;
+  check Alcotest.int "sim events" r1.Chaos.sim_events r2.Chaos.sim_events
+
+let () =
+  Alcotest.run "flux_determinism"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "fig2 workload repeats exactly" `Quick test_kap_run_twice;
+          Alcotest.test_case "chaos seed repeats exactly" `Quick test_chaos_run_twice;
+        ] );
+    ]

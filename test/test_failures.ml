@@ -310,6 +310,105 @@ let test_live_rejoin_clears_declared_down () =
   check bool "second crash re-detected" true (List.mem 5 (Live.declared_down live.(2)));
   check bool "session marked down again" true (Session.is_down sess 5)
 
+(* --- Watch / wait_version across a master failover ----------------------- *)
+
+(* Full replication so a takeover can adopt the newest root from any
+   surviving peer — same config the chaos harness runs under. *)
+let replicated_cfg = { Kvs.default_config with Kvs.setroot_delta_max = max_int }
+
+let test_watch_fires_after_takeover () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:15 () in
+  let kvs = Kvs.load sess ~config:replicated_cfg () in
+  let seen = ref [] in
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Client.connect sess ~rank:13 in
+         expect_ok "watch" (Client.watch c ~key:"wf.k" (fun v -> seen := v :: !seen)))
+      : Proc.pid);
+  Engine.run eng;
+  check bool "initial callback saw the key absent" true (!seen = [ None ]);
+  (* Kill the master, then write through a survivor: the watcher must be
+     driven by the NEW master's epoch-stamped setroot announcement. *)
+  Session.mark_down sess 0;
+  Engine.run eng;
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Client.connect sess ~rank:5 in
+         expect_ok "put" (Client.put c ~key:"wf.k" (Json.int 42));
+         ignore (expect_ok "commit" (Client.commit c) : int))
+      : Proc.pid);
+  Engine.run eng;
+  check bool "takeover happened" true (Kvs.epoch kvs.(1) >= 1);
+  (match !seen with
+  | Some v :: _ -> check json_t "watch fired with the post-takeover value" (Json.int 42) v
+  | _ -> Alcotest.fail "watch did not fire after the failover commit")
+
+let test_wait_version_crosses_failover () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:15 () in
+  let _kvs = Kvs.load sess ~config:replicated_cfg () in
+  let woke_at = ref None in
+  (* Park a waiter on a version that does not exist yet. *)
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Client.connect sess ~rank:13 in
+         expect_ok "wait_version" (Client.wait_version c 1);
+         woke_at := Some (expect_ok "get_version" (Client.get_version c)))
+      : Proc.pid);
+  (* The master dies before any commit; the version the waiter needs can
+     only ever arrive via the new master's announcement. *)
+  ignore (Engine.schedule eng ~delay:0.001 (fun () -> Session.mark_down sess 0) : Engine.handle);
+  ignore
+    (Engine.schedule eng ~delay:0.05 (fun () ->
+         ignore
+           (Proc.spawn eng (fun () ->
+                let c = Client.connect sess ~rank:5 in
+                expect_ok "put" (Client.put c ~key:"wv.k" (Json.int 1));
+                ignore (expect_ok "commit" (Client.commit c) : int))
+             : Proc.pid))
+      : Engine.handle);
+  Engine.run eng;
+  match !woke_at with
+  | Some v -> check bool "waiter woke at the committed version" true (v >= 1)
+  | None -> Alcotest.fail "wait_version never completed after the failover"
+
+let test_unwatch_stops_across_failover () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~size:15 () in
+  let _kvs = Kvs.load sess ~config:replicated_cfg () in
+  let fired = ref 0 in
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Client.connect sess ~rank:13 in
+         expect_ok "watch" (Client.watch c ~key:"uw.k" (fun _ -> incr fired));
+         Client.unwatch c ~key:"uw.k")
+      : Proc.pid);
+  Engine.run eng;
+  check int "only the initial callback fired" 1 !fired;
+  Session.mark_down sess 0;
+  Engine.run eng;
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Client.connect sess ~rank:5 in
+         expect_ok "put" (Client.put c ~key:"uw.k" (Json.int 7));
+         ignore (expect_ok "commit" (Client.commit c) : int))
+      : Proc.pid);
+  Engine.run eng;
+  (* The new value did reach the watcher's slave — so silence below is
+     the unwatch working, not a dead link. *)
+  let got = ref None in
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Client.connect sess ~rank:13 in
+         got := Some (expect_ok "get" (Client.get c ~key:"uw.k")))
+      : Proc.pid);
+  Engine.run eng;
+  (match !got with
+  | Some v -> check json_t "slave observed the post-takeover value" (Json.int 7) v
+  | None -> Alcotest.fail "get via watcher rank failed");
+  check int "no callbacks after unwatch, even across failover" 1 !fired
+
 (* --- Cache byte accounting under eviction -------------------------------- *)
 
 let test_lru_eviction_bounds_store_bytes () =
@@ -363,6 +462,15 @@ let () =
             test_sparse_fence_with_dead_child;
           Alcotest.test_case "fence survives parent death" `Quick
             test_fence_survives_parent_death;
+        ] );
+      ( "watch",
+        [
+          Alcotest.test_case "watch fires on post-takeover setroot" `Quick
+            test_watch_fires_after_takeover;
+          Alcotest.test_case "wait_version crosses failover" `Quick
+            test_wait_version_crosses_failover;
+          Alcotest.test_case "unwatch stops across failover" `Quick
+            test_unwatch_stops_across_failover;
         ] );
       ( "heal",
         [
