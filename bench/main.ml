@@ -3,7 +3,7 @@
 
    Usage: main.exe [experiment...] where experiment is one of
      table1 fig2 fig3 fig4a fig4b sweep model ablate-sched ablate-fanout
-     ablate-shards faults chaos micro perf
+     ablate-shards faults chaos micro observe perf
    No arguments runs everything. Scales can be reduced with
    BENCH_FAST=1 for a quick pass. *)
 
@@ -576,6 +576,48 @@ let chaos () =
   Printf.printf "  %d seeds, %d total violations%s\n%!" (List.length seeds) !total_viol
     (if !total_viol = 0 then " — all consistency guarantees held" else " — INVARIANT BREACH")
 
+(* --- Observe: traced fence critical path + metrics registry export -------- *)
+
+let observe () =
+  header "Observe: traced put-fence critical path (Fig. 4 decomposition) and metrics";
+  let nodes = if fast then 16 else 64 in
+  let cfg = { (Kap.fully_populated ~nodes) with Kap.value_size = 512; trace = true } in
+  let r = Kap.run cfg in
+  let tr = match r.Kap.r_trace with Some tr -> tr | None -> failwith "observe: no tracer" in
+  let m = match r.Kap.r_metrics with Some m -> m | None -> failwith "observe: no metrics" in
+  match Export.fence_critical_path tr ~name:"kap-sync" with
+  | Error e -> failwith ("observe: " ^ e)
+  | Ok fb ->
+    Format.printf "%a@." Export.pp_fence_breakdown fb;
+    Printf.printf "  measured sync phase max %.6f s (mean %.6f s)\n" r.Kap.r_sync.Kap.ph_max
+      r.Kap.r_sync.Kap.ph_mean;
+    let doc =
+      Json.obj
+        [
+          ("experiment", Json.string "observe");
+          ("nodes", Json.int nodes);
+          ("procs", Json.int (nodes * cfg.Kap.procs_per_node));
+          ("fence", Json.string "kap-sync");
+          ("ascent_s", Json.float fb.Export.fb_ascent);
+          ("commit_s", Json.float fb.Export.fb_commit);
+          ("broadcast_s", Json.float fb.Export.fb_broadcast);
+          ("total_s", Json.float fb.Export.fb_total);
+          ("sync_max_s", Json.float r.Kap.r_sync.Kap.ph_max);
+          ("trace_events", Json.int (List.length (Flux_trace.Tracer.events tr)));
+          ("trace_dropped", Json.int (Flux_trace.Tracer.dropped tr));
+          ("metrics", Flux_trace.Metrics.to_json m);
+        ]
+    in
+    let oc = open_out "BENCH_TRACE.json" in
+    output_string oc (Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    let oc = open_out "METRICS.csv" in
+    output_string oc (Flux_trace.Metrics.to_csv m);
+    close_out oc;
+    Printf.printf "  wrote BENCH_TRACE.json and METRICS.csv (%d nodes x %d procs)\n%!" nodes
+      cfg.Kap.procs_per_node
+
 (* --- Perf tier: paper-scale workloads with a machine-readable baseline ---- *)
 
 (* Runs fig2/fig4-shaped KAP workloads at the paper's largest published
@@ -684,6 +726,7 @@ let experiments =
     ("faults", faults);
     ("chaos", chaos);
     ("micro", micro);
+    ("observe", observe);
     ("perf", perf);
   ]
 

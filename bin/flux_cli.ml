@@ -453,42 +453,79 @@ let volumes_cmd =
 (* --- flux trace --------------------------------------------------------------------- *)
 
 let trace_cmd =
-  let cats_arg =
-    Arg.(value & opt (list string) [] & info [ "cats" ] ~doc:"Categories to retain (empty = all).")
+  let ppn_arg =
+    Arg.(value & opt int 16 & info [ "ppn" ] ~docv:"PPN" ~doc:"Processes per node.")
   in
-  let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Dump the event stream, not just the summary.") in
-  let run nodes fanout cats full =
-    let eng = Engine.create () in
-    let sess = Session.create eng ~fanout ~size:nodes () in
-    let kvs = Kvs.load sess () in
-    ignore (Flux_modules.Barrier.load sess () : Flux_modules.Barrier.t array);
-    let tr = Flux_trace.Tracer.create ~now:(fun () -> Engine.now eng) () in
-    Flux_trace.Tracer.enable tr ~cats;
-    Session.set_tracer sess (Some tr);
-    Flux_kvs.Kvs_module.set_tracer_all kvs tr;
-    (* A small representative workload: puts, a fence, and reads. *)
-    let total = min 16 (nodes * 2) in
-    for p = 0 to total - 1 do
-      ignore
-        (Proc.spawn eng (fun () ->
-             let c = Client.connect sess ~rank:(p mod nodes) in
-             (match Client.put c ~key:(Printf.sprintf "tr.k%d" p) (Json.int p) with
-             | Ok () -> ()
-             | Error e -> failwith e);
-             ignore (Client.fence c ~name:"trace-demo" ~nprocs:total : (int, string) result);
-             ignore (Client.get c ~key:(Printf.sprintf "tr.k%d" ((p + 1) mod total))
-                      : (Json.t, string) result))
-          : Proc.pid)
-    done;
-    Engine.run eng;
+  let perfetto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:"Write the span tree as Chrome/Perfetto trace-event JSON.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-csv" ] ~docv:"FILE"
+          ~doc:"Write the metrics registry as a metric,rank,value CSV.")
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Dump the raw event stream, not just the summary.")
+  in
+  let run nodes fanout ppn perfetto metrics_csv full =
+    (* A traced put-fence-get KAP run: every process puts one object,
+       joins the "kap-sync" fence, and reads a neighbour's object. *)
+    let total = nodes * ppn in
+    let cfg =
+      {
+        Kap.default with
+        Kap.nodes;
+        procs_per_node = ppn;
+        producers = total;
+        consumers = total;
+        fanout;
+        trace = true;
+      }
+    in
+    let r = Kap.run cfg in
+    let tr =
+      match r.Kap.r_trace with Some tr -> tr | None -> failwith "internal: no tracer"
+    in
     if full then print_string (Flux_trace.Export.to_text tr);
     print_string (Flux_trace.Export.summary tr);
+    (match Flux_trace.Export.fence_critical_path tr ~name:"kap-sync" with
+    | Ok fb ->
+      Format.printf "@[<v>critical path of fence %S:@,%a@]@." fb.Flux_trace.Export.fb_name
+        Flux_trace.Export.pp_fence_breakdown fb;
+      Printf.printf "measured sync phase:       max %.6f s (mean %.6f s)\n"
+        r.Kap.r_sync.Kap.ph_max r.Kap.r_sync.Kap.ph_mean
+    | Error e -> Printf.printf "critical path: %s\n" e);
+    (match perfetto with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Flux_trace.Export.to_perfetto tr);
+      close_out oc;
+      Printf.printf "wrote Perfetto trace to %s (%d events, %d dropped)\n" file
+        (List.length (Flux_trace.Tracer.events tr))
+        (Flux_trace.Tracer.dropped tr));
+    (match (metrics_csv, r.Kap.r_metrics) with
+    | Some file, Some m ->
+      let oc = open_out file in
+      output_string oc (Flux_trace.Metrics.to_csv m);
+      close_out oc;
+      Printf.printf "wrote metrics CSV to %s\n" file
+    | _ -> ());
     `Ok ()
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Run a small KVS workload with run-time tracing and print the trace summary.")
-    Term.(ret (const run $ nodes_arg $ fanout_arg $ cats_arg $ full_arg))
+       ~doc:
+         "Run a traced put-fence-get workload, print the fence critical-path breakdown, \
+          and optionally export Perfetto JSON and a metrics CSV.")
+    Term.(
+      ret (const run $ nodes_arg $ fanout_arg $ ppn_arg $ perfetto_arg $ metrics_arg $ full_arg))
 
 let main_cmd =
   let doc = "command-line access to the simulated Flux framework" in

@@ -12,6 +12,9 @@ type t = {
   route : int list;
   error : string option;
   payload : Json.t;
+  trace : Flux_trace.Tracer.ctx option;
+      (* Causal context; out-of-band instrumentation, so it is excluded
+         from [size] and must never influence routing or delivery. *)
 }
 
 let check_topic topic =
@@ -20,7 +23,18 @@ let check_topic topic =
 
 let request ?dst ~topic ~origin ~nonce payload =
   check_topic topic;
-  { kind = Request; topic; nonce; origin; dst; seq = 0; route = []; error = None; payload }
+  {
+    kind = Request;
+    topic;
+    nonce;
+    origin;
+    dst;
+    seq = 0;
+    route = [];
+    error = None;
+    payload;
+    trace = None;
+  }
 
 let response ~of_ payload =
   { of_ with kind = Response; payload; error = None }
@@ -40,6 +54,7 @@ let event ~topic ~origin payload =
     route = [];
     error = None;
     payload;
+    trace = None;
   }
 
 (* Fixed header: kind tag, nonce, origin, dst, seq (4 B each on the wire
@@ -50,6 +65,8 @@ let size m =
   + (4 * List.length m.route)
   + (match m.error with Some e -> String.length e | None -> 0)
   + Json.serialized_size m.payload
+
+let with_trace m ctx = { m with trace = Some ctx }
 
 let push_hop m rank = { m with route = rank :: m.route }
 

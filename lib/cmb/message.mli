@@ -19,6 +19,11 @@ type t = {
           pop this stack to retrace the path *)
   error : string option;  (** set on error responses *)
   payload : Flux_json.Json.t;
+  trace : Flux_trace.Tracer.ctx option;
+      (** causal trace context, propagated to responses (record
+          inheritance) and across retransmits (same message value);
+          [None] unless a tracer is attached. Excluded from [size] —
+          instrumentation must not perturb the simulation. *)
 }
 
 val request : ?dst:int -> topic:string -> origin:int -> nonce:int -> Flux_json.Json.t -> t
@@ -34,6 +39,8 @@ val event : topic:string -> origin:int -> Flux_json.Json.t -> t
 
 val size : t -> int
 (** Serialized size in bytes: header estimate plus JSON payload size. *)
+
+val with_trace : t -> Flux_trace.Tracer.ctx -> t
 
 val push_hop : t -> int -> t
 val pop_hop : t -> (int * t) option

@@ -4,6 +4,8 @@ module Net = Flux_sim.Net
 module Treemath = Flux_util.Treemath
 module Ring_buffer = Flux_util.Ring_buffer
 module Idgen = Flux_util.Idgen
+module Tracer = Flux_trace.Tracer
+module Metrics = Flux_trace.Metrics
 
 type rank_topology = Ring | Direct
 
@@ -42,7 +44,8 @@ type t = {
   parent_of : int option array; (* effective topology, recomputed by heal *)
   children_of : int list array;
   mutable next_seq : int; (* event sequence, assigned at the root *)
-  mutable tracer : Flux_trace.Tracer.t option;
+  mutable tracer : Tracer.t option;
+  mutable metrics : Metrics.t option;
   mutable parent : (t * int list) option; (* parent session + host ranks *)
   mutable children : t list; (* creation order, live only *)
   mutable destroyed : bool;
@@ -81,16 +84,40 @@ and pending_rpc = {
   pr_timeout : float;
   pr_attempts : int; (* max total transmissions; 1 = no retry *)
   pr_resend : (unit -> unit) option; (* re-route via the current topology *)
+  pr_ctx : Tracer.ctx option; (* causal span, shared by all transmissions *)
 }
 
 and module_factory = broker -> module_instance
 
-let set_tracer t tr = t.tracer <- tr
+let set_tracer t tr =
+  t.tracer <- tr;
+  (* Net folds its drop accounting into the same counter table. *)
+  Net.set_tracer t.rpc_net tr;
+  Net.set_tracer t.event_net tr;
+  Net.set_tracer t.ring_net tr
 
-let trace t ~name ?rank ?fields () =
+let set_metrics t m =
+  t.metrics <- m;
+  Net.set_metrics t.rpc_net ~label:"net.rpc" m;
+  Net.set_metrics t.event_net ~label:"net.event" m;
+  Net.set_metrics t.ring_net ~label:"net.ring" m
+
+let metrics t = t.metrics
+
+let trace t ~name ?rank ?ctx ?fields () =
   match t.tracer with
-  | Some tr -> Flux_trace.Tracer.emit tr ~cat:"cmb" ~name ?rank ?fields ()
+  | Some tr -> Tracer.emit tr ~cat:"cmb" ~name ?rank ?ctx ?fields ()
   | None -> ()
+
+(* A request entering the CMB starts a fresh root span unless the caller
+   (a module forwarding work it received) supplies the causal parent.
+   Without a tracer this is [None] end to end: no ids are allocated and
+   messages carry no context. *)
+let request_ctx t supplied =
+  match t.tracer with
+  | None -> None
+  | Some tr ->
+    Some (match supplied with Some c -> c | None -> Tracer.root_ctx tr)
 
 let engine t = t.eng
 let size t = t.n
@@ -199,6 +226,7 @@ let event_of_json j =
     route = [];
     error = None;
     payload = Json.member "payload" j;
+    trace = None;
   }
 
 (* --- Ring hop selection ---------------------------------------------- *)
@@ -262,7 +290,7 @@ and expire_pending b nonce pr =
                if Hashtbl.mem b.pending nonce then begin
                  pr.pr_sends <- pr.pr_sends + 1;
                  t.rpc_retries <- t.rpc_retries + 1;
-                 trace t ~name:"rpc.retry" ~rank:b.b_rank
+                 trace t ~name:"rpc.retry" ~rank:b.b_rank ?ctx:pr.pr_ctx
                    ~fields:[ ("attempt", Json.int pr.pr_sends) ]
                    ();
                  arm_deadline b nonce pr;
@@ -271,11 +299,11 @@ and expire_pending b nonce pr =
     | _ ->
       Hashtbl.remove b.pending nonce;
       t.rpc_timeouts <- t.rpc_timeouts + 1;
-      trace t ~name:"rpc.timeout" ~rank:b.b_rank ();
+      trace t ~name:"rpc.timeout" ~rank:b.b_rank ?ctx:pr.pr_ctx ();
       pr.pr_reply (Error "timeout")
   end
 
-let register_pending b ~nonce ~timeout ~attempts ?resend reply =
+let register_pending b ~nonce ~timeout ~attempts ?resend ?ctx reply =
   let pr =
     {
       pr_reply = reply;
@@ -284,6 +312,7 @@ let register_pending b ~nonce ~timeout ~attempts ?resend reply =
       pr_timeout = timeout;
       pr_attempts = attempts;
       pr_resend = resend;
+      pr_ctx = ctx;
     }
   in
   Hashtbl.replace b.pending nonce pr;
@@ -310,6 +339,8 @@ let rec route_request b (msg : Message.t) =
 and forward_up b msg =
   match tree_parent b with
   | Some p ->
+    trace b.b_session ~name:"hop.up" ~rank:b.b_rank ?ctx:msg.Message.trace
+      ~fields:[ ("dst", Json.int p) ] ();
     send_on b.b_session.rpc_net ~src:b.b_rank ~dst:p (Message.push_hop msg b.b_rank)
   | None ->
     (* At the root with no matching module: fail the RPC. *)
@@ -319,7 +350,10 @@ and forward_up b msg =
 
 and deliver_response b (resp : Message.t) =
   match Message.pop_hop resp with
-  | Some (hop, resp') -> send_on b.b_session.rpc_net ~src:b.b_rank ~dst:hop resp'
+  | Some (hop, resp') ->
+    trace b.b_session ~name:"hop.down" ~rank:b.b_rank ?ctx:resp.Message.trace
+      ~fields:[ ("dst", Json.int hop) ] ();
+    send_on b.b_session.rpc_net ~src:b.b_rank ~dst:hop resp'
   | None ->
     if resp.Message.origin <> b.b_rank then
       (* No route back yet the origin is remote: the request arrived
@@ -351,51 +385,82 @@ and ring_forward b msg =
       send_on b.b_session.ring_net ~src:b.b_rank ~dst:d msg
     | Ring -> (
       match ring_next_live b.b_session b.b_rank with
-      | Some nxt -> send_on b.b_session.ring_net ~src:b.b_rank ~dst:nxt msg
+      | Some nxt ->
+        trace b.b_session ~name:"hop.ring" ~rank:b.b_rank ?ctx:msg.Message.trace
+          ~fields:[ ("dst", Json.int nxt) ] ();
+        send_on b.b_session.ring_net ~src:b.b_rank ~dst:nxt msg
       | None -> ()))
 
 let respond b req payload = deliver_response b (Message.response ~of_:req payload)
 let respond_error b req err = deliver_response b (Message.error_response ~of_:req err)
 
-let request_up b ?timeout ?attempts ?(idempotent = false) ~topic payload ~reply =
+(* Wrap [reply] to record the RPC completion: an [rpc.done] event in
+   the request's span and a latency histogram keyed by the origin's
+   depth in the RPC tree (the paper's per-level latency view). *)
+let instrument_reply b ~topic ~ctx reply =
+  let t = b.b_session in
+  match (t.tracer, t.metrics) with
+  | None, None -> reply
+  | _ ->
+    let t0 = Engine.now t.eng in
+    fun r ->
+      let dur = Engine.now t.eng -. t0 in
+      (match t.metrics with
+      | None -> ()
+      | Some m ->
+        Metrics.observe m ~name:"cmb.rpc.latency" ~rank:b.b_rank dur;
+        Metrics.observe m
+          ~name:(Printf.sprintf "cmb.rpc.latency.depth%d" (Treemath.depth ~k:t.k b.b_rank))
+          ~rank:b.b_rank dur);
+      trace t ~name:"rpc.done" ~rank:b.b_rank ?ctx
+        ~fields:
+          [
+            ("topic", Json.string topic);
+            ("dur", Json.float dur);
+            ("ok", Json.bool (match r with Ok _ -> true | Error _ -> false));
+          ]
+        ();
+      reply r
+
+let request_up b ?timeout ?attempts ?(idempotent = false) ?trace_ctx ~topic payload ~reply =
   let t = b.b_session in
   let timeout, attempts = rpc_opts t ?timeout ?attempts ~idempotent () in
-  let reply =
-    match t.tracer with
-    | None -> reply
-    | Some _ ->
-      let t0 = Engine.now t.eng in
-      fun r ->
-        trace t ~name:"rpc.done" ~rank:b.b_rank
-          ~fields:
-            [
-              ("topic", Json.string topic);
-              ("dur", Json.float (Engine.now t.eng -. t0));
-              ("ok", Json.bool (match r with Ok _ -> true | Error _ -> false));
-            ]
-          ();
-        reply r
-  in
+  let ctx = request_ctx t trace_ctx in
+  let reply = instrument_reply b ~topic ~ctx reply in
   let nonce = fresh_nonce b in
   let msg = Message.request ~topic ~origin:b.b_rank ~nonce payload in
+  let msg = match ctx with Some c -> Message.with_trace msg c | None -> msg in
+  trace t ~name:"rpc.send" ~rank:b.b_rank ?ctx ~fields:[ ("topic", Json.string topic) ] ();
   let resend = if attempts > 1 then Some (fun () -> route_request b msg) else None in
-  register_pending b ~nonce ~timeout ~attempts ?resend reply;
+  register_pending b ~nonce ~timeout ~attempts ?resend ?ctx reply;
   route_request b msg
 
-let request_from_module b ?timeout ?attempts ?(idempotent = false) ~topic payload ~reply =
-  let timeout, attempts = rpc_opts b.b_session ?timeout ?attempts ~idempotent () in
+let request_from_module b ?timeout ?attempts ?(idempotent = false) ?trace_ctx ~topic payload
+    ~reply =
+  let t = b.b_session in
+  let timeout, attempts = rpc_opts t ?timeout ?attempts ~idempotent () in
+  let ctx = request_ctx t trace_ctx in
+  let reply = instrument_reply b ~topic ~ctx reply in
   let nonce = fresh_nonce b in
   let msg = Message.request ~topic ~origin:b.b_rank ~nonce payload in
+  let msg = match ctx with Some c -> Message.with_trace msg c | None -> msg in
+  trace t ~name:"rpc.send" ~rank:b.b_rank ?ctx ~fields:[ ("topic", Json.string topic) ] ();
   let resend = if attempts > 1 then Some (fun () -> forward_up b msg) else None in
-  register_pending b ~nonce ~timeout ~attempts ?resend reply;
+  register_pending b ~nonce ~timeout ~attempts ?resend ?ctx reply;
   forward_up b msg
 
 (* --- Ring plane ------------------------------------------------------ *)
 
-let rec rpc_rank b ?timeout ?attempts ?(idempotent = false) ~dst ~topic payload ~reply =
-  let timeout, attempts = rpc_opts b.b_session ?timeout ?attempts ~idempotent () in
+let rec rpc_rank b ?timeout ?attempts ?(idempotent = false) ?trace_ctx ~dst ~topic payload
+    ~reply =
+  let t = b.b_session in
+  let timeout, attempts = rpc_opts t ?timeout ?attempts ~idempotent () in
+  let ctx = request_ctx t trace_ctx in
+  let reply = instrument_reply b ~topic ~ctx reply in
   let nonce = fresh_nonce b in
   let msg = Message.request ~dst ~topic ~origin:b.b_rank ~nonce payload in
+  let msg = match ctx with Some c -> Message.with_trace msg c | None -> msg in
+  trace t ~name:"rpc.send" ~rank:b.b_rank ?ctx ~fields:[ ("topic", Json.string topic) ] ();
   let transmit () =
     if dst = b.b_rank then
       (* Loop-back: deliver to the local module directly. *)
@@ -407,7 +472,7 @@ let rec rpc_rank b ?timeout ?attempts ?(idempotent = false) ~dst ~topic payload 
     else ring_forward b msg
   in
   let resend = if attempts > 1 then Some transmit else None in
-  register_pending b ~nonce ~timeout ~attempts ?resend reply;
+  register_pending b ~nonce ~timeout ~attempts ?resend ?ctx reply;
   transmit ()
 
 and handle_ring_arrival b (msg : Message.t) =
@@ -447,7 +512,7 @@ let rec deliver_event b (ev : Message.t) =
     if seq = b.last_seq + 1 then begin
       b.last_seq <- seq;
       Ring_buffer.push b.event_log ev;
-      trace b.b_session ~name:"event.deliver" ~rank:b.b_rank
+      trace b.b_session ~name:"event.deliver" ~rank:b.b_rank ?ctx:ev.Message.trace
         ~fields:[ ("topic", Json.string ev.Message.topic); ("seq", Json.int seq) ]
         ();
       dispatch_event_local b ev;
@@ -523,11 +588,13 @@ let publish_msg b (ev : Message.t) =
     t.next_seq <- t.next_seq + 1;
     deliver_event b { ev with Message.seq = t.next_seq }
 
-let publish b ~topic payload =
-  trace b.b_session ~name:"event.publish" ~rank:b.b_rank
+let publish b ?trace_ctx ~topic payload =
+  trace b.b_session ~name:"event.publish" ~rank:b.b_rank ?ctx:trace_ctx
     ~fields:[ ("topic", Json.string topic) ]
     ();
-  publish_msg b (Message.event ~topic ~origin:b.b_rank payload)
+  let ev = Message.event ~topic ~origin:b.b_rank payload in
+  let ev = match trace_ctx with Some c -> Message.with_trace ev c | None -> ev in
+  publish_msg b ev
 
 let subscribe b ~prefix cb = b.subs <- b.subs @ [ (prefix, cb) ]
 
@@ -609,6 +676,7 @@ let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring)
       children_of = Array.make size [];
       next_seq = 0;
       tracer = None;
+      metrics = None;
       parent = None;
       children = [];
       destroyed = false;

@@ -119,6 +119,7 @@ val request_up :
   ?timeout:float ->
   ?attempts:int ->
   ?idempotent:bool ->
+  ?trace_ctx:Flux_trace.Tracer.ctx ->
   topic:string ->
   Flux_json.Json.t ->
   reply:(reply -> unit) ->
@@ -129,13 +130,17 @@ val request_up :
     deadline (and any retransmits) are exhausted. [timeout] and
     [attempts] override the session {!rpc_config}; [idempotent] (default
     [false]) opts into retransmission with the configured attempt
-    budget. *)
+    budget. With a tracer attached the RPC becomes a span: a fresh root
+    context unless [trace_ctx] supplies the causal parent (a module
+    forwarding work it received); the context rides the message through
+    every hop, retransmit and the response. *)
 
 val request_from_module :
   broker ->
   ?timeout:float ->
   ?attempts:int ->
   ?idempotent:bool ->
+  ?trace_ctx:Flux_trace.Tracer.ctx ->
   topic:string ->
   Flux_json.Json.t ->
   reply:(reply -> unit) ->
@@ -148,6 +153,7 @@ val rpc_rank :
   ?timeout:float ->
   ?attempts:int ->
   ?idempotent:bool ->
+  ?trace_ctx:Flux_trace.Tracer.ctx ->
   dst:int ->
   topic:string ->
   Flux_json.Json.t ->
@@ -156,10 +162,12 @@ val rpc_rank :
 (** Rank-addressed RPC over the ring plane. Deadline semantics as in
     {!request_up}. *)
 
-val publish : broker -> topic:string -> Flux_json.Json.t -> unit
+val publish : broker -> ?trace_ctx:Flux_trace.Tracer.ctx -> topic:string -> Flux_json.Json.t -> unit
 (** Publish an event: it ascends to the session root, receives a session
     sequence number, and is multicast down the event plane to every
-    live broker. Delivery at each broker is in sequence order. *)
+    live broker. Delivery at each broker is in sequence order.
+    [trace_ctx] links the event into a causal trace (e.g. the KVS
+    commit that caused a setroot). *)
 
 val subscribe : broker -> prefix:string -> (Message.t -> unit) -> unit
 (** Local event subscription with component-wise topic prefix match. *)
@@ -244,13 +252,25 @@ val add_liveness_watch : t -> (int -> bool -> unit) -> unit
     how services (kvs election, live, group) react to membership
     changes. *)
 
-(** {1 Tracing} *)
+(** {1 Observability} *)
 
 val set_tracer : t -> Flux_trace.Tracer.t option -> unit
 (** Attach a tracer: the session emits category ["cmb"] events —
-    [rpc.done] (with [topic] and [dur]) for every completed client RPC,
-    [event.publish] and [event.deliver] on the event plane, and
-    [heal]/[mark_down] on topology changes. *)
+    [rpc.send]/[rpc.done] (with [topic], [dur] and the span context) for
+    every client RPC, [rpc.retry]/[rpc.timeout] on the deadline path,
+    [hop.up]/[hop.down]/[hop.ring] per forwarding hop, [event.publish]
+    and [event.deliver] on the event plane, and [mark_down]/[mark_up] on
+    topology changes. Also attached to the three Net planes, which fold
+    their drop accounting into the same counter table. *)
+
+val set_metrics : t -> Flux_trace.Metrics.t option -> unit
+(** Attach a metrics registry: client RPC latencies feed
+    [cmb.rpc.latency] (plus a [.depth<d>] histogram keyed by the
+    origin's RPC-tree depth), and the three Net planes record per-hop
+    queue/transit histograms under labels [net.rpc]/[net.event]/
+    [net.ring]. *)
+
+val metrics : t -> Flux_trace.Metrics.t option
 
 (** {1 Accounting} *)
 

@@ -70,6 +70,7 @@ type result = {
   r_wallclock : float;
   r_events : int;
   r_trace : Flux_trace.Tracer.t option;
+  r_metrics : Flux_trace.Metrics.t option;
 }
 
 (* --- Value generation -------------------------------------------------- *)
@@ -137,15 +138,24 @@ let run cfg =
     | Some config -> Kvs.load sess ~config ()
     | None -> Kvs.load sess ()
   in
-  ignore (Barrier.load sess () : Barrier.t array);
-  let tracer =
+  let barriers = Barrier.load sess () in
+  let tracer, metrics =
     if cfg.trace then begin
-      let tr = Flux_trace.Tracer.create ~now:(fun () -> Engine.now eng) () in
+      (* Sized so a fully-populated 64-node fence keeps its early
+         [fence.enter] events: critical-path analysis needs the whole
+         span tree, not just the tail of the run. *)
+      let tr =
+        Flux_trace.Tracer.create ~capacity:2_000_000 ~now:(fun () -> Engine.now eng) ()
+      in
+      let m = Flux_trace.Metrics.create () in
       Session.set_tracer sess (Some tr);
+      Session.set_metrics sess (Some m);
       Kvs.set_tracer_all kvs tr;
-      Some tr
+      Kvs.set_metrics_all kvs m;
+      Barrier.set_tracer_all barriers tr;
+      (Some tr, Some m)
     end
-    else None
+    else (None, None)
   in
   let setup_s = Stats.create () in
   let producer_s = Stats.create () in
@@ -232,6 +242,7 @@ let run cfg =
     r_wallclock = Engine.now eng;
     r_events = Engine.events_executed eng;
     r_trace = tracer;
+    r_metrics = metrics;
   }
 
 let pp_result ppf r =

@@ -66,6 +66,9 @@ type result = {
   r_wallclock : float;  (** virtual seconds for the whole run *)
   r_events : int;  (** engine callbacks fired (a determinism fingerprint) *)
   r_trace : Flux_trace.Tracer.t option;  (** present when [trace] was set *)
+  r_metrics : Flux_trace.Metrics.t option;
+      (** the run's metrics registry (RPC latency, per-hop net, KVS
+          cache/commit histograms); present when [trace] was set *)
 }
 
 val run : config -> result

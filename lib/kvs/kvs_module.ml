@@ -5,6 +5,8 @@ module Message = Flux_cmb.Message
 module Topic = Flux_cmb.Topic
 module Engine = Flux_sim.Engine
 module Lru = Flux_util.Lru
+module Tracer = Flux_trace.Tracer
+module Metrics = Flux_trace.Metrics
 
 type config = {
   cache_capacity : int;
@@ -39,6 +41,7 @@ type fence_state = {
   mutable fs_timer_armed : bool;
   mutable fs_last_arrival : float;
   fs_nprocs : int;
+  mutable fs_ctx : Tracer.ctx option; (* causal parent of this batch's flush *)
 }
 
 type master_fence = {
@@ -47,6 +50,7 @@ type master_fence = {
   mf_objects : (string, Json.t) Hashtbl.t;
   mutable mf_pending : Message.t list;
   mf_nprocs : int;
+  mutable mf_ctx : Tracer.ctx option; (* first contribution's span *)
 }
 
 type routing = {
@@ -96,7 +100,8 @@ type t = {
   flush_seen : (int * int, flush_dup) Hashtbl.t; (* (origin, fid) *)
   mutable bytes_held : int;
   mutable n_loads_issued : int;
-  mutable tracer : Flux_trace.Tracer.t option;
+  mutable tracer : Tracer.t option;
+  mutable metrics : Metrics.t option;
 }
 
 let hex = Sha1.to_hex
@@ -106,11 +111,31 @@ let set_tracer t tr = t.tracer <- tr
 let set_tracer_all instances tr =
   Array.iter (fun t -> set_tracer t (Some tr)) instances
 
-let trace t ~name ?fields () =
+let set_metrics t m = t.metrics <- m
+
+let set_metrics_all instances m =
+  Array.iter (fun t -> set_metrics t (Some m)) instances
+
+let trace t ~name ?ctx ?fields () =
   match t.tracer with
-  | Some tr ->
-    Flux_trace.Tracer.emit tr ~cat:"kvs" ~name ~rank:(Session.rank t.b) ?fields ()
+  | Some tr -> Tracer.emit tr ~cat:"kvs" ~name ~rank:(Session.rank t.b) ?ctx ?fields ()
   | None -> ()
+
+let metric_incr t name =
+  match t.metrics with
+  | Some m -> Metrics.incr m ~name ~rank:(Session.rank t.b)
+  | None -> ()
+
+let metric_observe t name v =
+  match t.metrics with
+  | Some m -> Metrics.observe m ~name ~rank:(Session.rank t.b) v
+  | None -> ()
+
+(* A child span under [parent], when both a tracer and a parent exist. *)
+let child_span t parent =
+  match (t.tracer, parent) with
+  | Some tr, Some c -> Some (Tracer.child_ctx tr c)
+  | _ -> None
 
 let is_master t = t.master
 let epoch t = t.epoch
@@ -139,11 +164,18 @@ let cache_put t sha v =
 
 let lookup_obj t sha =
   let h = hex sha in
-  if t.master then Hashtbl.find_opt t.store h
-  else
-    match Hashtbl.find_opt t.dirty_objs h with
-    | Some v -> Some v
-    | None -> Lru.find t.cache h
+  let r =
+    if t.master then Hashtbl.find_opt t.store h
+    else
+      match Hashtbl.find_opt t.dirty_objs h with
+      | Some v -> Some v
+      | None -> Lru.find t.cache h
+  in
+  (match t.metrics with
+  | None -> ()
+  | Some _ ->
+    metric_incr t (match r with Some _ -> "kvs.cache.hit" | None -> "kvs.cache.miss"));
+  r
 
 let expire_cache t =
   if not t.master then begin
@@ -180,17 +212,19 @@ let live_peers t =
 
 (* Upstream transport: the session's RPC tree by default, or a direct
    rank-addressed hop along the volume's relabeled tree. *)
-let send_up t ?timeout ?attempts ?idempotent ~method_ payload ~reply =
+let send_up t ?timeout ?attempts ?idempotent ?trace_ctx ~method_ payload ~reply =
   let topic = t.routing.rt_service ^ "." ^ method_ in
   if t.routing.rt_direct then
     match t.routing.rt_parent () with
     | Some p ->
-      Session.rpc_rank t.b ?timeout ?attempts ?idempotent ~dst:p ~topic payload ~reply
+      Session.rpc_rank t.b ?timeout ?attempts ?idempotent ?trace_ctx ~dst:p ~topic payload
+        ~reply
     | None -> reply (Error (t.routing.rt_service ^ ": master has no parent"))
   else
     match t.routing.rt_parent () with
     | Some _ ->
-      Session.request_from_module t.b ?timeout ?attempts ?idempotent ~topic payload ~reply
+      Session.request_from_module t.b ?timeout ?attempts ?idempotent ?trace_ctx ~topic
+        payload ~reply
     | None ->
       (* This broker is the overlay root but not the master: the session
          re-rooted here (e.g. rank 0 revived) while mastership stayed
@@ -201,8 +235,8 @@ let send_up t ?timeout ?attempts ?idempotent ~method_ payload ~reply =
       else if t.master_rank = Session.rank t.b && t.frozen = None then
         reply (Error (t.routing.rt_service ^ ": no live master"))
       else
-        Session.rpc_rank t.b ?timeout ?attempts ?idempotent ~dst:t.master_rank ~topic
-          payload ~reply
+        Session.rpc_rank t.b ?timeout ?attempts ?idempotent ?trace_ctx ~dst:t.master_rank
+          ~topic payload ~reply
 
 (* --- Flush duplicate suppression ---------------------------------------- *)
 
@@ -260,14 +294,30 @@ let respond_result t (req : Message.t) result =
 
 (* --- Fault-in with coalescing ------------------------------------------- *)
 
-let fault_in t sha k =
+let fault_in t ?trace_ctx sha k =
   let h = hex sha in
   match Hashtbl.find_opt t.pending_loads h with
   | Some waiters -> waiters := k :: !waiters
   | None ->
     Hashtbl.replace t.pending_loads h (ref [ k ]);
     t.n_loads_issued <- t.n_loads_issued + 1;
+    metric_incr t "kvs.fault_in";
+    let ctx = child_span t trace_ctx in
+    let t0 = Engine.now t.eng in
     let finish outcome =
+      (match t.tracer with
+      | None -> ()
+      | Some _ ->
+        let dur = Engine.now t.eng -. t0 in
+        trace t ~name:"fault_in" ?ctx
+          ~fields:
+            [
+              ("sha", Json.string (Sha1.short sha));
+              ("dur", Json.float dur);
+              ("ok", Json.bool (match outcome with Ok () -> true | Error _ -> false));
+            ]
+          ());
+      metric_observe t "kvs.fault_in.latency" (Engine.now t.eng -. t0);
       match Hashtbl.find_opt t.pending_loads h with
       | Some waiters ->
         Hashtbl.remove t.pending_loads h;
@@ -283,7 +333,7 @@ let fault_in t sha k =
       let rec try_peers = function
         | [] -> finish (Error (Printf.sprintf "object %s lost" (Sha1.short sha)))
         | p :: rest ->
-          Session.rpc_rank t.b ~idempotent:true ~timeout:1.0 ~dst:p ~topic
+          Session.rpc_rank t.b ~idempotent:true ~timeout:1.0 ?trace_ctx:ctx ~dst:p ~topic
             (Proto.load_request sha) ~reply:(function
             | Ok payload ->
               cache_put t sha (Proto.load_reply_value payload);
@@ -295,7 +345,7 @@ let fault_in t sha k =
     else
       (* Loads are pure reads: retransmit on timeout so a parent dying
          mid-load resolves through the healed topology. *)
-      send_up t ~idempotent:true ~method_:"load" (Proto.load_request sha)
+      send_up t ~idempotent:true ?trace_ctx:ctx ~method_:"load" (Proto.load_request sha)
         ~reply:(fun r ->
           match r with
           | Ok payload ->
@@ -373,9 +423,11 @@ let master_store t v =
   cache_put t sha v;
   sha
 
-let master_apply t ~tuples ~objects ~respond_to =
+let master_apply t ?trace_ctx ~tuples ~objects ~respond_to () =
   List.iter (fun (o : Proto.obj) -> cache_put t o.Proto.osha o.Proto.value) objects;
   let ntuples = List.length tuples in
+  metric_incr t "kvs.commits";
+  metric_observe t "kvs.commit.tuples" (float_of_int ntuples);
   (* Small values are folded into the directory entry itself, so a
      reader of one small object must fault in the entire directory
      containing it (Figure 4a); larger values stay by-reference. *)
@@ -385,7 +437,7 @@ let master_apply t ~tuples ~objects ~respond_to =
     | Some _ | None -> Tree.dirent_file tp.Proto.sha
   in
   let finish () =
-    trace t ~name:"apply" ~fields:[ ("tuples", Json.int ntuples) ] ();
+    trace t ~name:"apply" ?ctx:trace_ctx ~fields:[ ("tuples", Json.int ntuples) ] ();
     let delta = ref [] in
     let delta_bytes = ref 0 in
     if ntuples > 0 then begin
@@ -422,10 +474,17 @@ let master_apply t ~tuples ~objects ~respond_to =
     let ri = current_ri t in
     let payload = Proto.commit_reply ri in
     List.iter (fun req -> respond_result t req (Ok payload)) respond_to;
-    if ntuples > 0 then
-      Session.publish t.b
+    if ntuples > 0 then begin
+      (* The broadcast is its own span under the commit, so the descent
+         shows up as a distinct segment of the fence critical path. *)
+      let pub_ctx = child_span t trace_ctx in
+      trace t ~name:"setroot.publish" ?ctx:pub_ctx
+        ~fields:[ ("version", Json.int t.version) ]
+        ();
+      Session.publish t.b ?trace_ctx:pub_ctx
         ~topic:(t.routing.rt_service ^ ".setroot")
         (Proto.setroot_to_json ri ~objects:(List.rev !delta))
+    end
   in
   (* Charge the master CPU for tuple application, serialized across
      concurrent batches: this is the linear term that keeps the
@@ -455,6 +514,7 @@ let fence_get t name nprocs =
         fs_timer_armed = false;
         fs_last_arrival = 0.0;
         fs_nprocs = nprocs;
+        fs_ctx = None;
       }
     in
     Hashtbl.replace t.fences name fs;
@@ -471,6 +531,7 @@ let master_fence_get t name nprocs =
         mf_objects = Hashtbl.create 64;
         mf_pending = [];
         mf_nprocs = nprocs;
+        mf_ctx = None;
       }
     in
     Hashtbl.replace t.master_fences name mf;
@@ -503,11 +564,16 @@ let resolve_objects t tuples =
 let master_fence_check t name mf =
   if mf.mf_count >= mf.mf_nprocs then begin
     Hashtbl.remove t.master_fences name;
+    trace t ~name:"commit.begin" ?ctx:mf.mf_ctx
+      ~fields:
+        [ ("name", Json.string name); ("tuples", Json.int (List.length mf.mf_tuples)) ]
+      ();
     let objects =
       Hashtbl.fold (fun h v acc -> { Proto.osha = Sha1.of_hex h; value = v } :: acc)
         mf.mf_objects []
     in
-    master_apply t ~tuples:(List.rev mf.mf_tuples) ~objects ~respond_to:mf.mf_pending
+    master_apply t ?trace_ctx:mf.mf_ctx ~tuples:(List.rev mf.mf_tuples) ~objects
+      ~respond_to:mf.mf_pending ()
   end
 
 let master_fence_contribute t ~name ~nprocs ~count ~tuples ~objects req =
@@ -519,7 +585,11 @@ let master_fence_contribute t ~name ~nprocs ~count ~tuples ~objects req =
       if not (Hashtbl.mem mf.mf_objects (hex o.Proto.osha)) then
         Hashtbl.replace mf.mf_objects (hex o.Proto.osha) o.Proto.value)
     objects;
-  (match req with Some r -> mf.mf_pending <- r :: mf.mf_pending | None -> ());
+  (match req with
+  | Some r ->
+    mf.mf_pending <- r :: mf.mf_pending;
+    if mf.mf_ctx = None then mf.mf_ctx <- r.Message.trace
+  | None -> ());
   master_fence_check t name mf
 
 let rec fence_forward t name fs =
@@ -530,18 +600,24 @@ let rec fence_forward t name fs =
   in
   let count = fs.fs_count in
   let pending = fs.fs_pending in
+  let ctx = child_span t fs.fs_ctx in
   fs.fs_count <- 0;
   fs.fs_tuples <- [];
   Hashtbl.reset fs.fs_objects;
   fs.fs_pending <- [];
+  fs.fs_ctx <- None;
   let payload =
     Proto.flush_to_json
       { Proto.fence = Some (name, fs.fs_nprocs); count; fid = fresh_fid t; tuples; objects }
   in
+  trace t ~name:"flush.forward" ?ctx
+    ~fields:[ ("name", Json.string name); ("count", Json.int count) ]
+    ();
   (* The reply blocks until the whole fence completes, so the deadline
      must cover a slow collective; the fid lets the parent suppress the
      duplicate contribution if an attempt's response is lost. *)
-  send_up t ~timeout:30.0 ~idempotent:true ~method_:"flush" payload ~reply:(fun r ->
+  send_up t ~timeout:30.0 ~idempotent:true ?trace_ctx:ctx ~method_:"flush" payload
+    ~reply:(fun r ->
       (match r with
       | Ok reply ->
         apply_root t (Proto.commit_reply_decode reply);
@@ -594,7 +670,11 @@ let fence_contribute t ~name ~nprocs ~count ~tuples ~objects ~from_child req =
     (match from_child with
     | Some c -> if not (List.mem c fs.fs_heard) then fs.fs_heard <- c :: fs.fs_heard
     | None -> ());
-    (match req with Some r -> fs.fs_pending <- r :: fs.fs_pending | None -> ());
+    (match req with
+    | Some r ->
+      fs.fs_pending <- r :: fs.fs_pending;
+      if fs.fs_ctx = None then fs.fs_ctx <- r.Message.trace
+    | None -> ());
     fs.fs_last_arrival <- Engine.now t.eng;
     if fs.fs_count >= fs.fs_nprocs then fence_check_ready t name fs
     else arm_fence_timer t name fs (t.cfg.fence_window /. 2.0)
@@ -634,7 +714,7 @@ let handle_get t (req : Message.t) =
     | Tree.Found v -> Session.respond t.b req (Proto.load_reply v)
     | Tree.No_key -> Session.respond_error t.b req (Printf.sprintf "key not found: %s" key)
     | Tree.Need sha ->
-      fault_in t sha (function
+      fault_in t ?trace_ctx:req.Message.trace sha (function
         | Ok () -> walk ()
         | Error e -> Session.respond_error t.b req e)
   in
@@ -647,7 +727,7 @@ let handle_load t (req : Message.t) =
   | None ->
     (* A slave faults upstream; the master faults sideways into the
        surviving slave caches (see [fault_in]). *)
-    fault_in t sha (function
+    fault_in t ?trace_ctx:req.Message.trace sha (function
       | Ok () -> (
         match lookup_obj t sha with
         | Some v -> Session.respond t.b req (Proto.load_reply v)
@@ -675,13 +755,15 @@ let handle_commit t (req : Message.t) =
     | None -> []
   in
   let objects = resolve_objects t tuples in
-  if t.master then master_apply t ~tuples ~objects ~respond_to:[ req ]
+  if t.master then
+    master_apply t ?trace_ctx:req.Message.trace ~tuples ~objects ~respond_to:[ req ] ()
   else
     let payload =
       Proto.flush_to_json
         { Proto.fence = None; count = 0; fid = fresh_fid t; tuples; objects }
     in
-    send_up t ~idempotent:true ~method_:"flush" payload ~reply:(fun r ->
+    send_up t ~idempotent:true ?trace_ctx:(child_span t req.Message.trace) ~method_:"flush"
+      payload ~reply:(fun r ->
         match r with
         | Ok reply ->
           apply_root t (Proto.commit_reply_decode reply);
@@ -697,6 +779,9 @@ let handle_fence t (req : Message.t) =
     | None -> []
   in
   let objects = resolve_objects t tuples in
+  trace t ~name:"fence.enter" ?ctx:req.Message.trace
+    ~fields:[ ("name", Json.string name) ]
+    ();
   fence_contribute t ~name ~nprocs ~count:1 ~tuples ~objects ~from_child:None (Some req)
 
 (* Atomic put-and-commit of a binding list: used by services (mon,
@@ -714,13 +799,15 @@ let handle_mput t (req : Message.t) =
       ([], []) bindings
   in
   let tuples = List.rev tuples and objects = List.rev objects in
-  if t.master then master_apply t ~tuples ~objects ~respond_to:[ req ]
+  if t.master then
+    master_apply t ?trace_ctx:req.Message.trace ~tuples ~objects ~respond_to:[ req ] ()
   else
     let payload =
       Proto.flush_to_json
         { Proto.fence = None; count = 0; fid = fresh_fid t; tuples; objects }
     in
-    Session.request_from_module t.b ~idempotent:true ~topic:"kvs.flush" payload
+    Session.request_from_module t.b ~idempotent:true
+      ?trace_ctx:(child_span t req.Message.trace) ~topic:"kvs.flush" payload
       ~reply:(fun r ->
         match r with
         | Ok reply ->
@@ -759,7 +846,8 @@ let handle_flush t (req : Message.t) =
         ~objects:f.Proto.objects ~from_child (Some req)
     | None ->
       if t.master then
-        master_apply t ~tuples:f.Proto.tuples ~objects:f.Proto.objects ~respond_to:[ req ]
+        master_apply t ?trace_ctx:req.Message.trace ~tuples:f.Proto.tuples
+          ~objects:f.Proto.objects ~respond_to:[ req ] ()
       else begin
         (* Plain commit: write objects through this cache and forward.
            Re-stamp with this instance's own fid — the child's fid is only
@@ -768,7 +856,8 @@ let handle_flush t (req : Message.t) =
           (fun (o : Proto.obj) -> cache_put t o.Proto.osha o.Proto.value)
           f.Proto.objects;
         let fwd = Proto.flush_to_json { f with Proto.fid = fresh_fid t } in
-        send_up t ~idempotent:true ~method_:"flush" fwd ~reply:(fun r ->
+        send_up t ~idempotent:true ?trace_ctx:(child_span t req.Message.trace)
+          ~method_:"flush" fwd ~reply:(fun r ->
             match r with
             | Ok reply ->
               apply_root t (Proto.commit_reply_decode reply);
@@ -978,6 +1067,7 @@ let create_instance cfg ?routing b =
       bytes_held = 0;
       n_loads_issued = 0;
       tracer = None;
+      metrics = None;
     }
   in
   (* Evicted cache entries must release their accounted bytes, or
@@ -993,7 +1083,7 @@ let module_of t =
     Session.mod_name = t.routing.rt_service;
     on_request =
       (fun (req : Message.t) ->
-        trace t ~name:(Topic.method_ req.Message.topic) ();
+        trace t ~name:(Topic.method_ req.Message.topic) ?ctx:req.Message.trace ();
         handle_request t req;
         Session.Consumed);
     on_event =
@@ -1001,6 +1091,9 @@ let module_of t =
         let svc = t.routing.rt_service in
         if String.equal ev.Message.topic (svc ^ ".setroot") then begin
           let ri, objects = Proto.setroot_of_json ev.Message.payload in
+          trace t ~name:"setroot.deliver" ?ctx:ev.Message.trace
+            ~fields:[ ("version", Json.int ri.Proto.ri_version) ]
+            ();
           (* Replicate the commit's interior objects before adopting the
              root, so this cache can serve them to a future takeover. *)
           List.iter (fun (o : Proto.obj) -> cache_put t o.Proto.osha o.Proto.value) objects;

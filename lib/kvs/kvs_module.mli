@@ -125,7 +125,20 @@ val expire_cache : t -> unit
 
 val set_tracer : t -> Flux_trace.Tracer.t option -> unit
 (** Emit category ["kvs"] events: one per handled request method
-    (put/get/commit/fence/flush/load/...) with the rank, and [apply] at
-    the master with the batch's tuple count. *)
+    (put/get/commit/fence/flush/load/...) with the rank and the
+    request's causal context, plus the fence/commit lifecycle —
+    [fence.enter] at each client's broker, [flush.forward] per tree
+    reduction hop, [commit.begin] when the master has heard every
+    contribution, [apply], [setroot.publish] and per-rank
+    [setroot.deliver] — and [fault_in] spans with their duration. These
+    are the events {!Flux_trace.Export.fence_critical_path} consumes. *)
 
 val set_tracer_all : t array -> Flux_trace.Tracer.t -> unit
+
+val set_metrics : t -> Flux_trace.Metrics.t option -> unit
+(** Per-rank numeric aggregation: [kvs.cache.hit]/[kvs.cache.miss]
+    counters on every object lookup, [kvs.fault_in] counts with a
+    [kvs.fault_in.latency] histogram, and at the master [kvs.commits]
+    with a [kvs.commit.tuples] batch-size histogram. *)
+
+val set_metrics_all : t array -> Flux_trace.Metrics.t -> unit

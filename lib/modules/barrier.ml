@@ -3,6 +3,7 @@ module Session = Flux_cmb.Session
 module Message = Flux_cmb.Message
 module Topic = Flux_cmb.Topic
 module Engine = Flux_sim.Engine
+module Tracer = Flux_trace.Tracer
 
 type barrier_state = {
   mutable bs_count : int; (* not yet forwarded *)
@@ -10,6 +11,7 @@ type barrier_state = {
   mutable bs_pending : Message.t list;
   mutable bs_timer_armed : bool;
   mutable bs_last_arrival : float;
+  mutable bs_ctx : Tracer.ctx option; (* causal parent for the next forward *)
   bs_nprocs : int;
 }
 
@@ -30,9 +32,24 @@ type t = {
   mutable next_bid : int; (* stamps forwarded aggregates for dedup *)
   seen : (int * int, enter_dup) Hashtbl.t; (* (origin, bid) *)
   mutable total_enters : int;
+  mutable tracer : Tracer.t option;
 }
 
 let enters_seen t = t.total_enters
+
+let set_tracer t tr = t.tracer <- tr
+let set_tracer_all ts tr = Array.iter (fun t -> set_tracer t (Some tr)) ts
+
+let trace t ~name ?ctx ?(fields = []) () =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Tracer.emit tr ~cat:"barrier" ~name ~rank:(Session.rank t.b) ?ctx ~fields ()
+
+let child_span t parent =
+  match (t.tracer, parent) with
+  | Some tr, Some c -> Some (Tracer.child_ctx tr c)
+  | _ -> None
 
 let state_get t name nprocs =
   match Hashtbl.find_opt t.states name with
@@ -45,6 +62,7 @@ let state_get t name nprocs =
         bs_pending = [];
         bs_timer_armed = false;
         bs_last_arrival = 0.0;
+        bs_ctx = None;
         bs_nprocs = nprocs;
       }
     in
@@ -78,6 +96,12 @@ let forward t name s =
   s.bs_pending <- [];
   let bid = t.next_bid in
   t.next_bid <- t.next_bid + 1;
+  let ctx = child_span t s.bs_ctx in
+  s.bs_ctx <- None;
+  trace t ~name:"forward" ?ctx
+    ~fields:
+      [ ("name", Json.string name); ("count", Json.int count); ("bid", Json.int bid) ]
+    ();
   let payload =
     Json.obj
       [
@@ -90,8 +114,8 @@ let forward t name s =
   (* The reply blocks until the whole barrier completes, so the deadline
      must cover a slow collective; the bid lets the parent suppress the
      duplicate count if an attempt's response is lost. *)
-  Session.request_from_module t.b ~timeout:30.0 ~idempotent:true ~topic:"barrier.enter"
-    payload ~reply:(fun r ->
+  Session.request_from_module t.b ~timeout:30.0 ~idempotent:true ?trace_ctx:ctx
+    ~topic:"barrier.enter" payload ~reply:(fun r ->
       (match r with
       | Ok _ -> List.iter (fun req -> respond_enter t req (Ok Json.null)) pending
       | Error e -> List.iter (fun req -> respond_enter t req (Error e)) pending);
@@ -128,18 +152,32 @@ let master_contribute t name nprocs count req =
   in
   if total >= nprocs then begin
     Hashtbl.remove t.master_counts name;
+    let ctx = child_span t req.Message.trace in
+    trace t ~name:"exit" ?ctx
+      ~fields:[ ("name", Json.string name); ("nprocs", Json.int nprocs) ]
+      ();
     List.iter (fun r -> respond_enter t r (Ok Json.null)) pending;
-    Session.publish t.b ~topic:"barrier.exit" (Json.obj [ ("name", Json.string name) ])
+    Session.publish t.b ?trace_ctx:ctx ~topic:"barrier.exit"
+      (Json.obj [ ("name", Json.string name) ])
   end
   else Hashtbl.replace t.master_counts name (total, pending)
 
 let contribute t ~name ~nprocs ~count ~from_child req =
   t.total_enters <- t.total_enters + count;
+  (match from_child with
+  | None ->
+    trace t ~name:"enter" ?ctx:req.Message.trace
+      ~fields:[ ("name", Json.string name); ("nprocs", Json.int nprocs) ]
+      ()
+  | Some _ -> ());
   if t.master then master_contribute t name nprocs count req
   else begin
     let s = state_get t name nprocs in
     s.bs_count <- s.bs_count + count;
     s.bs_pending <- req :: s.bs_pending;
+    (match (s.bs_ctx, req.Message.trace) with
+    | None, (Some _ as c) -> s.bs_ctx <- c
+    | _ -> ());
     (match from_child with
     | Some c -> if not (List.mem c s.bs_heard) then s.bs_heard <- c :: s.bs_heard
     | None -> ());
@@ -204,6 +242,7 @@ let load sess ?(window = 200e-6) () =
           next_bid = 0;
           seen = Hashtbl.create 16;
           total_enters = 0;
+          tracer = None;
         })
   in
   Session.load_module sess (fun b -> module_of instances.(Session.rank b));

@@ -18,3 +18,12 @@ val enter : Flux_cmb.Api.t -> name:string -> nprocs:int -> (unit, string) result
 
 val enters_seen : t -> int
 (** Total enter contributions this instance has counted (diagnostics). *)
+
+val set_tracer : t -> Flux_trace.Tracer.t option -> unit
+(** Emit category ["barrier"] events: [enter] per client contribution
+    (with the request's causal context), [forward] per aggregate hop up
+    the tree (child span of the first latched contribution, threaded
+    into the upstream RPC), and [exit] when the root releases the
+    barrier (threaded into the [barrier.exit] publish). *)
+
+val set_tracer_all : t array -> Flux_trace.Tracer.t -> unit

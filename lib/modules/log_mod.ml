@@ -4,6 +4,7 @@ module Message = Flux_cmb.Message
 module Topic = Flux_cmb.Topic
 module Engine = Flux_sim.Engine
 module Ring_buffer = Flux_util.Ring_buffer
+module Metrics = Flux_trace.Metrics
 
 type level = Debug | Info | Warn | Error
 
@@ -33,10 +34,19 @@ type t = {
   mutable batch : entry list; (* reversed; pending upstream flush *)
   mutable batch_timer_armed : bool;
   mutable root_entries : entry list; (* root only; reversed *)
+  mutable metrics : Metrics.t option;
 }
 
 let root_log t = List.rev t.root_entries
 let local_buffer t = Ring_buffer.to_list t.buffer
+
+let set_metrics t m = t.metrics <- m
+let set_metrics_all ts m = Array.iter (fun t -> set_metrics t (Some m)) ts
+
+let metric_add t name n =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.add m ~name ~rank:(Session.rank t.b) n
 
 let entry_to_json e =
   Json.obj
@@ -76,11 +86,16 @@ let flush_batch t =
   if t.batch <> [] then begin
     let entries = reduce (List.rev t.batch) in
     t.batch <- [];
-    if t.master then t.root_entries <- List.rev_append entries t.root_entries
-    else
+    if t.master then begin
+      metric_add t "log.root_entries" (List.length entries);
+      t.root_entries <- List.rev_append entries t.root_entries
+    end
+    else begin
+      metric_add t "log.forwarded_entries" (List.length entries);
       Session.request_from_module t.b ~topic:"log.append"
         (Json.obj [ ("entries", Json.list (List.map entry_to_json entries)) ])
         ~reply:(fun _ -> ())
+    end
   end
 
 let arm_batch_timer t =
@@ -133,11 +148,16 @@ let module_of t =
           (* Dump the circular buffer toward the root for post-mortem
              context. *)
           let entries = Ring_buffer.to_list t.buffer in
-          if t.master then t.root_entries <- List.rev_append entries t.root_entries
-          else if entries <> [] then
+          if t.master then begin
+            metric_add t "log.root_entries" (List.length entries);
+            t.root_entries <- List.rev_append entries t.root_entries
+          end
+          else if entries <> [] then begin
+            metric_add t "log.forwarded_entries" (List.length entries);
             Session.request_from_module t.b ~topic:"log.append"
               (Json.obj [ ("entries", Json.list (List.map entry_to_json entries)) ])
               ~reply:(fun _ -> ())
+          end
         end);
   }
 
@@ -153,6 +173,7 @@ let load sess ?(forward_level = Info) ?(window = 1e-3) ?(buffer_capacity = 128) 
           batch = [];
           batch_timer_armed = false;
           root_entries = [];
+          metrics = None;
         })
   in
   Session.load_module sess (fun b -> module_of instances.(Session.rank b));

@@ -40,3 +40,11 @@ val dump_buffers : Flux_cmb.Api.t -> unit
 
 val level_to_string : level -> string
 val level_of_string : string -> level
+
+val set_metrics : t -> Flux_trace.Metrics.t option -> unit
+(** Registry wiring: entries appended to the root log bump
+    [log.root_entries] (at rank 0); entries a non-root instance
+    forwards upstream (batch flushes and fault dumps) bump
+    [log.forwarded_entries] at that rank. *)
+
+val set_metrics_all : t array -> Flux_trace.Metrics.t -> unit

@@ -1,4 +1,6 @@
 module Rng = Flux_util.Rng
+module Tracer = Flux_trace.Tracer
+module Metrics = Flux_trace.Metrics
 
 type config = {
   link_latency : float;
@@ -42,6 +44,11 @@ type 'msg t = {
   mutable dropped : int;
   mutable dropped_bytes : int;
   mutable dead_letters : int;
+  (* Observability hooks; [None] (the default) costs one branch per
+     drop/send and allocates nothing. *)
+  mutable tracer : Tracer.t option;
+  mutable metrics : Metrics.t option;
+  mutable label : string;
 }
 
 let create eng ?(config = default_config) ?(fault_seed = 0x464c5558) ~nodes () =
@@ -61,9 +68,18 @@ let create eng ?(config = default_config) ?(fault_seed = 0x464c5558) ~nodes () =
     dropped = 0;
     dropped_bytes = 0;
     dead_letters = 0;
+    tracer = None;
+    metrics = None;
+    label = "net";
   }
 
 let engine t = t.eng
+
+let set_tracer t tr = t.tracer <- tr
+
+let set_metrics t ?label m =
+  (match label with Some l -> t.label <- l | None -> ());
+  t.metrics <- m
 let nodes t = t.n
 let config t = t.cfg
 
@@ -138,7 +154,12 @@ let heal_all_links t = Hashtbl.reset t.cuts
 let drop t ~wire ~fault =
   t.dropped <- t.dropped + 1;
   t.dropped_bytes <- t.dropped_bytes + wire;
-  if fault then t.dead_letters <- t.dead_letters + 1
+  if fault then t.dead_letters <- t.dead_letters + 1;
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Tracer.add_count tr ~cat:"net" ~name:"drop" 1;
+    if fault then Tracer.add_count tr ~cat:"net" ~name:"dead_letter" 1
 
 (* Runs at arrival time, when the message reaches the receiving host.
    Dead hosts drop without any CPU charge; live hosts serialize through
@@ -196,6 +217,16 @@ let send t ~src ~dst ~size m =
          them, the fault eats them en route. *)
       link.free_at <- start +. xfer;
       let arrive = start +. xfer +. t.cfg.link_latency +. jit in
+      (match t.metrics with
+      | None -> ()
+      | Some m ->
+        (* Send-side per-link accounting: how long the message waited
+           for the FIFO pipe, its full transit time, wire bytes pushed,
+           and the backlog the pipe now holds. *)
+        Metrics.observe m ~name:(t.label ^ ".queue_wait") ~rank:src (start -. now);
+        Metrics.observe m ~name:(t.label ^ ".transit") ~rank:src (arrive -. now);
+        Metrics.add m ~name:(t.label ^ ".link_bytes") ~rank:src wire;
+        Metrics.set_gauge m ~name:(t.label ^ ".link_backlog") ~rank:src (link.free_at -. now));
       if lost then
         ignore
           (Engine.schedule_at t.eng ~time:arrive (fun () -> drop t ~wire ~fault:true)

@@ -45,6 +45,27 @@ val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** [set_handler t rank f] installs the delivery callback for [rank],
     replacing any previous one. *)
 
+(** {1 Observability}
+
+    Both hooks default to [None]: unobserved fabrics pay one branch per
+    send/drop and allocate nothing (pay-for-what-you-use). Neither hook
+    affects delivery times — instrumentation must never perturb the
+    simulation. *)
+
+val set_tracer : 'msg t -> Flux_trace.Tracer.t option -> unit
+(** Fold drops into the tracer's counter table: every drop bumps
+    [net.drop]; fault-induced ones (loss, cuts, blackouts) also bump
+    [net.dead_letter]. Counter-only — no events, so high drop rates
+    cannot evict retained events. *)
+
+val set_metrics : 'msg t -> ?label:string -> Flux_trace.Metrics.t option -> unit
+(** Per-hop numeric aggregation, recorded at send time under the
+    sending rank: [<label>.queue_wait] and [<label>.transit] histograms
+    (seconds), a [<label>.link_bytes] counter (wire bytes) and a
+    [<label>.link_backlog] gauge (seconds of queued transmission).
+    [label] defaults to ["net"]; sessions label their three planes
+    ["net.rpc"] / ["net.event"] / ["net.ring"]. *)
+
 val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
 (** [send t ~src ~dst ~size m] queues [m] for delivery. Sends from a
     dead node, over a cut link, or to a node dead at arrival time are

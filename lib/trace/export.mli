@@ -18,6 +18,36 @@ val counters_csv : Tracer.t -> string
 (** {!summary} as machine-readable CSV:
     [category,name,count,total_dur_s]. *)
 
+val to_perfetto : Tracer.t -> string
+(** Chrome / Perfetto trace-event JSON ([{"traceEvents": [...]}]).
+    Ranks map to processes, categories to named threads; events with a
+    ["dur"] field become complete ("X") slices anchored at span start,
+    others thread-scoped instants. Load with ui.perfetto.dev or
+    chrome://tracing. *)
+
+type fence_breakdown = {
+  fb_name : string;
+  fb_start : float;  (** earliest [kvs fence.enter] *)
+  fb_commit_begin : float;  (** root saw the last contribution *)
+  fb_publish : float;  (** root finished applying, published setroot *)
+  fb_end : float;
+      (** last fence [rpc.done] (the client release); the last
+          [setroot.deliver] when ["cmb"] events were not retained *)
+  fb_ascent : float;
+  fb_commit : float;
+  fb_broadcast : float;
+  fb_total : float;  (** = ascent + commit + broadcast, telescoping *)
+}
+
+val fence_critical_path : Tracer.t -> name:string -> (fence_breakdown, string) result
+(** Decompose one traced fence into the paper's Fig. 4 components:
+    tree ascent, root commit, and setroot broadcast + client release.
+    Requires the run to have been traced with the ["kvs"] category
+    retained (and ["cmb"] for the precise client-release endpoint);
+    [Error] names the missing event otherwise. *)
+
+val pp_fence_breakdown : Format.formatter -> fence_breakdown -> unit
+
 val fault_counters_csv :
   ?extra:(string * int) list ->
   rpc_timeouts:int ->
@@ -31,3 +61,8 @@ val fault_counters_csv :
     library stays independent of the simulator; callers feed it
     [Session.rpc_timeouts], [Net.stats ...] etc., plus any [extra]
     rows (e.g. takeover counts). *)
+
+val fault_counters_csv_of : ?extra:(string * int) list -> Tracer.t -> string
+(** Same CSV, sourced from the tracer's counter table
+    ([cmb.rpc.timeout], [cmb.rpc.retry], [net.dead_letter],
+    [net.drop]) — no hand-threaded integers. *)

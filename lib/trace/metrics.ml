@@ -1,0 +1,201 @@
+module Json = Flux_json.Json
+
+(* Log-bucketed histogram. Bucket boundaries grow geometrically by
+   [growth] starting at [lo]; bucket 0 holds everything <= lo, the last
+   bucket everything past the top boundary. With growth = 2^(1/4) the
+   relative quantization error of a reported quantile is bounded by
+   ~ +/-9%, and 256 buckets span lo * 2^63 — nanoseconds to centuries
+   when observations are seconds. *)
+
+let growth = 1.189207115002721 (* 2 ** 0.25 *)
+let log_growth = log growth
+let lo = 1e-9
+let nbuckets = 256
+
+type hist = {
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type summary = {
+  n : int;
+  sum : float;
+  mn : float;
+  mx : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type t = {
+  counters : (string * int, int) Hashtbl.t;
+  gauges : (string * int, float) Hashtbl.t;
+  hists : (string * int, hist) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 64; gauges = Hashtbl.create 16; hists = Hashtbl.create 64 }
+
+let add t ~name ~rank n =
+  let key = (name, rank) in
+  Hashtbl.replace t.counters key
+    (n + match Hashtbl.find_opt t.counters key with Some c -> c | None -> 0)
+
+let incr t ~name ~rank = add t ~name ~rank 1
+
+let counter t ~name ~rank =
+  match Hashtbl.find_opt t.counters (name, rank) with Some c -> c | None -> 0
+
+let counter_total t ~name =
+  Hashtbl.fold (fun (n, _) v acc -> if String.equal n name then acc + v else acc) t.counters 0
+
+let set_gauge t ~name ~rank v = Hashtbl.replace t.gauges (name, rank) v
+
+let gauge t ~name ~rank = Hashtbl.find_opt t.gauges (name, rank)
+
+let bucket_of v =
+  if v <= lo then 0
+  else
+    let i = 1 + int_of_float (log (v /. lo) /. log_growth) in
+    if i >= nbuckets then nbuckets - 1 else i
+
+(* Representative value for bucket [i]: the geometric midpoint of its
+   boundaries, so a reported quantile is within one growth ratio of the
+   true sample. *)
+let bucket_value i =
+  if i = 0 then lo else lo *. (growth ** (float_of_int i -. 0.5))
+
+let observe t ~name ~rank v =
+  let key = (name, rank) in
+  let h =
+    match Hashtbl.find_opt t.hists key with
+    | Some h -> h
+    | None ->
+      let h =
+        { buckets = Array.make nbuckets 0; h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity }
+      in
+      Hashtbl.add t.hists key h;
+      h
+  in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let quantile h q =
+  if h.h_count = 0 then nan
+  else begin
+    let target =
+      let x = int_of_float (ceil (q *. float_of_int h.h_count)) in
+      if x < 1 then 1 else if x > h.h_count then h.h_count else x
+    in
+    let rec go i cum =
+      if i >= nbuckets then h.h_max
+      else
+        let cum = cum + h.buckets.(i) in
+        if cum >= target then
+          (* Clamp to the observed range so degenerate histograms
+             (single bucket) report sane values. *)
+          let v = bucket_value i in
+          if v < h.h_min then h.h_min else if v > h.h_max then h.h_max else v
+        else go (i + 1) cum
+    in
+    go 0 0
+  end
+
+let summarize h =
+  { n = h.h_count; sum = h.h_sum; mn = h.h_min; mx = h.h_max;
+    p50 = quantile h 0.50; p95 = quantile h 0.95; p99 = quantile h 0.99 }
+
+let summary t ~name ~rank =
+  match Hashtbl.find_opt t.hists (name, rank) with
+  | Some h when h.h_count > 0 -> Some (summarize h)
+  | _ -> None
+
+let merge_into dst src =
+  Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
+  dst.h_count <- dst.h_count + src.h_count;
+  dst.h_sum <- dst.h_sum +. src.h_sum;
+  if src.h_min < dst.h_min then dst.h_min <- src.h_min;
+  if src.h_max > dst.h_max then dst.h_max <- src.h_max
+
+let summary_merged t ~name =
+  let acc =
+    { buckets = Array.make nbuckets 0; h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity }
+  in
+  Hashtbl.iter (fun (n, _) h -> if String.equal n name then merge_into acc h) t.hists;
+  if acc.h_count = 0 then None else Some (summarize acc)
+
+let hist_names t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter (fun (n, _) _ -> Hashtbl.replace seen n ()) t.hists;
+  List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) seen [])
+
+(* CSV: one [metric,rank,value] row per counter/gauge, and one row per
+   summary statistic per histogram, sorted for determinism. *)
+let to_csv t =
+  let rows = ref [] in
+  let row name rank v = rows := (name, rank, v) :: !rows in
+  Hashtbl.iter (fun (n, r) v -> row n r (string_of_int v)) t.counters;
+  Hashtbl.iter (fun (n, r) v -> row n r (Printf.sprintf "%.9g" v)) t.gauges;
+  Hashtbl.iter
+    (fun (n, r) h ->
+      if h.h_count > 0 then begin
+        let s = summarize h in
+        row (n ^ ".count") r (string_of_int s.n);
+        row (n ^ ".sum") r (Printf.sprintf "%.9g" s.sum);
+        row (n ^ ".min") r (Printf.sprintf "%.9g" s.mn);
+        row (n ^ ".max") r (Printf.sprintf "%.9g" s.mx);
+        row (n ^ ".p50") r (Printf.sprintf "%.9g" s.p50);
+        row (n ^ ".p95") r (Printf.sprintf "%.9g" s.p95);
+        row (n ^ ".p99") r (Printf.sprintf "%.9g" s.p99)
+      end)
+    t.hists;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "metric,rank,value\n";
+  List.iter
+    (fun (n, r, v) -> Buffer.add_string b (Printf.sprintf "%s,%d,%s\n" n r v))
+    (List.sort compare !rows);
+  Buffer.contents b
+
+let summary_json s =
+  Json.obj
+    [
+      ("count", Json.int s.n);
+      ("sum", Json.float s.sum);
+      ("min", Json.float s.mn);
+      ("max", Json.float s.mx);
+      ("p50", Json.float s.p50);
+      ("p95", Json.float s.p95);
+      ("p99", Json.float s.p99);
+    ]
+
+(* JSON view: counters summed across ranks, gauges per rank, histograms
+   merged across ranks (per-rank detail lives in the CSV). *)
+let to_json t =
+  let counter_names =
+    let seen = Hashtbl.create 16 in
+    Hashtbl.iter (fun (n, _) _ -> Hashtbl.replace seen n ()) t.counters;
+    List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) seen [])
+  in
+  let counters =
+    List.map (fun n -> (n, Json.int (counter_total t ~name:n))) counter_names
+  in
+  let gauges =
+    List.sort compare (Hashtbl.fold (fun (n, r) v acc -> ((n, r), v) :: acc) t.gauges [])
+    |> List.map (fun ((n, r), v) -> (Printf.sprintf "%s[%d]" n r, Json.float v))
+  in
+  let hists =
+    List.filter_map
+      (fun n ->
+        match summary_merged t ~name:n with
+        | Some s -> Some (n, summary_json s)
+        | None -> None)
+      (hist_names t)
+  in
+  Json.obj
+    [ ("counters", Json.obj counters); ("gauges", Json.obj gauges); ("histograms", Json.obj hists) ]

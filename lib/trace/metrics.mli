@@ -1,0 +1,70 @@
+(** Always-on numeric aggregation (LDMS-style), complementing the
+    event-oriented {!Tracer}.
+
+    A registry holds per-(metric, rank) counters, gauges, and
+    log-bucketed latency histograms. Subsystems guard every update with
+    a [match metrics with None -> ...] so an unattached registry costs
+    nothing on hot paths; when attached, each update is one hashtable
+    operation and no allocation beyond first touch of a key.
+
+    Histograms bucket geometrically (ratio [growth] = 2^(1/4), lowest
+    boundary 1 ns), so p50/p95/p99 are reported to within ~one bucket
+    ratio of the exact sample quantile while storing only 256 ints. *)
+
+module Json = Flux_json.Json
+
+type t
+
+type summary = {
+  n : int;
+  sum : float;
+  mn : float;
+  mx : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val growth : float
+(** Histogram bucket ratio: reported quantiles are within a factor
+    [growth] of the true sample quantile (modulo range clamping). *)
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr : t -> name:string -> rank:int -> unit
+val add : t -> name:string -> rank:int -> int -> unit
+val counter : t -> name:string -> rank:int -> int
+val counter_total : t -> name:string -> int
+(** Sum of the named counter across all ranks. *)
+
+(** {1 Gauges} *)
+
+val set_gauge : t -> name:string -> rank:int -> float -> unit
+val gauge : t -> name:string -> rank:int -> float option
+
+(** {1 Histograms} *)
+
+val observe : t -> name:string -> rank:int -> float -> unit
+(** Record one observation (typically a latency in seconds; any
+    non-negative magnitude works). *)
+
+val summary : t -> name:string -> rank:int -> summary option
+(** [None] when the histogram has no observations. *)
+
+val summary_merged : t -> name:string -> summary option
+(** Bucket-wise merge of the named histogram across all ranks. *)
+
+val hist_names : t -> string list
+(** Sorted names of histograms with at least one registration. *)
+
+(** {1 Export} *)
+
+val to_csv : t -> string
+(** [metric,rank,value] rows, sorted by (metric, rank). Histograms
+    expand to [name.count/.sum/.min/.max/.p50/.p95/.p99] rows. *)
+
+val to_json : t -> Json.t
+(** Counters summed across ranks, gauges per rank, histogram summaries
+    merged across ranks — the shape embedded in BENCH_*.json. *)

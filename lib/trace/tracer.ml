@@ -9,6 +9,8 @@ type event = {
   ev_fields : (string * Json.t) list;
 }
 
+type ctx = { tc_trace : int; tc_span : int; tc_parent : int }
+
 type t = {
   now : unit -> float;
   buf : event Ring_buffer.t;
@@ -16,6 +18,7 @@ type t = {
   counts : (string * string, int) Hashtbl.t;
   durations : (string * string, float) Hashtbl.t;
   mutable subscribers : (event -> unit) list;
+  mutable next_id : int; (* span/trace id allocator, deterministic *)
 }
 
 let create ?(capacity = 100_000) ~now () =
@@ -26,7 +29,27 @@ let create ?(capacity = 100_000) ~now () =
     counts = Hashtbl.create 64;
     durations = Hashtbl.create 16;
     subscribers = [];
+    next_id = 1;
   }
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let root_ctx t =
+  let id = fresh_id t in
+  { tc_trace = id; tc_span = id; tc_parent = 0 }
+
+let child_ctx t parent =
+  { tc_trace = parent.tc_trace; tc_span = fresh_id t; tc_parent = parent.tc_span }
+
+let ctx_fields c =
+  [
+    ("trace", Json.int c.tc_trace);
+    ("span", Json.int c.tc_span);
+    ("parent", Json.int c.tc_parent);
+  ]
 
 let enable t ~cats = t.cats <- cats
 
@@ -36,9 +59,14 @@ let bump t key =
   Hashtbl.replace t.counts key
     (1 + match Hashtbl.find_opt t.counts key with Some c -> c | None -> 0)
 
-let emit t ~cat ~name ?(rank = -1) ?(fields = []) () =
+let add_count t ~cat ~name n =
+  Hashtbl.replace t.counts (cat, name)
+    (n + match Hashtbl.find_opt t.counts (cat, name) with Some c -> c | None -> 0)
+
+let emit t ~cat ~name ?(rank = -1) ?ctx ?(fields = []) () =
   bump t (cat, name);
   if retained t cat then begin
+    let fields = match ctx with None -> fields | Some c -> ctx_fields c @ fields in
     let ev = { ev_ts = t.now (); ev_cat = cat; ev_name = name; ev_rank = rank; ev_fields = fields } in
     Ring_buffer.push t.buf ev;
     List.iter (fun f -> f ev) t.subscribers
@@ -53,6 +81,7 @@ let span t ~cat ~name ?rank f =
   let finish ~raised =
     let dur = t.now () -. t0 in
     add_duration t (cat, name) dur;
+    if raised then bump t (cat, name ^ ".raised");
     let fields =
       ("dur", Json.float dur) :: (if raised then [ ("raised", Json.bool true) ] else [])
     in

@@ -21,26 +21,60 @@ type event = {
   ev_fields : (string * Json.t) list;
 }
 
+type ctx = { tc_trace : int; tc_span : int; tc_parent : int }
+(** Dapper-style causal context carried in message envelopes: every
+    span belongs to a trace ([tc_trace], the root span's id), has its
+    own id ([tc_span]) and points at the span that caused it
+    ([tc_parent], 0 for roots). Ids come from a per-tracer monotonic
+    counter, so traced runs stay deterministic. *)
+
 type t
 
 val create : ?capacity:int -> now:(unit -> float) -> unit -> t
 (** [capacity] bounds retained events (default 100_000, oldest dropped);
     counters are never dropped. *)
 
+val root_ctx : t -> ctx
+(** Start a new trace: a fresh root span whose id doubles as the
+    trace id. *)
+
+val child_ctx : t -> ctx -> ctx
+(** A fresh span caused by [parent], in the same trace. *)
+
+val ctx_fields : ctx -> (string * Json.t) list
+(** The ["trace"]/["span"]/["parent"] fields {!emit} attaches for
+    [?ctx]; exposed for code that assembles field lists by hand. *)
+
 val enable : t -> cats:string list -> unit
 (** Retain events only for the listed categories ([[]] = everything,
     the default). Filtering also suppresses subscriber callbacks. *)
 
 val emit :
-  t -> cat:string -> name:string -> ?rank:int -> ?fields:(string * Json.t) list -> unit -> unit
+  t ->
+  cat:string ->
+  name:string ->
+  ?rank:int ->
+  ?ctx:ctx ->
+  ?fields:(string * Json.t) list ->
+  unit ->
+  unit
 (** Record one event (subject to the category filter) and bump the
-    [cat.name] counter (always). *)
+    [cat.name] counter (always). [?ctx] prepends the causal
+    trace/span/parent fields (only when the event is retained, so
+    filtered categories stay allocation-free). *)
+
+val add_count : t -> cat:string -> name:string -> int -> unit
+(** Bump the [cat.name] counter by [n] without recording an event.
+    Lets subsystems fold pre-existing integer counters (fault counts,
+    byte totals) into the one counter namespace. *)
 
 val span : t -> cat:string -> name:string -> ?rank:int -> (unit -> 'a) -> 'a
 (** [span t ~cat ~name f] runs [f], emitting one event carrying the
     elapsed virtual duration in field ["dur"]. For blocking protocol
     code inside {!Flux_sim.Proc} bodies. Exceptions propagate after the
-    event is recorded with field ["raised"] = true. *)
+    event is recorded with field ["raised"] = true and the
+    [cat.name.raised] counter bumped, so failures show up in
+    {!Export.counters_csv} too. *)
 
 val subscribe : t -> (event -> unit) -> unit
 (** Called for every retained event. *)

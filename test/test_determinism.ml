@@ -41,6 +41,32 @@ let test_kap_run_twice () =
   check (Alcotest.float 0.0) "sync max identical" r1.Kap.r_sync.Kap.ph_max
     r2.Kap.r_sync.Kap.ph_max
 
+(* Tracing must be pay-for-what-you-use in behaviour, not just cost:
+   attaching the tracer and metrics registry (trace = true) must leave
+   the simulation bit-for-bit identical to an untraced run — same final
+   clock, same engine event count, same wire traffic, same phase
+   latencies. Instrumentation that scheduled an event or perturbed a
+   payload size would show up here. *)
+let test_trace_on_off_identical () =
+  let on = Kap.run fig2_cfg in
+  let off = Kap.run { fig2_cfg with Kap.trace = false } in
+  (match (off.Kap.r_trace, off.Kap.r_metrics) with
+  | None, None -> ()
+  | _ -> Alcotest.fail "untraced run must not carry a tracer or metrics");
+  check (Alcotest.float 0.0) "final simulated clock identical" on.Kap.r_wallclock
+    off.Kap.r_wallclock;
+  check Alcotest.int "engine events identical" on.Kap.r_events off.Kap.r_events;
+  check Alcotest.int "rpc messages identical" on.Kap.r_rpc_messages off.Kap.r_rpc_messages;
+  check Alcotest.int "loads identical" on.Kap.r_loads_issued off.Kap.r_loads_issued;
+  check Alcotest.int "root ingress bytes identical" on.Kap.r_root_ingress_bytes
+    off.Kap.r_root_ingress_bytes;
+  check (Alcotest.float 0.0) "producer max identical" on.Kap.r_producer.Kap.ph_max
+    off.Kap.r_producer.Kap.ph_max;
+  check (Alcotest.float 0.0) "sync max identical" on.Kap.r_sync.Kap.ph_max
+    off.Kap.r_sync.Kap.ph_max;
+  check (Alcotest.float 0.0) "consumer max identical" on.Kap.r_consumer.Kap.ph_max
+    off.Kap.r_consumer.Kap.ph_max
+
 (* One chaos seed run twice: kills, revives, takeovers, the final
    (epoch, version) and the virtual clock at convergence must all
    repeat. The report record compares componentwise so a mismatch names
@@ -72,6 +98,8 @@ let () =
       ( "golden",
         [
           Alcotest.test_case "fig2 workload repeats exactly" `Quick test_kap_run_twice;
+          Alcotest.test_case "tracing on vs off is unobservable" `Quick
+            test_trace_on_off_identical;
           Alcotest.test_case "chaos seed repeats exactly" `Quick test_chaos_run_twice;
         ] );
     ]
