@@ -1,4 +1,4 @@
-.PHONY: all build test fmt chaos check clean
+.PHONY: all build test fmt chaos overload check clean
 
 all: build
 
@@ -25,10 +25,20 @@ chaos:
 	dune exec test/test_chaos.exe -- -q
 	dune exec bench/main.exe -- chaos
 
+# Overload soak: open-loop producers drive the KVS write path past the
+# master's capacity with bounded queues, TBON credits and admission
+# control engaged; every run asserts bounded occupancy, zero acked-write
+# loss, monotonic reads and eventual drain. The alcotest suite covers
+# 8 seeds; the bench sweep adds the goodput-vs-offered-rate table
+# (BENCH_OVERLOAD.json).
+overload:
+	dune exec test/test_overload.exe -- -q
+	dune exec bench/main.exe -- overload
+
 # The pre-merge gate: format (when available), build with warnings
 # promoted to errors under lib/ (see lib/dune), and run every test,
-# then the chaos sweep.
-check: fmt build test chaos
+# then the chaos and overload sweeps.
+check: fmt build test chaos overload
 
 clean:
 	dune clean

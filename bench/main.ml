@@ -3,7 +3,7 @@
 
    Usage: main.exe [experiment...] where experiment is one of
      table1 fig2 fig3 fig4a fig4b sweep model ablate-sched ablate-fanout
-     ablate-shards faults chaos micro observe perf
+     ablate-shards faults chaos micro overload observe perf
    No arguments runs everything. Scales can be reduced with
    BENCH_FAST=1 for a quick pass. *)
 
@@ -27,6 +27,7 @@ module Jobspec = Flux_core.Jobspec
 module Workload = Flux_core.Workload
 module Central = Flux_baseline.Central
 module Chaos = Flux_kap.Chaos
+module Overload = Flux_kap.Overload
 module Export = Flux_trace.Export
 
 let fast = Sys.getenv_opt "BENCH_FAST" <> None
@@ -576,6 +577,96 @@ let chaos () =
   Printf.printf "  %d seeds, %d total violations%s\n%!" (List.length seeds) !total_viol
     (if !total_viol = 0 then " — all consistency guarantees held" else " — INVARIANT BREACH")
 
+(* --- Overload: open-loop soak past master capacity ------------------------ *)
+
+let overload () =
+  header "Overload: open-loop soak past master capacity (bounded queues, credits, admission)";
+  let size = if fast then 64 else 512 in
+  let nproducers = if fast then 8 else 16 in
+  let producers = List.init nproducers (fun i -> size - nproducers + i) in
+  let duration = if fast then 0.3 else 0.5 in
+  let base = { Overload.default with Overload.size; producers; duration } in
+  let cap = Overload.master_capacity base in
+  Printf.printf "(%d nodes, %d producers, %.1fs window, master capacity %.0f ops/s)\n%!"
+    size nproducers duration cap;
+  Printf.printf "%-10s %8s %8s %8s %8s %10s %10s %6s %6s %6s %5s\n" "profile" "x-cap"
+    "offered" "acked" "shed" "goodput" "p99(s)" "stash" "link" "intake" "viol";
+  let scenarios =
+    [
+      ("sustained", 0.5, Overload.Sustained, false);
+      ("sustained", 1.0, Overload.Sustained, false);
+      ("sustained", 2.0, Overload.Sustained, false);
+      ("bursty", 2.0, Overload.Bursty, false);
+      ("chaos", 1.0, Overload.Sustained, true);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, mult, profile, chaos_kill) ->
+        let cfg = { base with Overload.rate = cap *. mult; profile; chaos_kill } in
+        let r = Overload.run cfg in
+        Printf.printf "%-10s %8.1f %8d %8d %8d %10.0f %10.6f %6d %6d %6d %5d\n%!" label
+          mult r.Overload.offered r.Overload.acked r.Overload.shed r.Overload.goodput
+          r.Overload.ack_p99 r.Overload.flow_stash_hwm r.Overload.link_depth_hwm
+          r.Overload.intake_hwm
+          (List.length r.Overload.violations);
+        List.iter (fun v -> Printf.printf "    violation: %s\n%!" v) r.Overload.violations;
+        ( (label, mult, r),
+          Json.obj
+            [
+              ("profile", Json.string label);
+              ("capacity_multiple", Json.float mult);
+              ("rate", Json.float cfg.Overload.rate);
+              ("offered", Json.int r.Overload.offered);
+              ("acked", Json.int r.Overload.acked);
+              ("shed", Json.int r.Overload.shed);
+              ("failed", Json.int r.Overload.failed);
+              ("goodput", Json.float r.Overload.goodput);
+              ("ack_p50", Json.float r.Overload.ack_p50);
+              ("ack_p99", Json.float r.Overload.ack_p99);
+              ("admission_sheds", Json.int r.Overload.admission_sheds);
+              ("intake_hwm", Json.int r.Overload.intake_hwm);
+              ("flow_stash_hwm", Json.int r.Overload.flow_stash_hwm);
+              ("link_depth_hwm", Json.int r.Overload.link_depth_hwm);
+              ("lost_acks", Json.int r.Overload.lost_acks);
+              ("drained", Json.bool r.Overload.drained);
+              ("sim_events", Json.int r.Overload.sim_events);
+              ("violations", Json.int (List.length r.Overload.violations));
+            ] ))
+      scenarios
+  in
+  (* The shape the protection stack must produce: goodput at 2x capacity
+     plateaus near the 1x level instead of collapsing under retry storms
+     and unbounded queueing. *)
+  let goodput_at m =
+    List.filter_map
+      (fun ((label, mult, r), _) ->
+        if label = "sustained" && mult = m then Some r.Overload.goodput else None)
+      rows
+    |> function g :: _ -> g | [] -> 0.0
+  in
+  let g1 = goodput_at 1.0 and g2 = goodput_at 2.0 in
+  Printf.printf "  goodput at 2x capacity retains %.0f%% of the 1x level (%s)\n%!"
+    (if g1 > 0.0 then 100.0 *. g2 /. g1 else 0.0)
+    (if g2 >= 0.5 *. g1 then "plateau — protected" else "COLLAPSE");
+  let doc =
+    Json.obj
+      [
+        ("experiment", Json.string "overload");
+        ("nodes", Json.int size);
+        ("producers", Json.int nproducers);
+        ("duration", Json.float duration);
+        ("master_capacity", Json.float cap);
+        ("tier", Json.string (if fast then "fast" else "paper-scale"));
+        ("rows", Json.list (List.map snd rows));
+      ]
+  in
+  let oc = open_out "BENCH_OVERLOAD.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_OVERLOAD.json (%d scenarios)\n%!" (List.length rows)
+
 (* --- Observe: traced fence critical path + metrics registry export -------- *)
 
 let observe () =
@@ -726,6 +817,7 @@ let experiments =
     ("faults", faults);
     ("chaos", chaos);
     ("micro", micro);
+    ("overload", overload);
     ("observe", observe);
     ("perf", perf);
   ]

@@ -27,6 +27,33 @@ let nodes_arg =
 let fanout_arg =
   Arg.(value & opt int 2 & info [ "k"; "fanout" ] ~docv:"K" ~doc:"CMB tree fan-out.")
 
+(* Sizing flags are validated up front so a bad value yields a usage
+   error and non-zero exit instead of a backtrace from deep inside the
+   simulator (Session.create &c. raise Invalid_argument much later). *)
+let checked checks k =
+  match List.find_map Fun.id checks with
+  | Some msg -> `Error (true, msg)
+  | None -> k ()
+
+let positive name v =
+  if v <= 0 then Some (Printf.sprintf "%s must be a positive integer (got %d)" name v)
+  else None
+
+let at_least name lo v =
+  if v < lo then Some (Printf.sprintf "%s must be >= %d (got %d)" name lo v) else None
+
+let in_range name ~lo ~hi v =
+  if v < lo || v > hi then
+    Some (Printf.sprintf "%s must be in [%d,%d] (got %d)" name lo hi v)
+  else None
+
+let one_of name allowed v =
+  if List.mem v allowed then None
+  else
+    Some (Printf.sprintf "%s must be one of %s (got %s)" name (String.concat "|" allowed) v)
+
+let base_checks nodes fanout = [ positive "-N/--nodes" nodes; at_least "-k/--fanout" 2 fanout ]
+
 let run_to_completion eng f =
   let result = ref None in
   ignore (Proc.spawn eng (fun () -> result := Some (f ())) : Proc.pid);
@@ -49,8 +76,8 @@ let ping_cmd =
     Arg.(value & pos 0 int 0 & info [] ~docv:"RANK" ~doc:"Destination rank.")
   in
   let run nodes fanout rank =
-    if rank < 0 || rank >= nodes then `Error (false, "rank out of range")
-    else
+    checked (base_checks nodes fanout @ [ in_range "RANK" ~lo:0 ~hi:(nodes - 1) rank ])
+    @@ fun () ->
       with_session nodes fanout (fun eng sess ->
           let api = Api.connect sess ~rank:0 in
           let t0 = ref 0.0 in
@@ -75,6 +102,7 @@ let ping_cmd =
 
 let topo_cmd =
   let run nodes fanout =
+    checked (base_checks nodes fanout) @@ fun () ->
     with_session nodes fanout (fun eng sess ->
         let api = Api.connect sess ~rank:0 in
         let print_rank r =
@@ -117,6 +145,8 @@ let kvs_cmd =
     Arg.(value & opt int 0 & info [ "r"; "rank" ] ~doc:"Rank whose broker serves the client.")
   in
   let run nodes fanout rank puts gets =
+    checked (base_checks nodes fanout @ [ in_range "-r/--rank" ~lo:0 ~hi:(nodes - 1) rank ])
+    @@ fun () ->
     with_session nodes fanout (fun eng sess ->
         let outcome =
           run_to_completion eng (fun () ->
@@ -163,6 +193,7 @@ let resource_cmd =
     Arg.(value & opt int 2 & info [ "clusters" ] ~doc:"Number of clusters at the center.")
   in
   let run nodes clusters =
+    checked [ positive "-N/--nodes" nodes; positive "--clusters" clusters ] @@ fun () ->
     let c =
       Resource.center ~name:"center"
         (List.init clusters (fun i ->
@@ -198,6 +229,14 @@ let schedule_cmd =
   in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
   let run nodes policy jobs children seed =
+    checked
+      [
+        positive "-N/--nodes" nodes;
+        positive "--jobs" jobs;
+        at_least "--children" 0 children;
+        one_of "--policy" [ "fcfs"; "easy"; "fcfs-moldable"; "priority"; "fairshare" ] policy;
+      ]
+    @@ fun () ->
     let rng = Flux_util.Rng.create seed in
     let wl = Workload.batch_mix rng ~n:jobs ~max_nodes:(max 1 (nodes / 4)) () in
     let c = Center.create ~nodes ~policy () in
@@ -239,6 +278,10 @@ let kap_cmd =
     Arg.(value & flag & info [ "redundant" ] ~doc:"All producers write identical values.")
   in
   let run nodes fanout producers vsize redundant =
+    checked
+      (base_checks nodes fanout
+      @ [ at_least "--producers" 0 producers; positive "--vsize" vsize ])
+    @@ fun () ->
     let base = Kap.fully_populated ~nodes in
     let total = nodes * base.Kap.procs_per_node in
     let cfg =
@@ -267,6 +310,16 @@ let exec_cmd =
   in
   let secs_arg = Arg.(value & opt float 0.1 & info [ "secs" ] ~doc:"Per-task runtime.") in
   let run nodes fanout per_rank ranks secs =
+    checked
+      (base_checks nodes fanout
+      @ [
+          positive "--per-rank" per_rank;
+          (if secs < 0.0 then Some (Printf.sprintf "--secs must be >= 0 (got %g)" secs)
+           else None);
+          (if ranks = [] then Some "--ranks must name at least one rank" else None);
+          List.find_map (fun r -> in_range "--ranks" ~lo:0 ~hi:(nodes - 1) r) ranks;
+        ])
+    @@ fun () ->
     Flux_modules.Wexec.register_program "cli-task" (fun ctx ->
         Proc.sleep (Json.to_float (Json.member "secs" ctx.Flux_modules.Wexec.px_args));
         ctx.Flux_modules.Wexec.px_printf
@@ -309,6 +362,7 @@ let exec_cmd =
 let barrier_cmd =
   let procs_arg = Arg.(value & opt int 64 & info [ "procs" ] ~doc:"Participants.") in
   let run nodes fanout procs =
+    checked (base_checks nodes fanout @ [ positive "--procs" procs ]) @@ fun () ->
     with_session nodes fanout (fun eng sess ->
         let released = ref 0 in
         let t_done = ref 0.0 in
@@ -337,7 +391,9 @@ let barrier_cmd =
 let down_cmd =
   let victim_arg = Arg.(value & pos 0 int 2 & info [] ~docv:"RANK" ~doc:"Rank to kill.") in
   let run nodes fanout victim =
-    if victim <= 0 || victim >= nodes then `Error (false, "victim must be an interior rank")
+    checked (base_checks nodes fanout) @@ fun () ->
+    if victim <= 0 || victim >= nodes then
+      `Error (true, Printf.sprintf "RANK must be an interior rank in [1,%d] (got %d)" (nodes - 1) victim)
     else begin
       let eng = Engine.create () in
       let sess = Session.create eng ~fanout ~size:nodes () in
@@ -384,6 +440,10 @@ let down_cmd =
 let watch_cmd =
   let key_arg = Arg.(value & pos 0 string "demo.key" & info [] ~docv:"KEY") in
   let run nodes fanout key =
+    checked
+      (base_checks nodes fanout
+      @ [ (if key = "" then Some "KEY must be non-empty" else None) ])
+    @@ fun () ->
     with_session nodes fanout (fun eng sess ->
         ignore
           (Proc.spawn eng ~name:"watcher" (fun () ->
@@ -420,6 +480,9 @@ let watch_cmd =
 let volumes_cmd =
   let shards_arg = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"KVS volume count.") in
   let run nodes shards =
+    checked
+      [ positive "-N/--nodes" nodes; in_range "--shards" ~lo:1 ~hi:(max 1 nodes) shards ]
+    @@ fun () ->
     let eng = Engine.create () in
     let sess = Session.create eng ~rank_topology:Session.Direct ~size:nodes () in
     let vt = Flux_kvs.Volumes.load sess ~shards () in
@@ -474,6 +537,7 @@ let trace_cmd =
     Arg.(value & flag & info [ "full" ] ~doc:"Dump the raw event stream, not just the summary.")
   in
   let run nodes fanout ppn perfetto metrics_csv full =
+    checked (base_checks nodes fanout @ [ positive "--ppn" ppn ]) @@ fun () ->
     (* A traced put-fence-get KAP run: every process puts one object,
        joins the "kap-sync" fence, and reads a neighbour's object. *)
     let total = nodes * ppn in

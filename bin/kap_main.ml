@@ -3,40 +3,73 @@
 module Kap = Flux_kap.Kap
 open Cmdliner
 
-let run nodes ppn producers consumers nputs ngets vsize redundant dirs stride sync fanout =
+(* Flags are validated up front: a bad value prints the offending flag
+   plus usage and exits non-zero, instead of raising from inside the
+   simulator (or silently running a meaningless configuration). *)
+let validate nodes ppn producers consumers nputs ngets vsize dirs stride sync fanout =
   let total = nodes * ppn in
-  let cfg =
-    {
-      Kap.nodes;
-      procs_per_node = ppn;
-      producers = (if producers = 0 then total else producers);
-      consumers = (if consumers = 0 then total else consumers);
-      nputs;
-      ngets;
-      value_size = vsize;
-      value_kind = (if redundant then Kap.Redundant else Kap.Unique);
-      dir_layout = (if dirs <= 1 then Kap.Single_dir else Kap.Multi_dir dirs);
-      sync = (match sync with "fence" -> Kap.Fence | "commit" -> Kap.Commit_wait | s -> failwith ("unknown sync " ^ s));
-      access_stride = stride;
-      fanout;
-      net_config = None;
-      kvs_config = None;
-      trace = false;
-    }
-  in
-  let r = Kap.run cfg in
-  Printf.printf "phase       max(s)      mean(s)     min(s)\n";
-  let row name (m : Kap.phase_metrics) =
-    Printf.printf "%-10s %.6f   %.6f   %.6f\n" name m.Kap.ph_max m.Kap.ph_mean m.Kap.ph_min
-  in
-  row "setup" r.Kap.r_setup;
-  row "producer" r.Kap.r_producer;
-  row "sync" r.Kap.r_sync;
-  row "consumer" r.Kap.r_consumer;
-  Printf.printf
-    "objects=%d root_ingress=%dB rpc_msgs=%d loads=%d virtual_time=%.3fs\n"
-    r.Kap.r_total_objects r.Kap.r_root_ingress_bytes r.Kap.r_rpc_messages r.Kap.r_loads_issued
-    r.Kap.r_wallclock
+  let err fmt = Printf.ksprintf (fun m -> Some m) fmt in
+  List.find_map Fun.id
+    [
+      (if nodes <= 0 then err "-N/--nodes must be a positive integer (got %d)" nodes
+       else None);
+      (if ppn <= 0 then err "--ppn must be a positive integer (got %d)" ppn else None);
+      (if producers < 0 || producers > total then
+         err "--producers must be in [0,%d] (got %d; 0 = all)" total producers
+       else None);
+      (if consumers < 0 || consumers > total then
+         err "--consumers must be in [0,%d] (got %d; 0 = all)" total consumers
+       else None);
+      (if nputs < 0 then err "--nputs must be >= 0 (got %d)" nputs else None);
+      (if ngets < 0 then err "--ngets must be >= 0 (got %d)" ngets else None);
+      (if vsize <= 0 then err "--vsize must be a positive integer (got %d)" vsize
+       else None);
+      (if dirs < 1 then err "--dir-size must be >= 1 (got %d)" dirs else None);
+      (if stride < 1 then err "--stride must be >= 1 (got %d)" stride else None);
+      (if sync <> "fence" && sync <> "commit" then
+         err "--sync must be fence or commit (got %s)" sync
+       else None);
+      (if fanout < 2 then err "-k/--fanout must be >= 2 (got %d)" fanout else None);
+    ]
+
+let run nodes ppn producers consumers nputs ngets vsize redundant dirs stride sync fanout =
+  match validate nodes ppn producers consumers nputs ngets vsize dirs stride sync fanout with
+  | Some msg -> `Error (true, msg)
+  | None ->
+    let total = nodes * ppn in
+    let cfg =
+      {
+        Kap.nodes;
+        procs_per_node = ppn;
+        producers = (if producers = 0 then total else producers);
+        consumers = (if consumers = 0 then total else consumers);
+        nputs;
+        ngets;
+        value_size = vsize;
+        value_kind = (if redundant then Kap.Redundant else Kap.Unique);
+        dir_layout = (if dirs <= 1 then Kap.Single_dir else Kap.Multi_dir dirs);
+        sync = (if sync = "fence" then Kap.Fence else Kap.Commit_wait);
+        access_stride = stride;
+        fanout;
+        net_config = None;
+        kvs_config = None;
+        trace = false;
+      }
+    in
+    let r = Kap.run cfg in
+    Printf.printf "phase       max(s)      mean(s)     min(s)\n";
+    let row name (m : Kap.phase_metrics) =
+      Printf.printf "%-10s %.6f   %.6f   %.6f\n" name m.Kap.ph_max m.Kap.ph_mean m.Kap.ph_min
+    in
+    row "setup" r.Kap.r_setup;
+    row "producer" r.Kap.r_producer;
+    row "sync" r.Kap.r_sync;
+    row "consumer" r.Kap.r_consumer;
+    Printf.printf
+      "objects=%d root_ingress=%dB rpc_msgs=%d loads=%d virtual_time=%.3fs\n"
+      r.Kap.r_total_objects r.Kap.r_root_ingress_bytes r.Kap.r_rpc_messages
+      r.Kap.r_loads_issued r.Kap.r_wallclock;
+    `Ok ()
 
 let cmd =
   let open Arg in
@@ -58,7 +91,8 @@ let cmd =
     (Cmd.info "flux-kap" ~version:"0.1.0"
        ~doc:"KVS Access Patterns tester on a simulated cluster")
     Term.(
-      const run $ nodes $ ppn $ producers $ consumers $ nputs $ ngets $ vsize $ redundant
-      $ dirs $ stride $ sync $ fanout)
+      ret
+        (const run $ nodes $ ppn $ producers $ consumers $ nputs $ ngets $ vsize $ redundant
+        $ dirs $ stride $ sync $ fanout))
 
 let () = exit (Cmd.eval cmd)

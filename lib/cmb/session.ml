@@ -4,6 +4,7 @@ module Net = Flux_sim.Net
 module Treemath = Flux_util.Treemath
 module Ring_buffer = Flux_util.Ring_buffer
 module Idgen = Flux_util.Idgen
+module Rng = Flux_util.Rng
 module Tracer = Flux_trace.Tracer
 module Metrics = Flux_trace.Metrics
 
@@ -18,10 +19,38 @@ type rpc_config = {
   rpc_attempts : int;
   rpc_backoff_base : float;
   rpc_backoff_cap : float;
+  rpc_jitter : float;
 }
 
 let default_rpc_config =
-  { rpc_timeout = 2.0; rpc_attempts = 4; rpc_backoff_base = 0.05; rpc_backoff_cap = 1.0 }
+  {
+    rpc_timeout = 2.0;
+    rpc_attempts = 4;
+    rpc_backoff_base = 0.05;
+    rpc_backoff_cap = 1.0;
+    rpc_jitter = 0.1;
+  }
+
+(* --- Credit-based flow control ------------------------------------- *)
+
+type flow_config = { flow_credits : int; flow_stash : int; flow_timeout : float }
+
+let default_flow_config = { flow_credits = 64; flow_stash = 256; flow_timeout = 4.0 }
+
+(* Structured overload rejection: servers shed with
+   [Error "busy retry_after=<seconds>"] and the RPC retry machinery
+   honors the hint instead of surfacing the failure. *)
+
+let busy_error ~retry_after = Printf.sprintf "busy retry_after=%.6f" retry_after
+
+let busy_retry_after e =
+  let n = String.length e in
+  if n >= 4 && String.sub e 0 4 = "busy" && (n = 4 || e.[4] = ' ') then
+    match String.index_opt e '=' with
+    | Some i -> (
+      try Some (float_of_string (String.sub e (i + 1) (n - i - 1))) with _ -> Some 0.0)
+    | None -> Some 0.0
+  else None
 
 type handled = Consumed | Pass
 
@@ -50,8 +79,13 @@ type t = {
   mutable children : t list; (* creation order, live only *)
   mutable destroyed : bool;
   rpc : rpc_config;
+  flow : flow_config option;
   mutable rpc_timeouts : int;
   mutable rpc_retries : int;
+  mutable rpc_busy_retries : int;
+  mutable flow_defers : int;
+  mutable flow_sheds : int;
+  mutable flow_stash_hwm : int;
   mutable root_rank : int; (* lowest live rank; overlay root after heal *)
   mutable topo_epoch : int; (* bumped on every mark_down / mark_up *)
   mutable on_liveness : (int -> bool -> unit) list; (* rank, is_up *)
@@ -72,6 +106,14 @@ and broker = {
   stashed : (int, Message.t) Hashtbl.t; (* out-of-order events by seq *)
   mutable resync_in_flight : bool;
   nonces : Idgen.t;
+  (* Credit-based flow control toward the parent, active only when the
+     session carries a [flow_config]. [fc_charges] holds the send time
+     of each in-flight upstream request (its length is the spent
+     credit); [fc_stash] holds requests deferred by an exhausted
+     window. *)
+  fc_charges : float Queue.t;
+  fc_stash : Message.t Queue.t;
+  mutable fc_timer : bool;
 }
 
 (* One in-flight RPC at its origin broker. The deadline timer is re-armed
@@ -256,13 +298,29 @@ let cancel_deadline pr =
     pr.pr_timer <- None
   | None -> ()
 
-let complete_pending b nonce r =
-  match Hashtbl.find_opt b.pending nonce with
-  | Some pr ->
-    Hashtbl.remove b.pending nonce;
-    cancel_deadline pr;
-    pr.pr_reply r
-  | None -> ()
+(* Deterministic, seeded retransmit jitter: a pure hash of
+   (rank, nonce, attempt) spreads simultaneous retries over
+   [backoff * (1 - jitter), backoff] without a shared RNG, so the draw
+   cannot depend on event ordering and runs stay bit-for-bit
+   reproducible. Pure exponential backoff would retransmit a
+   simultaneous-entry fence in lockstep — the classic synchronized-retry
+   stampede. *)
+let jitter_factor t ~rank ~nonce ~sends =
+  let j = t.rpc.rpc_jitter in
+  if j <= 0.0 then 1.0
+  else begin
+    let seed =
+      0x6a746a72 lxor (rank * 0x9e3779b1) lxor (nonce * 0x85ebca77) lxor (sends * 0xc2b2ae3d)
+    in
+    1.0 -. (j *. Rng.float (Rng.create seed) 1.0)
+  end
+
+let backoff_delay t ~rank ~nonce ~sends ~floor =
+  let backoff =
+    Float.min t.rpc.rpc_backoff_cap
+      (Float.max floor (t.rpc.rpc_backoff_base *. (2.0 ** float_of_int (sends - 1))))
+  in
+  backoff *. jitter_factor t ~rank ~nonce ~sends
 
 let rec arm_deadline b nonce pr =
   if pr.pr_timeout < infinity then
@@ -271,37 +329,62 @@ let rec arm_deadline b nonce pr =
         (Engine.schedule b.b_session.eng ~delay:pr.pr_timeout (fun () ->
              expire_pending b nonce pr))
 
+and retry_pending b nonce pr ~delay =
+  pr.pr_timer <-
+    Some
+      (Engine.schedule b.b_session.eng ~delay (fun () ->
+           if Hashtbl.mem b.pending nonce then begin
+             let t = b.b_session in
+             pr.pr_sends <- pr.pr_sends + 1;
+             t.rpc_retries <- t.rpc_retries + 1;
+             trace t ~name:"rpc.retry" ~rank:b.b_rank ?ctx:pr.pr_ctx
+               ~fields:[ ("attempt", Json.int pr.pr_sends) ]
+               ();
+             arm_deadline b nonce pr;
+             match pr.pr_resend with Some resend -> resend () | None -> ()
+           end))
+
 and expire_pending b nonce pr =
   if Hashtbl.mem b.pending nonce then begin
     pr.pr_timer <- None;
     let t = b.b_session in
     match pr.pr_resend with
-    | Some resend when pr.pr_sends < pr.pr_attempts ->
+    | Some _ when pr.pr_sends < pr.pr_attempts ->
       (* Exponential backoff, then retransmit through whatever topology
          is in effect by then (a healed overlay routes via the new
          parent). *)
-      let backoff =
-        Float.min t.rpc.rpc_backoff_cap
-          (t.rpc.rpc_backoff_base *. (2.0 ** float_of_int (pr.pr_sends - 1)))
-      in
-      pr.pr_timer <-
-        Some
-          (Engine.schedule t.eng ~delay:backoff (fun () ->
-               if Hashtbl.mem b.pending nonce then begin
-                 pr.pr_sends <- pr.pr_sends + 1;
-                 t.rpc_retries <- t.rpc_retries + 1;
-                 trace t ~name:"rpc.retry" ~rank:b.b_rank ?ctx:pr.pr_ctx
-                   ~fields:[ ("attempt", Json.int pr.pr_sends) ]
-                   ();
-                 arm_deadline b nonce pr;
-                 resend ()
-               end))
+      retry_pending b nonce pr
+        ~delay:(backoff_delay t ~rank:b.b_rank ~nonce ~sends:pr.pr_sends ~floor:0.0)
     | _ ->
       Hashtbl.remove b.pending nonce;
       t.rpc_timeouts <- t.rpc_timeouts + 1;
       trace t ~name:"rpc.timeout" ~rank:b.b_rank ?ctx:pr.pr_ctx ();
       pr.pr_reply (Error "timeout")
   end
+
+let complete_pending b nonce r =
+  match Hashtbl.find_opt b.pending nonce with
+  | None -> ()
+  | Some pr -> (
+    let t = b.b_session in
+    let busy = match r with Error e -> busy_retry_after e | Ok _ -> None in
+    match busy with
+    | Some after when pr.pr_resend <> None && pr.pr_sends < pr.pr_attempts ->
+      (* The server shed us under load: honor the retry_after hint
+         (floored into the exponential-backoff schedule, capped and
+         jittered) instead of failing — clients degrade to higher
+         latency, not errors. *)
+      cancel_deadline pr;
+      t.rpc_busy_retries <- t.rpc_busy_retries + 1;
+      trace t ~name:"rpc.busy" ~rank:b.b_rank ?ctx:pr.pr_ctx
+        ~fields:[ ("retry_after", Json.float after) ]
+        ();
+      retry_pending b nonce pr
+        ~delay:(backoff_delay t ~rank:b.b_rank ~nonce ~sends:pr.pr_sends ~floor:after)
+    | _ ->
+      Hashtbl.remove b.pending nonce;
+      cancel_deadline pr;
+      pr.pr_reply r)
 
 let register_pending b ~nonce ~timeout ~attempts ?resend ?ctx reply =
   let pr =
@@ -338,15 +421,118 @@ let rec route_request b (msg : Message.t) =
 
 and forward_up b msg =
   match tree_parent b with
-  | Some p ->
-    trace b.b_session ~name:"hop.up" ~rank:b.b_rank ?ctx:msg.Message.trace
-      ~fields:[ ("dst", Json.int p) ] ();
-    send_on b.b_session.rpc_net ~src:b.b_rank ~dst:p (Message.push_hop msg b.b_rank)
+  | Some p -> (
+    let t = b.b_session in
+    match t.flow with
+    | None -> send_parent b p msg
+    | Some fc ->
+      (* Credit window toward the parent: each in-flight upstream
+         request spends one credit, replenished when its response
+         passes back down through this broker (see {!flow_release}).
+         Exhausted credit defers into a bounded stash; a full stash
+         sheds with a structured busy error that propagates pressure
+         down the TBON instead of accumulating bytes at the root. *)
+      expire_charges b fc;
+      if Queue.length b.fc_charges < fc.flow_credits then begin
+        Queue.add (Engine.now t.eng) b.fc_charges;
+        send_parent b p msg
+      end
+      else if Queue.length b.fc_stash < fc.flow_stash then begin
+        Queue.add msg b.fc_stash;
+        t.flow_defers <- t.flow_defers + 1;
+        let depth = Queue.length b.fc_stash in
+        if depth > t.flow_stash_hwm then t.flow_stash_hwm <- depth;
+        (match t.metrics with
+        | None -> ()
+        | Some m ->
+          Metrics.incr m ~name:"cmb.flow.defer" ~rank:b.b_rank;
+          Metrics.set_gauge m ~name:"cmb.flow.stash" ~rank:b.b_rank (float_of_int depth);
+          Metrics.set_gauge m ~name:"cmb.flow.stash_hwm" ~rank:b.b_rank
+            (float_of_int t.flow_stash_hwm));
+        trace t ~name:"flow.defer" ~rank:b.b_rank ?ctx:msg.Message.trace
+          ~fields:[ ("depth", Json.int depth) ]
+          ();
+        arm_flow_timer b fc
+      end
+      else begin
+        t.flow_sheds <- t.flow_sheds + 1;
+        (match t.metrics with
+        | None -> ()
+        | Some m -> Metrics.incr m ~name:"cmb.flow.shed" ~rank:b.b_rank);
+        trace t ~name:"flow.shed" ~rank:b.b_rank ?ctx:msg.Message.trace ();
+        deliver_response b
+          (Message.error_response ~of_:msg (busy_error ~retry_after:fc.flow_timeout))
+      end)
   | None ->
     (* At the root with no matching module: fail the RPC. *)
     deliver_response b
       (Message.error_response ~of_:msg
          (Printf.sprintf "unknown service %S" (Topic.service msg.Message.topic)))
+
+and send_parent b p msg =
+  trace b.b_session ~name:"hop.up" ~rank:b.b_rank ?ctx:msg.Message.trace
+    ~fields:[ ("dst", Json.int p) ] ();
+  send_on b.b_session.rpc_net ~src:b.b_rank ~dst:p (Message.push_hop msg b.b_rank)
+
+(* Credits older than [flow_timeout] belong to requests whose response
+   was lost (drops, failed parents): expire them so the window cannot
+   leak shut. *)
+and expire_charges b fc =
+  let now = Engine.now b.b_session.eng in
+  let rec go () =
+    match Queue.peek_opt b.fc_charges with
+    | Some t0 when now -. t0 > fc.flow_timeout ->
+      ignore (Queue.take b.fc_charges : float);
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+and flow_drain b fc =
+  expire_charges b fc;
+  let rec go () =
+    if Queue.length b.fc_charges < fc.flow_credits then
+      match Queue.take_opt b.fc_stash with
+      | None -> ()
+      | Some msg ->
+        (match tree_parent b with
+        | Some p ->
+          Queue.add (Engine.now b.b_session.eng) b.fc_charges;
+          send_parent b p msg
+        | None ->
+          (* Healed into the root while stashed: dispatch locally. *)
+          route_request b msg);
+        go ()
+  in
+  go ();
+  match b.b_session.metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.set_gauge m ~name:"cmb.flow.stash" ~rank:b.b_rank
+      (float_of_int (Queue.length b.fc_stash))
+
+(* A stash with no response traffic to drain it (everything upstream
+   lost) still empties: a timer re-runs the drain after charge expiry. *)
+and arm_flow_timer b fc =
+  if not b.fc_timer then begin
+    b.fc_timer <- true;
+    ignore
+      (Engine.schedule b.b_session.eng ~delay:(fc.flow_timeout /. 2.0) (fun () ->
+           b.fc_timer <- false;
+           flow_drain b fc;
+           if not (Queue.is_empty b.fc_stash) then arm_flow_timer b fc)
+        : Engine.handle)
+  end
+
+(* A response arriving over the rpc plane answers a request this broker
+   previously forwarded up: replenish one credit and release any
+   deferred sends. *)
+and flow_release b =
+  match b.b_session.flow with
+  | None -> ()
+  | Some fc ->
+    ignore (Queue.take_opt b.fc_charges : float option);
+    if not (Queue.is_empty b.fc_stash) then flow_drain b fc
 
 and deliver_response b (resp : Message.t) =
   match Message.pop_hop resp with
@@ -603,7 +789,9 @@ let subscribe b ~prefix cb = b.subs <- b.subs @ [ (prefix, cb) ]
 let on_rpc_plane b ~src:_ (msg : Message.t) =
   match msg.Message.kind with
   | Message.Request -> route_request b msg
-  | Message.Response -> deliver_response b msg
+  | Message.Response ->
+    flow_release b;
+    deliver_response b msg
   | Message.Event -> ()
 
 let on_event_plane b ~src:_ (msg : Message.t) =
@@ -653,7 +841,11 @@ let cmb_module b =
 (* --- Session construction --------------------------------------------- *)
 
 let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring)
-    ?(rpc_config = default_rpc_config) ~size () =
+    ?(rpc_config = default_rpc_config) ?flow ~size () =
+  (match flow with
+  | Some fc when fc.flow_credits < 1 || fc.flow_stash < 1 || fc.flow_timeout <= 0.0 ->
+    invalid_arg "Session.create: flow_config bounds must be positive"
+  | _ -> ());
   if size <= 0 then invalid_arg "Session.create: size must be positive";
   if fanout < 2 then invalid_arg "Session.create: fanout must be >= 2";
   let mk_net () =
@@ -681,8 +873,13 @@ let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring)
       children = [];
       destroyed = false;
       rpc = rpc_config;
+      flow;
       rpc_timeouts = 0;
       rpc_retries = 0;
+      rpc_busy_retries = 0;
+      flow_defers = 0;
+      flow_sheds = 0;
+      flow_stash_hwm = 0;
       root_rank = 0;
       topo_epoch = 0;
       on_liveness = [];
@@ -705,6 +902,9 @@ let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring)
           stashed = Hashtbl.create 8;
           resync_in_flight = false;
           nonces = Idgen.create ();
+          fc_charges = Queue.create ();
+          fc_stash = Queue.create ();
+          fc_timer = false;
         });
   heal t;
   Array.iteri
@@ -755,7 +955,7 @@ let create_child parent ?fanout ?rank_topology ~nodes () =
   let fanout = match fanout with Some k -> k | None -> 2 in
   let rank_topology = match rank_topology with Some rt -> rt | None -> Ring in
   let child =
-    create parent.eng ~fanout ~rank_topology ~rpc_config:parent.rpc
+    create parent.eng ~fanout ~rank_topology ~rpc_config:parent.rpc ?flow:parent.flow
       ~size:(List.length nodes) ()
   in
   child.parent <- Some (parent, nodes);
@@ -836,7 +1036,13 @@ let mark_up t r =
 
 let rpc_timeouts t = t.rpc_timeouts
 let rpc_retries t = t.rpc_retries
+let rpc_busy_retries t = t.rpc_busy_retries
 let pending_rpc_count t r = Hashtbl.length t.brokers.(r).pending
+let flow_defers t = t.flow_defers
+let flow_sheds t = t.flow_sheds
+let flow_stash_hwm t = t.flow_stash_hwm
+let flow_stash_depth t r = Queue.length t.brokers.(r).fc_stash
+let flow_inflight t r = Queue.length t.brokers.(r).fc_charges
 
 let rpc_net t = t.rpc_net
 let event_net t = t.event_net

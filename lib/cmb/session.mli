@@ -56,11 +56,55 @@ type rpc_config = {
                            requests; non-idempotent requests always use 1 *)
   rpc_backoff_base : float;  (** delay before the first retransmit *)
   rpc_backoff_cap : float;  (** upper bound on the backoff delay *)
+  rpc_jitter : float;
+      (** fraction of the backoff randomized away per retry, drawn from
+          a deterministic hash of (rank, nonce, attempt) — seeded
+          jitter that desynchronizes retransmit stampedes without
+          making runs irreproducible; 0 restores pure exponential
+          backoff *)
 }
 
 val default_rpc_config : rpc_config
 (** 2 s per-attempt timeout, 4 attempts, 50 ms base backoff doubling up
-    to a 1 s cap. *)
+    to a 1 s cap, 10% retransmit jitter. *)
+
+(** {1 Overload protection}
+
+    Servers under admission control shed requests with the structured
+    error [busy retry_after=<seconds>] instead of queueing without
+    bound; the retry machinery recognizes it and reschedules the
+    retransmit (hint floored into the backoff schedule, capped and
+    jittered) rather than surfacing the failure, so clients degrade to
+    higher latency, not errors. Only requests with retransmit budget
+    left (idempotent, attempts remaining) are retried — others see the
+    busy error directly.
+
+    Independently, a session can run credit-based flow control on the
+    request tree: each broker spends one credit per in-flight upstream
+    request and wins it back when the response passes down through it.
+    An exhausted window defers sends into a bounded per-broker stash;
+    a full stash sheds with the busy error above — so fan-in pressure
+    propagates down the TBON hop by hop instead of accumulating at the
+    root, bounding memory at every level while preserving the paper's
+    commit-aggregation semantics. *)
+
+type flow_config = {
+  flow_credits : int;  (** in-flight upstream requests allowed per broker *)
+  flow_stash : int;  (** deferred sends held per broker before shedding *)
+  flow_timeout : float;
+      (** seconds before an unanswered credit is considered leaked and
+          reclaimed (responses lost to drops or dead parents) *)
+}
+
+val default_flow_config : flow_config
+(** 64 credits, 256 stashed sends, 4 s credit expiry. *)
+
+val busy_error : retry_after:float -> string
+(** The structured shed error: [busy retry_after=<seconds>]. *)
+
+val busy_retry_after : string -> float option
+(** Parse the hint back out of an error string; [None] when the error
+    is not a busy rejection. *)
 
 (** {1 Session lifecycle} *)
 
@@ -76,13 +120,17 @@ val create :
   ?fanout:int ->
   ?rank_topology:rank_topology ->
   ?rpc_config:rpc_config ->
+  ?flow:flow_config ->
   size:int ->
   unit ->
   t
 (** [create eng ~size ()] wires up a session of [size] brokers with the
     given RPC-tree fan-out (default 2, the paper's binary tree),
     rank-addressed overlay topology (default {!Ring}), and RPC deadline
-    policy (default {!default_rpc_config}). *)
+    policy (default {!default_rpc_config}). [flow] (default off) turns
+    on credit-based flow control on the request tree; children created
+    with {!create_child} inherit it. Raises [Invalid_argument] on
+    non-positive flow bounds. *)
 
 val engine : t -> Flux_sim.Engine.t
 val size : t -> int
@@ -280,9 +328,29 @@ val rpc_timeouts : t -> int
 val rpc_retries : t -> int
 (** Retransmissions performed across all brokers. *)
 
+val rpc_busy_retries : t -> int
+(** Retries rescheduled because a server shed with
+    [busy retry_after=...] (a subset of {!rpc_retries} outcomes). *)
+
 val pending_rpc_count : t -> int -> int
 (** In-flight RPCs registered at one rank's broker (dangling entries
     would show up here). *)
+
+val flow_defers : t -> int
+(** Upstream sends deferred into a broker stash by exhausted credit. *)
+
+val flow_sheds : t -> int
+(** Upstream sends rejected with the busy error by a full stash. *)
+
+val flow_stash_hwm : t -> int
+(** Highest stash occupancy any broker reached — the bound the overload
+    harness asserts against [flow_stash]. *)
+
+val flow_stash_depth : t -> int -> int
+(** Requests currently stashed at one rank's broker. *)
+
+val flow_inflight : t -> int -> int
+(** Credits currently spent (in-flight upstream requests) at one rank. *)
 
 val rpc_net : t -> Message.t Flux_sim.Net.t
 (** The RPC-tree fabric — exposed so tests and benchmarks can inject

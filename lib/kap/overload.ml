@@ -1,0 +1,381 @@
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Net = Flux_sim.Net
+module Proc = Flux_sim.Proc
+module Rng = Flux_util.Rng
+module Stats = Flux_util.Stats
+module Session = Flux_cmb.Session
+module Api = Flux_cmb.Api
+module Kvs = Flux_kvs.Kvs_module
+module Client = Flux_kvs.Client
+
+type profile = Sustained | Bursty
+
+type config = {
+  seed : int;
+  size : int;
+  fanout : int;
+  producers : int list;
+  rate : float;
+  duration : float;
+  profile : profile;
+  burst_factor : float;
+  burst_period : float;
+  value_bytes : int;
+  op_timeout : float;
+  op_attempts : int;
+  flow : Session.flow_config option;
+  link_limits : Net.queue_limits option;
+  kvs : Kvs.config;
+  chaos_kill : bool;
+}
+
+let master_capacity cfg =
+  if cfg.kvs.Kvs.apply_cpu_per_tuple <= 0.0 then infinity
+  else 1.0 /. cfg.kvs.Kvs.apply_cpu_per_tuple
+
+let default =
+  {
+    seed = 1;
+    size = 64;
+    fanout = 2;
+    (* Leaf-ish ranks, spread across subtrees so the streams converge
+       hop by hop — the TBON funnel the credits are protecting. *)
+    producers = List.init 8 (fun i -> 56 + i);
+    rate = 5_000.0;
+    duration = 0.5;
+    profile = Sustained;
+    burst_factor = 4.0;
+    burst_period = 0.05;
+    (* Above the inline threshold: values stay by-reference, so
+       directories hold 20-byte shas rather than the payloads. *)
+    value_bytes = 512;
+    op_timeout = 1.0;
+    op_attempts = 6;
+    (* The top-of-tree broker funnels nearly all traffic: its window
+       must cover the master's queueing delay (window/apply-rate) or the
+       credits, not the master, become the bottleneck. 256 credits at
+       100 us/op is a 25.6 ms pipe — deep enough to saturate the master,
+       shallow enough that admission control still gets exercised. *)
+    flow = Some { Session.default_flow_config with Session.flow_credits = 256; flow_stash = 512 };
+    link_limits = Some { Net.max_msgs = 512; max_bytes = max_int; policy = Net.Block };
+    (* A 100 us serial apply makes the master's capacity 10k ops/s —
+       small enough to saturate with a short virtual-time run. *)
+    kvs =
+      {
+        Kvs.default_config with
+        Kvs.apply_cpu_per_tuple = 100e-6;
+        admission_max_intake = 256;
+      };
+    chaos_kill = false;
+  }
+
+type report = {
+  offered : int;
+  acked : int;
+  shed : int;
+  failed : int;
+  goodput : float;
+  ack_p50 : float;
+  ack_p99 : float;
+  admission_sheds : int;
+  intake_hwm : int;
+  flow_defers : int;
+  flow_sheds : int;
+  flow_stash_hwm : int;
+  link_defers : int;
+  link_drops : int;
+  link_depth_hwm : int;
+  rpc_busy_retries : int;
+  rpc_retries : int;
+  rpc_timeouts : int;
+  lost_acks : int;
+  monotonic_violations : int;
+  drained : bool;
+  violations : string list;
+  final_version : int;
+  final_clock : float;
+  sim_events : int;
+}
+
+(* Shared mutable state of one soak run. *)
+type state = {
+  cfg : config;
+  eng : Engine.t;
+  sess : Session.t;
+  kvs : Kvs.t array;
+  model : (string, Json.t) Hashtbl.t; (* key -> value, acked writes only *)
+  lat : Stats.t;
+  mutable offered : int;
+  mutable acked : int;
+  mutable shed : int;
+  mutable failed : int;
+  mutable monotonic_violations : int;
+  mutable last_ack : float; (* when the final ack landed *)
+  mutable violations : string list; (* reversed *)
+}
+
+let violate st fmt =
+  Printf.ksprintf
+    (fun s ->
+      st.violations <-
+        Printf.sprintf "t=%.3f %s" (Engine.now st.eng) s :: st.violations)
+    fmt
+
+(* --- Open-loop producers -------------------------------------------------- *)
+
+(* Offered load is open loop: arrivals are scheduled on the engine at
+   drawn interarrival times regardless of how many ops are still in
+   flight — the overload regime closed-loop clients can never reach. *)
+
+let stream_rate st ~now =
+  let per = st.cfg.rate /. float_of_int (List.length st.cfg.producers) in
+  match st.cfg.profile with
+  | Sustained -> per
+  | Bursty ->
+    (* Average-preserving square wave with peak-to-trough ratio
+       [burst_factor]: bursts hammer the queues while the aggregate
+       offered load stays at the configured rate. *)
+    let f = st.cfg.burst_factor in
+    let phase = Float.rem now st.cfg.burst_period in
+    if phase < st.cfg.burst_period /. 2.0 then per *. 2.0 *. f /. (f +. 1.0)
+    else per *. 2.0 /. (f +. 1.0)
+
+let value_for st ~rank ~seq =
+  Json.obj
+    [
+      ("r", Json.int rank);
+      ("n", Json.int seq);
+      ("pad", Json.string (String.make st.cfg.value_bytes 'x'));
+    ]
+
+let inject st ~api ~rank ~seq =
+  (* Shard each stream across 64 subdirectories so no directory grows
+     with the run: an apply rewrites every directory on the touched
+     path, and a single flat directory would make op cost linear in the
+     ops so far. *)
+  let key = Printf.sprintf "ov.%d.%d.%d" rank (seq land 63) seq in
+  let v = value_for st ~rank ~seq in
+  let sent = Engine.now st.eng in
+  st.offered <- st.offered + 1;
+  Api.rpc_async api ~timeout:st.cfg.op_timeout ~attempts:st.cfg.op_attempts
+    ~idempotent:true ~topic:"kvs.mput"
+    (Json.obj [ ("bindings", Json.list [ Json.obj [ ("key", Json.string key); ("v", v) ] ]) ])
+    ~reply:(fun r ->
+      match r with
+      | Ok _ ->
+        st.acked <- st.acked + 1;
+        st.last_ack <- Engine.now st.eng;
+        Stats.add st.lat (Engine.now st.eng -. sent);
+        Hashtbl.replace st.model key v
+      | Error e ->
+        if Session.busy_retry_after e <> None then st.shed <- st.shed + 1
+        else st.failed <- st.failed + 1)
+
+let producer st ~rank =
+  let api = Api.connect st.sess ~rank in
+  let rng = Rng.create (st.cfg.seed lxor (rank * 0x9e3779b1)) in
+  let seq = ref 0 in
+  let rec arm () =
+    let now = Engine.now st.eng in
+    if now < st.cfg.duration then begin
+      let gap = Rng.exponential rng (1.0 /. stream_rate st ~now) in
+      ignore
+        (Engine.schedule st.eng ~delay:gap (fun () ->
+             if Engine.now st.eng < st.cfg.duration then begin
+               incr seq;
+               inject st ~api ~rank ~seq:!seq;
+               arm ()
+             end)
+          : Engine.handle)
+    end
+  in
+  arm ()
+
+(* A version monitor at the first producer rank: monotonic reads must
+   survive shedding — rejected writes may be lost, observed roots may
+   never regress. *)
+let monitor st =
+  let rank = List.hd st.cfg.producers in
+  ignore
+    (Proc.spawn st.eng (fun () ->
+         let c = Client.connect st.sess ~rank in
+         let last = ref 0 in
+         while Engine.now st.eng < st.cfg.duration do
+           Proc.sleep (st.cfg.duration /. 200.0);
+           match Client.get_version c with
+           | Ok v ->
+             if v < !last then begin
+               st.monotonic_violations <- st.monotonic_violations + 1;
+               violate st "monitor: version regressed %d -> %d" !last v
+             end
+             else last := v
+           | Error _ -> ()
+         done)
+      : Proc.pid)
+
+(* Optional chaos overlay: kill one interior non-producer, non-master
+   rank a third of the way in and revive it at two thirds, proving the
+   overload invariants hold across a failover-free fault. *)
+let chaos_overlay st =
+  match
+    List.filter
+      (fun r -> r <> 0 && not (List.mem r st.cfg.producers))
+      (List.init st.cfg.size Fun.id)
+  with
+  | [] -> ()
+  | victim :: _ ->
+    ignore
+      (Engine.schedule st.eng ~delay:(st.cfg.duration /. 3.0) (fun () ->
+           Session.mark_down st.sess victim)
+        : Engine.handle);
+    ignore
+      (Engine.schedule st.eng ~delay:(2.0 *. st.cfg.duration /. 3.0) (fun () ->
+           Session.mark_up st.sess victim)
+        : Engine.handle)
+
+(* --- Verification --------------------------------------------------------- *)
+
+(* Every acked write must read back with the committed value: shedding
+   may reject offered load, never acknowledged load. *)
+let verify_acked st =
+  let rank = List.hd st.cfg.producers in
+  let lost = ref 0 in
+  ignore
+    (Proc.spawn st.eng (fun () ->
+         let c = Client.connect st.sess ~rank in
+         Hashtbl.iter
+           (fun key v ->
+             match Client.get c ~key with
+             | Ok got ->
+               if not (Json.equal got v) then begin
+                 incr lost;
+                 violate st "acked write %s diverged" key
+               end
+             | Error e ->
+               incr lost;
+               violate st "acked write %s unreadable: %s" key e)
+           st.model)
+      : Proc.pid);
+  Engine.run st.eng;
+  !lost
+
+let check_bounds st =
+  (match st.cfg.flow with
+  | Some fc ->
+    let hwm = Session.flow_stash_hwm st.sess in
+    if hwm > fc.Session.flow_stash then
+      violate st "flow stash hwm %d exceeds bound %d" hwm fc.Session.flow_stash
+  | None -> ());
+  (match st.cfg.link_limits with
+  | Some l ->
+    let hwm = Net.max_link_depth_hwm (Session.rpc_net st.sess) in
+    if hwm > l.Net.max_msgs then
+      violate st "link depth hwm %d exceeds bound %d" hwm l.Net.max_msgs
+  | None -> ());
+  if st.cfg.kvs.Kvs.admission_max_intake > 0 then begin
+    let hwm = Kvs.intake_hwm st.kvs.(0) in
+    (* The gate admits at depth < limit; an admitted fence batch can
+       still park, so the true ceiling is the threshold itself. *)
+    if hwm > st.cfg.kvs.Kvs.admission_max_intake then
+      violate st "master intake hwm %d exceeds bound %d" hwm
+        st.cfg.kvs.Kvs.admission_max_intake
+  end
+
+let run cfg =
+  if cfg.producers = [] then invalid_arg "Overload.run: no producers";
+  List.iter
+    (fun r ->
+      if r <= 0 || r >= cfg.size then
+        invalid_arg "Overload.run: producer rank out of range (must be 1..size-1)")
+    cfg.producers;
+  if cfg.rate <= 0.0 || cfg.duration <= 0.0 then
+    invalid_arg "Overload.run: rate and duration must be positive";
+  let eng = Engine.create () in
+  let sess = Session.create eng ~fanout:cfg.fanout ?flow:cfg.flow ~size:cfg.size () in
+  Net.set_link_limits (Session.rpc_net sess) cfg.link_limits;
+  let kvs = Kvs.load sess ~config:cfg.kvs () in
+  let st =
+    {
+      cfg;
+      eng;
+      sess;
+      kvs;
+      model = Hashtbl.create 4096;
+      lat = Stats.create ();
+      offered = 0;
+      acked = 0;
+      shed = 0;
+      failed = 0;
+      monotonic_violations = 0;
+      last_ack = 0.0;
+      violations = [];
+    }
+  in
+  List.iter (fun r -> producer st ~rank:r) cfg.producers;
+  monitor st;
+  if cfg.chaos_kill then chaos_overlay st;
+  (* Drains completely: open-loop arrivals stop at [duration], then
+     every in-flight RPC resolves (ack, busy, or timeout) and the
+     engine goes quiet. *)
+  Engine.run eng;
+  (* Goodput over the full busy window (injection plus drain-to-last-
+     ack), so work absorbed into queues and finished late cannot be
+     counted as above-capacity throughput. The raw engine clock would
+     overshoot: idle housekeeping timers (stash sweeps, deadline arming)
+     can fire long after the last useful event. *)
+  let drain_clock = Float.max cfg.duration st.last_ack in
+  let lost_acks = verify_acked st in
+  check_bounds st;
+  let unresolved = st.offered - st.acked - st.shed - st.failed in
+  if unresolved <> 0 then violate st "%d offered ops never resolved" unresolved;
+  let stash_left =
+    List.init cfg.size (fun r -> Session.flow_stash_depth sess r)
+    |> List.fold_left ( + ) 0
+  in
+  let drained = stash_left = 0 && Kvs.intake_depth kvs.(0) = 0 in
+  if not drained then
+    violate st "undrained: stash=%d intake=%d" stash_left (Kvs.intake_depth kvs.(0));
+  let rpc = Session.rpc_net_stats sess in
+  {
+    offered = st.offered;
+    acked = st.acked;
+    shed = st.shed;
+    failed = st.failed;
+    goodput = float_of_int st.acked /. drain_clock;
+    ack_p50 = (if Stats.count st.lat = 0 then 0.0 else Stats.percentile st.lat 0.50);
+    ack_p99 = (if Stats.count st.lat = 0 then 0.0 else Stats.percentile st.lat 0.99);
+    admission_sheds = Kvs.admission_sheds kvs.(0);
+    intake_hwm = Kvs.intake_hwm kvs.(0);
+    flow_defers = Session.flow_defers sess;
+    flow_sheds = Session.flow_sheds sess;
+    flow_stash_hwm = Session.flow_stash_hwm sess;
+    link_defers = rpc.Net.overload_defers;
+    link_drops = rpc.Net.overload_drops;
+    link_depth_hwm = Net.max_link_depth_hwm (Session.rpc_net sess);
+    rpc_busy_retries = Session.rpc_busy_retries sess;
+    rpc_retries = Session.rpc_retries sess;
+    rpc_timeouts = Session.rpc_timeouts sess;
+    lost_acks;
+    monotonic_violations = st.monotonic_violations;
+    drained;
+    violations = List.rev st.violations;
+    final_version = Kvs.version kvs.(0);
+    final_clock = Engine.now eng;
+    sim_events = Engine.events_executed eng;
+  }
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>offered/acked/shed/failed: %d/%d/%d/%d@,goodput: %.0f ops/s (ack p50 %.6f p99 %.6f)@,\
+     admission sheds: %d (intake hwm %d)@,flow defers/sheds: %d/%d (stash hwm %d)@,\
+     link defers/drops: %d/%d (depth hwm %d)@,rpc busy/retries/timeouts: %d/%d/%d@,\
+     lost acks: %d, monotonic violations: %d, drained: %b@,\
+     final: v%d clock %.6f (%d events)@,violations: %d%a@]"
+    r.offered r.acked r.shed r.failed r.goodput r.ack_p50 r.ack_p99 r.admission_sheds
+    r.intake_hwm r.flow_defers r.flow_sheds r.flow_stash_hwm r.link_defers r.link_drops
+    r.link_depth_hwm r.rpc_busy_retries r.rpc_retries r.rpc_timeouts r.lost_acks
+    r.monotonic_violations r.drained r.final_version r.final_clock r.sim_events
+    (List.length r.violations)
+    (fun ppf -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v))
+    r.violations

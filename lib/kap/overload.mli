@@ -1,0 +1,108 @@
+(** Overload/soak harness: open-loop producers drive the KVS write path
+    past the master's capacity while every overload-protection layer is
+    engaged, and the run is checked against the guarantees shedding must
+    not break.
+
+    Producers inject [kvs.mput] streams at a configured aggregate rate
+    — open loop, so offered load does not slacken as queues fill, which
+    is the regime closed-loop clients can never reach. The protection
+    stack under test:
+
+    - bounded per-link queues on the RPC plane ({!Flux_sim.Net.set_link_limits});
+    - credit-based flow control on the request tree
+      ({!Flux_cmb.Session.flow_config});
+    - master admission control
+      ({!Flux_kvs.Kvs_module.config.admission_max_intake}), whose busy
+      rejections carry a [retry_after] hint the RPC layer honours.
+
+    Checked invariants (breaches land in [violations]; empty = proved):
+
+    - {b bounded occupancy}: every configured queue's high-water mark
+      stays within its cap;
+    - {b zero acked-write loss}: every acknowledged mput reads back with
+      its committed value after the run drains — shedding may reject
+      offered load, never acknowledged load;
+    - {b monotonic reads}: a monitor polling [get_version] through the
+      storm never observes a version regression;
+    - {b eventual drain}: once arrivals stop, every stash and intake
+      queue empties and every offered op resolves (ack, busy, or
+      timeout).
+
+    Deterministic for a given config: same seed, same arrivals, same
+    report. *)
+
+module Session = Flux_cmb.Session
+module Net = Flux_sim.Net
+module Kvs = Flux_kvs.Kvs_module
+
+type profile =
+  | Sustained  (** constant-rate Poisson arrivals *)
+  | Bursty
+      (** square-wave modulation: each [burst_period] spends half at
+          [burst_factor] times the stream rate and half at the
+          reciprocal, hammering the queues while the average stays near
+          the configured rate *)
+
+type config = {
+  seed : int;  (** everything stochastic derives from this *)
+  size : int;  (** session ranks *)
+  fanout : int;
+  producers : int list;  (** ranks injecting streams (never rank 0) *)
+  rate : float;  (** aggregate offered ops/second across producers *)
+  duration : float;  (** injection window, virtual seconds *)
+  profile : profile;
+  burst_factor : float;
+  burst_period : float;
+  value_bytes : int;  (** padding per written value *)
+  op_timeout : float;  (** per-attempt client deadline *)
+  op_attempts : int;
+  flow : Session.flow_config option;  (** TBON credit window; [None] = off *)
+  link_limits : Net.queue_limits option;  (** RPC-plane caps; [None] = off *)
+  kvs : Kvs.config;  (** admission control lives here *)
+  chaos_kill : bool;
+      (** overlay one interior-rank kill/revive mid-run, proving the
+          invariants hold across a fault under load *)
+}
+
+val default : config
+(** 64 ranks, 8 leaf producers, every protection layer on, and a 100 us
+    serial apply so the master saturates at 10k ops/s — small enough to
+    drive 2x past capacity in half a virtual second. *)
+
+val master_capacity : config -> float
+(** The master's apply-rate ceiling implied by the config, ops/second
+    (1-tuple ops): the natural unit for choosing [rate] multiples. *)
+
+type report = {
+  offered : int;  (** ops injected *)
+  acked : int;  (** ops acknowledged Ok *)
+  shed : int;  (** ops rejected busy after retries *)
+  failed : int;  (** other failures (timeouts) *)
+  goodput : float;  (** acked ops / (injection + drain) window, ops/second *)
+  ack_p50 : float;  (** median ack latency, seconds *)
+  ack_p99 : float;
+  admission_sheds : int;  (** master-gate busy rejections *)
+  intake_hwm : int;
+  flow_defers : int;
+  flow_sheds : int;
+  flow_stash_hwm : int;
+  link_defers : int;  (** sends postponed by [Block] link policy *)
+  link_drops : int;  (** sends shed by drop link policies *)
+  link_depth_hwm : int;
+  rpc_busy_retries : int;
+  rpc_retries : int;
+  rpc_timeouts : int;
+  lost_acks : int;  (** acked writes that failed read-back — must be 0 *)
+  monotonic_violations : int;  (** version regressions seen — must be 0 *)
+  drained : bool;  (** all queues empty after arrivals stopped *)
+  violations : string list;  (** invariant breaches; empty = proved *)
+  final_version : int;
+  final_clock : float;
+  sim_events : int;  (** engine callbacks fired (determinism fingerprint) *)
+}
+
+val run : config -> report
+(** Raises [Invalid_argument] on an empty/out-of-range producer list or
+    non-positive rate/duration. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -17,6 +17,8 @@ type config = {
   dir_index_threshold : int;
   inline_threshold : int;
   setroot_delta_max : int;
+  admission_max_intake : int;
+  admission_retry_after : float;
 }
 
 let default_config =
@@ -29,6 +31,8 @@ let default_config =
     dir_index_threshold = 64;
     inline_threshold = 256;
     setroot_delta_max = 0;
+    admission_max_intake = 0;
+    admission_retry_after = 1e-3;
   }
 
 (* Fence aggregation state at a slave (or interior) instance. *)
@@ -100,6 +104,9 @@ type t = {
   flush_seen : (int * int, flush_dup) Hashtbl.t; (* (origin, fid) *)
   mutable bytes_held : int;
   mutable n_loads_issued : int;
+  mutable apply_backlog : int; (* requests awaiting a scheduled master apply *)
+  mutable intake_hwm : int; (* peak intake depth seen at the admission gate *)
+  mutable admission_sheds : int;
   mutable tracer : Tracer.t option;
   mutable metrics : Metrics.t option;
 }
@@ -146,6 +153,8 @@ let cached_objects t = if t.master then Hashtbl.length t.store else Lru.length t
 let store_bytes t = t.bytes_held
 let dirty_count t = Hashtbl.length t.dirty_objs
 let loads_issued t = t.n_loads_issued
+let intake_hwm t = t.intake_hwm
+let admission_sheds t = t.admission_sheds
 
 (* --- Object access ----------------------------------------------------- *)
 
@@ -436,7 +445,10 @@ let master_apply t ?trace_ctx ~tuples ~objects ~respond_to () =
     | Some v when Json.serialized_size v <= t.cfg.inline_threshold -> Tree.dirent_val v
     | Some _ | None -> Tree.dirent_file tp.Proto.sha
   in
+  let nresp = List.length respond_to in
+  t.apply_backlog <- t.apply_backlog + nresp;
   let finish () =
+    t.apply_backlog <- t.apply_backlog - nresp;
     trace t ~name:"apply" ?ctx:trace_ctx ~fields:[ ("tuples", Json.int ntuples) ] ();
     let delta = ref [] in
     let delta_bytes = ref 0 in
@@ -887,10 +899,57 @@ let pure_while_frozen = function
   | "getversion" | "getroot" | "fetch" | "waitversion" -> true
   | _ -> false
 
+(* --- Master admission control ----------------------------------------------------
+
+   The intake depth is the number of write-side requests the master has
+   accepted but not yet answered: fence contributions parked on open
+   aggregates plus batches queued behind the serial apply CPU. Past the
+   configured threshold the master sheds new write traffic with a
+   structured busy error carrying a [retry_after] hint sized to the
+   apply backlog, so clients back off for roughly as long as the queue
+   needs to drain instead of blind exponential guessing. *)
+
+let intake_depth t =
+  Hashtbl.fold (fun _ mf acc -> acc + List.length mf.mf_pending) t.master_fences t.apply_backlog
+
+let write_method = function
+  | "commit" | "fence" | "mput" | "flush" -> true
+  | _ -> false
+
+let admission_shed t (req : Message.t) =
+  t.admission_sheds <- t.admission_sheds + 1;
+  let retry_after =
+    Float.max t.cfg.admission_retry_after (t.cpu_free_at -. Engine.now t.eng)
+  in
+  metric_incr t "kvs.admission.shed";
+  trace t ~name:"admission.shed" ?ctx:req.Message.trace
+    ~fields:[ ("retry_after", Json.float retry_after) ]
+    ();
+  Session.respond_error t.b req (Session.busy_error ~retry_after)
+
+(* Overloaded iff admission is enabled, we are the master, and the
+   request is write-side. Also tracks the intake high-water mark (and a
+   gauge when metrics are on) — sampling at the gate is enough because
+   every accepted write passed through it. *)
+let admission_overloaded t m =
+  t.cfg.admission_max_intake > 0 && t.master && write_method m
+  && begin
+       let depth = intake_depth t in
+       if depth > t.intake_hwm then t.intake_hwm <- depth;
+       (match t.metrics with
+       | Some mx ->
+         let rank = Session.rank t.b in
+         Metrics.set_gauge mx ~name:"kvs.intake" ~rank (float_of_int depth);
+         Metrics.set_gauge mx ~name:"kvs.intake_hwm" ~rank (float_of_int t.intake_hwm)
+       | None -> ());
+       depth >= t.cfg.admission_max_intake
+     end
+
 let handle_request t (req : Message.t) =
   let m = Topic.method_ req.Message.topic in
   match t.frozen with
   | Some (_, q) when not (pure_while_frozen m) -> q := req :: !q
+  | _ when admission_overloaded t m -> admission_shed t req
   | _ -> (
     match m with
     | "put" -> handle_put t req
@@ -1066,6 +1125,9 @@ let create_instance cfg ?routing b =
       flush_seen = Hashtbl.create 64;
       bytes_held = 0;
       n_loads_issued = 0;
+      apply_backlog = 0;
+      intake_hwm = 0;
+      admission_sheds = 0;
       tracer = None;
       metrics = None;
     }

@@ -41,6 +41,18 @@ type config = {
           the paper's fault-in phenomenology (slaves hold only what they
           pulled or wrote) — deployments that need acked commits to
           survive master loss set a budget, as the chaos harness does. *)
+  admission_max_intake : int;
+      (** master admission control: shed write-side requests
+          (commit/fence/mput/flush) once the intake depth — fence
+          contributions parked on open aggregates plus batches queued
+          behind the serial apply CPU — reaches this threshold. Shed
+          requests get a structured [Session.busy_error] whose
+          [retry_after] hint is sized to the current apply backlog, so
+          well-behaved clients (the Session RPC layer honours the hint)
+          retry once the queue has had time to drain. [0] (the default)
+          disables admission control. *)
+  admission_retry_after : float;
+      (** floor for the [retry_after] hint, seconds *)
 }
 
 val default_config : config
@@ -120,6 +132,18 @@ val loads_issued : t -> int
 (** Upstream fault-in requests this instance has sent (coalescing means
     this can be far smaller than the number of local misses). *)
 
+val intake_depth : t -> int
+(** Write-side requests accepted but not yet answered: pending fence
+    contributions plus the serialized apply backlog. The quantity
+    {!config.admission_max_intake} bounds. *)
+
+val intake_hwm : t -> int
+(** Peak {!intake_depth} observed at the admission gate (tracked only
+    while admission control is enabled). *)
+
+val admission_sheds : t -> int
+(** Requests rejected with a busy error by admission control. *)
+
 val expire_cache : t -> unit
 (** Drop every clean cached object (simulates the idle-expiry sweep). *)
 
@@ -139,6 +163,8 @@ val set_metrics : t -> Flux_trace.Metrics.t option -> unit
 (** Per-rank numeric aggregation: [kvs.cache.hit]/[kvs.cache.miss]
     counters on every object lookup, [kvs.fault_in] counts with a
     [kvs.fault_in.latency] histogram, and at the master [kvs.commits]
-    with a [kvs.commit.tuples] batch-size histogram. *)
+    with a [kvs.commit.tuples] batch-size histogram. With admission
+    control enabled the master also maintains [kvs.intake] /
+    [kvs.intake_hwm] gauges and a [kvs.admission.shed] counter. *)
 
 val set_metrics_all : t array -> Flux_trace.Metrics.t -> unit

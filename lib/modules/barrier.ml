@@ -26,16 +26,19 @@ type t = {
   b : Session.broker;
   eng : Engine.t;
   window : float;
+  max_pending : int; (* 0 = unbounded; else shed direct enters past this *)
   master : bool;
   states : (string, barrier_state) Hashtbl.t;
   master_counts : (string, int * Message.t list) Hashtbl.t;
   mutable next_bid : int; (* stamps forwarded aggregates for dedup *)
   seen : (int * int, enter_dup) Hashtbl.t; (* (origin, bid) *)
   mutable total_enters : int;
+  mutable shed_enters : int;
   mutable tracer : Tracer.t option;
 }
 
 let enters_seen t = t.total_enters
+let sheds t = t.shed_enters
 
 let set_tracer t tr = t.tracer <- tr
 let set_tracer_all ts tr = Array.iter (fun t -> set_tracer t (Some tr)) ts
@@ -162,7 +165,30 @@ let master_contribute t name nprocs count req =
   end
   else Hashtbl.replace t.master_counts name (total, pending)
 
+(* Replies this instance is already holding for [name]. Aggregation
+   merges counts as they arrive, so the only per-enter state that grows
+   without bound under overload is this reply list. *)
+let pending_depth t name =
+  if t.master then
+    match Hashtbl.find_opt t.master_counts name with
+    | Some (_, p) -> List.length p
+    | None -> 0
+  else
+    match Hashtbl.find_opt t.states name with
+    | Some s -> List.length s.bs_pending
+    | None -> 0
+
 let contribute t ~name ~nprocs ~count ~from_child req =
+  if from_child = None && t.max_pending > 0 && pending_depth t name >= t.max_pending then begin
+    (* Shed only direct client enters: an aggregate from a child carries
+       its whole subtree's counts, and dropping it would wedge the
+       collective. A shed client was never counted, so it can simply
+       re-enter after the hinted delay. *)
+    t.shed_enters <- t.shed_enters + 1;
+    trace t ~name:"shed" ?ctx:req.Message.trace ~fields:[ ("name", Json.string name) ] ();
+    Session.respond_error t.b req (Session.busy_error ~retry_after:t.window)
+  end
+  else begin
   t.total_enters <- t.total_enters + count;
   (match from_child with
   | None ->
@@ -184,6 +210,7 @@ let contribute t ~name ~nprocs ~count ~from_child req =
     s.bs_last_arrival <- Engine.now t.eng;
     if s.bs_count >= s.bs_nprocs then check_ready t name s
     else arm t name s (t.window /. 2.0)
+  end
   end
 
 let module_of t =
@@ -228,7 +255,8 @@ let module_of t =
     on_event = (fun _ -> ());
   }
 
-let load sess ?(window = 200e-6) () =
+let load sess ?(window = 200e-6) ?(max_pending = 0) () =
+  if max_pending < 0 then invalid_arg "Barrier.load: max_pending must be >= 0";
   let instances =
     Array.init (Session.size sess) (fun r ->
         let b = Session.broker sess r in
@@ -236,12 +264,14 @@ let load sess ?(window = 200e-6) () =
           b;
           eng = Session.b_engine b;
           window;
+          max_pending;
           master = r = 0;
           states = Hashtbl.create 8;
           master_counts = Hashtbl.create 8;
           next_bid = 0;
           seen = Hashtbl.create 16;
           total_enters = 0;
+          shed_enters = 0;
           tracer = None;
         })
   in

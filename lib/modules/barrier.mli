@@ -9,15 +9,23 @@
 
 type t
 
-val load : Flux_cmb.Session.t -> ?window:float -> unit -> t array
+val load : Flux_cmb.Session.t -> ?window:float -> ?max_pending:int -> unit -> t array
 (** Load on every rank. [window] is the aggregation window (default
-    200 us). *)
+    200 us). [max_pending] (default [0] = unbounded) caps the replies an
+    instance will hold per barrier name: a direct client enter arriving
+    past the cap is shed with a structured [Session.busy_error] (hint:
+    the window) instead of being queued — aggregated contributions from
+    child instances are never shed, since they carry whole-subtree
+    counts. A shed enter was not counted; the client retries. *)
 
 val enter : Flux_cmb.Api.t -> name:string -> nprocs:int -> (unit, string) result
 (** Blocking enter; must run inside a {!Flux_sim.Proc} body. *)
 
 val enters_seen : t -> int
 (** Total enter contributions this instance has counted (diagnostics). *)
+
+val sheds : t -> int
+(** Direct client enters rejected busy under [max_pending]. *)
 
 val set_tracer : t -> Flux_trace.Tracer.t option -> unit
 (** Emit category ["barrier"] events: [enter] per client contribution

@@ -1,13 +1,37 @@
-(** Unbounded FIFO channels between simulated processes. *)
+(** FIFO channels between simulated processes — unbounded by default,
+    with opt-in capacity limits and a pluggable full-queue policy for
+    modeling overload at ingress points. *)
+
+type overflow =
+  | Block  (** Park the sender until space frees (backpressure). *)
+  | Drop_newest  (** Reject the incoming message. *)
+  | Drop_oldest  (** Evict from the head to make room (ring-buffer style). *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create :
+  ?capacity:int -> ?max_bytes:int -> ?policy:overflow -> ?size_of:('a -> int) -> unit -> 'a t
+(** [create ()] is the historical unbounded FIFO. [capacity] bounds the
+    queued message count, [max_bytes] the queued byte total as measured
+    by [size_of] (messages weigh 0 bytes when [size_of] is omitted, so
+    only [capacity] applies); [policy] (default [Block]) decides what
+    happens to a send that would exceed either bound. Raises
+    [Invalid_argument] when a bound is < 1. *)
 
 val send : Engine.t -> 'a t -> 'a -> unit
 (** [send eng mb v] enqueues [v]; if a process is blocked in {!recv} it
     is resumed with [v] at the current instant. Callable from anywhere
-    (process or plain event callback). *)
+    (process or plain event callback). When the mailbox is full: under
+    [Drop_newest] the message is counted dropped and discarded, under
+    [Drop_oldest] queued messages are evicted from the head to make
+    room, and under [Block] the value is parked in send order and
+    admitted as receives free space (the caller is never suspended —
+    use {!send_wait} from a process for true backpressure). *)
+
+val send_wait : Engine.t -> 'a t -> 'a -> unit
+(** Like {!send} but under the [Block] policy a full mailbox suspends
+    the calling process until its value has been admitted. Only valid
+    inside a {!Proc} body; under drop policies it behaves as {!send}. *)
 
 val recv : 'a t -> 'a
 (** Blocking receive; only valid inside a {!Proc} body. Multiple blocked
@@ -18,3 +42,23 @@ val try_recv : 'a t -> 'a option
 
 val length : 'a t -> int
 (** Messages currently queued (not counting blocked receivers). *)
+
+val bytes : 'a t -> int
+(** Queued bytes per [size_of] (0 when no sizer was given). *)
+
+val blocked_senders : 'a t -> int
+(** Values parked by the [Block] policy, waiting for space. *)
+
+val hwm : 'a t -> int
+(** High-water mark of {!length} over the mailbox's lifetime. *)
+
+val hwm_bytes : 'a t -> int
+(** High-water mark of {!bytes}. *)
+
+val dropped : 'a t -> int
+(** Messages discarded by [Drop_newest]/[Drop_oldest] overflow. *)
+
+val set_metrics : 'a t -> ?label:string -> rank:int -> Flux_trace.Metrics.t -> unit
+(** Publish occupancy as gauges [<label>.depth] / [<label>.depth_hwm]
+    and overflow as counter [<label>.dropped] under [rank] (label
+    defaults to ["mailbox"]). *)

@@ -21,7 +21,29 @@ let default_config =
     local_delivery = 0.5e-6;
   }
 
-type link = { mutable free_at : float; mutable bytes : int; mutable msgs : int }
+type overflow = Mailbox.overflow = Block | Drop_newest | Drop_oldest
+
+type queue_limits = { max_msgs : int; max_bytes : int; policy : overflow }
+
+(* One message in flight on a link, tracked only when limits are set:
+   [Drop_oldest] needs a cancellation handle for the head of line and
+   [Block] needs arrival times to compute when occupancy drains. *)
+type inflight = {
+  if_wire : int;
+  if_arrive : float;
+  mutable if_handle : Engine.handle option;
+  mutable if_live : bool;
+}
+
+type link = {
+  mutable free_at : float;
+  mutable bytes : int; (* cumulative wire bytes delivered *)
+  mutable msgs : int; (* cumulative messages delivered *)
+  mutable q_msgs : int; (* messages currently in flight (occupancy) *)
+  mutable q_bytes : int; (* wire bytes currently in flight *)
+  mutable q_hwm : int; (* high-water mark of [q_msgs] *)
+  inflight : inflight Queue.t; (* populated only when limits are set *)
+}
 
 type 'msg host = {
   mutable alive : bool;
@@ -39,11 +61,14 @@ type 'msg t = {
   rng : Rng.t;
   mutable loss_prob : float;
   mutable jitter : float;
+  mutable limits : queue_limits option;
   mutable messages : int;
   mutable total_bytes : int;
   mutable dropped : int;
   mutable dropped_bytes : int;
   mutable dead_letters : int;
+  mutable overload_drops : int;
+  mutable overload_defers : int;
   (* Observability hooks; [None] (the default) costs one branch per
      drop/send and allocates nothing. *)
   mutable tracer : Tracer.t option;
@@ -63,11 +88,14 @@ let create eng ?(config = default_config) ?(fault_seed = 0x464c5558) ~nodes () =
     rng = Rng.create fault_seed;
     loss_prob = 0.0;
     jitter = 0.0;
+    limits = None;
     messages = 0;
     total_bytes = 0;
     dropped = 0;
     dropped_bytes = 0;
     dead_letters = 0;
+    overload_drops = 0;
+    overload_defers = 0;
     tracer = None;
     metrics = None;
     label = "net";
@@ -83,6 +111,13 @@ let set_metrics t ?label m =
 let nodes t = t.n
 let config t = t.cfg
 
+let set_link_limits t lim =
+  (match lim with
+  | Some l when l.max_msgs < 1 || l.max_bytes < 1 ->
+    invalid_arg "Net.set_link_limits: bounds must be >= 1"
+  | _ -> ());
+  t.limits <- lim
+
 let check_rank t r name =
   if r < 0 || r >= t.n then invalid_arg (Printf.sprintf "Net.%s: rank %d out of range" name r)
 
@@ -95,7 +130,17 @@ let link_of t src dst =
   match Hashtbl.find_opt t.links key with
   | Some l -> l
   | None ->
-    let l = { free_at = 0.0; bytes = 0; msgs = 0 } in
+    let l =
+      {
+        free_at = 0.0;
+        bytes = 0;
+        msgs = 0;
+        q_msgs = 0;
+        q_bytes = 0;
+        q_hwm = 0;
+        inflight = Queue.create ();
+      }
+    in
     Hashtbl.replace t.links key l;
     l
 
@@ -161,6 +206,46 @@ let drop t ~wire ~fault =
     Tracer.add_count tr ~cat:"net" ~name:"drop" 1;
     if fault then Tracer.add_count tr ~cat:"net" ~name:"dead_letter" 1
 
+(* A policy (not fault) loss: the queue was full and the message was
+   shed to bound memory. Counted separately from wire faults so shed
+   rate is distinguishable from lossy-network drops. *)
+let overload_drop t ~wire ~src =
+  t.overload_drops <- t.overload_drops + 1;
+  t.dropped <- t.dropped + 1;
+  t.dropped_bytes <- t.dropped_bytes + wire;
+  (match t.tracer with
+  | None -> ()
+  | Some tr -> Tracer.add_count tr ~cat:"net" ~name:"overload_drop" 1);
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.incr m ~name:(t.label ^ ".overload_drop") ~rank:src
+
+(* Occupancy released when the message leaves the wire (arrival, loss
+   point, or eviction). *)
+let occupy link ~wire =
+  link.q_msgs <- link.q_msgs + 1;
+  link.q_bytes <- link.q_bytes + wire;
+  if link.q_msgs > link.q_hwm then link.q_hwm <- link.q_msgs
+
+let release link ~wire =
+  link.q_msgs <- link.q_msgs - 1;
+  link.q_bytes <- link.q_bytes - wire
+
+let retire_inflight link e =
+  if e.if_live then begin
+    e.if_live <- false;
+    release link ~wire:e.if_wire
+  end;
+  (* Shed already-dead heads so the queue stays O(occupancy). *)
+  let rec trim () =
+    match Queue.peek_opt link.inflight with
+    | Some h when not h.if_live ->
+      ignore (Queue.take link.inflight : inflight);
+      trim ()
+    | _ -> ()
+  in
+  trim ()
+
 (* Runs at arrival time, when the message reaches the receiving host.
    Dead hosts drop without any CPU charge; live hosts serialize through
    the receive core and may still lose the message if they die before
@@ -190,6 +275,137 @@ let deliver_via_cpu t dst ~wire ~size ~src ?link payload =
         : Engine.handle)
   end
 
+(* Admission decision against the per-link occupancy caps. *)
+type admission = Admitted | Shed | Deferred_until of float
+
+let admit t link ~wire ~src =
+  match t.limits with
+  | None -> Admitted
+  | Some lim ->
+    let fits () = link.q_msgs < lim.max_msgs && link.q_bytes + wire <= lim.max_bytes in
+    if fits () then Admitted
+    else begin
+      match lim.policy with
+      | Drop_newest -> Shed
+      | Drop_oldest ->
+        let rec evict () =
+          if not (fits ()) then begin
+            match Queue.take_opt link.inflight with
+            | None -> ()
+            | Some e when not e.if_live -> evict ()
+            | Some e ->
+              (match e.if_handle with Some h -> Engine.cancel h | None -> ());
+              e.if_live <- false;
+              release link ~wire:e.if_wire;
+              overload_drop t ~wire:e.if_wire ~src;
+              evict ()
+          end
+        in
+        evict ();
+        if fits () then Admitted else Shed
+      | Block ->
+        (* Earliest instant enough in-flight messages will have drained
+           for this one to fit: walk live entries in send order, which
+           is arrival order up to jitter. *)
+        let need_msgs = link.q_msgs - lim.max_msgs + 1 in
+        let need_bytes = link.q_bytes + wire - lim.max_bytes in
+        let freed_msgs = ref 0 and freed_bytes = ref 0 and at = ref (Engine.now t.eng) in
+        let found = ref false in
+        Queue.iter
+          (fun e ->
+            if e.if_live && not !found then begin
+              incr freed_msgs;
+              freed_bytes := !freed_bytes + e.if_wire;
+              if e.if_arrive > !at then at := e.if_arrive;
+              if !freed_msgs >= need_msgs && !freed_bytes >= need_bytes then found := true
+            end)
+          link.inflight;
+        if !found then Deferred_until !at
+        else Shed (* can never fit, e.g. wire > max_bytes *)
+    end
+
+(* Remote transmission path, re-entered by [Block]-policy deferrals so
+   cuts and caps are re-evaluated at the actual transmit attempt. *)
+let rec send_remote t ~src ~dst ~size m =
+  let wire = size + t.cfg.per_msg_overhead in
+  if not t.hosts.(src).alive then drop t ~wire:size ~fault:false
+  else if link_cut t ~src ~dst then drop t ~wire ~fault:true
+  else begin
+    let link = link_of t src dst in
+    match admit t link ~wire ~src with
+    | Shed -> overload_drop t ~wire ~src
+    | Deferred_until at ->
+      t.overload_defers <- t.overload_defers + 1;
+      (match t.metrics with
+      | None -> ()
+      | Some mx -> Metrics.incr mx ~name:(t.label ^ ".link_defer") ~rank:src);
+      ignore
+        (Engine.schedule_at t.eng ~time:at (fun () -> send_remote t ~src ~dst ~size m)
+          : Engine.handle)
+    | Admitted ->
+      let lost = t.loss_prob > 0.0 && Rng.float t.rng 1.0 < t.loss_prob in
+      let jit = if t.jitter > 0.0 then Rng.float t.rng t.jitter else 0.0 in
+      let now = Engine.now t.eng in
+      let xfer = float_of_int wire /. t.cfg.bandwidth in
+      let start = Float.max now link.free_at in
+      (* Lost messages still occupy the pipe: the sender transmitted
+         them, the fault eats them en route. *)
+      link.free_at <- start +. xfer;
+      let arrive = start +. xfer +. t.cfg.link_latency +. jit in
+      occupy link ~wire;
+      (match t.metrics with
+      | None -> ()
+      | Some m ->
+        (* Send-side per-link accounting: how long the message waited
+           for the FIFO pipe, its full transit time, wire bytes pushed,
+           the backlog the pipe now holds, and queue occupancy. *)
+        Metrics.observe m ~name:(t.label ^ ".queue_wait") ~rank:src (start -. now);
+        Metrics.observe m ~name:(t.label ^ ".transit") ~rank:src (arrive -. now);
+        Metrics.add m ~name:(t.label ^ ".link_bytes") ~rank:src wire;
+        Metrics.set_gauge m ~name:(t.label ^ ".link_backlog") ~rank:src (link.free_at -. now);
+        Metrics.set_gauge m ~name:(t.label ^ ".link_depth") ~rank:src
+          (float_of_int link.q_msgs);
+        let hwm = float_of_int link.q_hwm in
+        let prev =
+          match Metrics.gauge m ~name:(t.label ^ ".link_depth_hwm") ~rank:src with
+          | Some g -> g
+          | None -> 0.0
+        in
+        if hwm > prev then
+          Metrics.set_gauge m ~name:(t.label ^ ".link_depth_hwm") ~rank:src hwm);
+      if t.limits = None then begin
+        (* Unbounded fast path: occupancy tracked with plain counters,
+           no per-message record. *)
+        if lost then
+          ignore
+            (Engine.schedule_at t.eng ~time:arrive (fun () ->
+                 release link ~wire;
+                 drop t ~wire ~fault:true)
+              : Engine.handle)
+        else
+          ignore
+            (Engine.schedule_at t.eng ~time:arrive (fun () ->
+                 release link ~wire;
+                 deliver_via_cpu t dst ~wire ~size ~src ~link m)
+              : Engine.handle)
+      end
+      else begin
+        let e = { if_wire = wire; if_arrive = arrive; if_handle = None; if_live = true } in
+        Queue.add e link.inflight;
+        let h =
+          if lost then
+            Engine.schedule_at t.eng ~time:arrive (fun () ->
+                retire_inflight link e;
+                drop t ~wire ~fault:true)
+          else
+            Engine.schedule_at t.eng ~time:arrive (fun () ->
+                retire_inflight link e;
+                deliver_via_cpu t dst ~wire ~size ~src ~link m)
+        in
+        e.if_handle <- Some h
+      end
+  end
+
 let send t ~src ~dst ~size m =
   check_rank t src "send";
   check_rank t dst "send";
@@ -203,41 +419,7 @@ let send t ~src ~dst ~size m =
            deliver_via_cpu t dst ~wire:size ~size ~src m)
         : Engine.handle)
   end
-  else begin
-    let wire = size + t.cfg.per_msg_overhead in
-    if link_cut t ~src ~dst then drop t ~wire ~fault:true
-    else begin
-      let lost = t.loss_prob > 0.0 && Rng.float t.rng 1.0 < t.loss_prob in
-      let jit = if t.jitter > 0.0 then Rng.float t.rng t.jitter else 0.0 in
-      let link = link_of t src dst in
-      let now = Engine.now t.eng in
-      let xfer = float_of_int wire /. t.cfg.bandwidth in
-      let start = Float.max now link.free_at in
-      (* Lost messages still occupy the pipe: the sender transmitted
-         them, the fault eats them en route. *)
-      link.free_at <- start +. xfer;
-      let arrive = start +. xfer +. t.cfg.link_latency +. jit in
-      (match t.metrics with
-      | None -> ()
-      | Some m ->
-        (* Send-side per-link accounting: how long the message waited
-           for the FIFO pipe, its full transit time, wire bytes pushed,
-           and the backlog the pipe now holds. *)
-        Metrics.observe m ~name:(t.label ^ ".queue_wait") ~rank:src (start -. now);
-        Metrics.observe m ~name:(t.label ^ ".transit") ~rank:src (arrive -. now);
-        Metrics.add m ~name:(t.label ^ ".link_bytes") ~rank:src wire;
-        Metrics.set_gauge m ~name:(t.label ^ ".link_backlog") ~rank:src (link.free_at -. now));
-      if lost then
-        ignore
-          (Engine.schedule_at t.eng ~time:arrive (fun () -> drop t ~wire ~fault:true)
-            : Engine.handle)
-      else
-        ignore
-          (Engine.schedule_at t.eng ~time:arrive (fun () ->
-               deliver_via_cpu t dst ~wire ~size ~src ~link m)
-            : Engine.handle)
-    end
-  end
+  else send_remote t ~src ~dst ~size m
 
 let fail_node t r =
   check_rank t r "fail_node";
@@ -257,6 +439,8 @@ type stats = {
   dropped : int;
   dropped_bytes : int;
   dead_letters : int;
+  overload_drops : int;
+  overload_defers : int;
 }
 
 let stats (t : _ t) =
@@ -266,9 +450,23 @@ let stats (t : _ t) =
     dropped = t.dropped;
     dropped_bytes = t.dropped_bytes;
     dead_letters = t.dead_letters;
+    overload_drops = t.overload_drops;
+    overload_defers = t.overload_defers;
   }
 
 let link_bytes t ~src ~dst =
   match Hashtbl.find_opt t.links ((src * t.n) + dst) with
   | Some l -> l.bytes
   | None -> 0
+
+let link_depth t ~src ~dst =
+  match Hashtbl.find_opt t.links ((src * t.n) + dst) with
+  | Some l -> l.q_msgs
+  | None -> 0
+
+let link_depth_hwm t ~src ~dst =
+  match Hashtbl.find_opt t.links ((src * t.n) + dst) with
+  | Some l -> l.q_hwm
+  | None -> 0
+
+let max_link_depth_hwm t = Hashtbl.fold (fun _ l acc -> max acc l.q_hwm) t.links 0

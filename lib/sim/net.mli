@@ -41,6 +41,32 @@ val engine : 'msg t -> Engine.t
 val nodes : 'msg t -> int
 val config : 'msg t -> config
 
+(** {1 Bounded links}
+
+    By default every directed link is an unbounded FIFO pipe. Setting
+    limits caps the number of in-flight messages and wire bytes per
+    link; the policy decides what happens to a send that would exceed a
+    cap. Opt-in: with limits unset the delivery schedule is bit-for-bit
+    identical to the historical model. *)
+
+type overflow = Mailbox.overflow =
+  | Block
+      (** Defer transmission until enough in-flight messages drain
+          (sender-side backpressure: the message waits at the sender
+          instead of on the wire). *)
+  | Drop_newest  (** Shed the incoming message. *)
+  | Drop_oldest
+      (** Evict the oldest in-flight message (its pipe time is not
+          reclaimed — the bytes were already transmitted). *)
+
+type queue_limits = { max_msgs : int; max_bytes : int; policy : overflow }
+
+val set_link_limits : 'msg t -> queue_limits option -> unit
+(** Install (or clear) per-link occupancy caps. Applies to every
+    non-loopback link of this fabric; loop-back delivery is host-local
+    IPC and is never capped. Raises [Invalid_argument] when a bound
+    is < 1. *)
+
 val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** [set_handler t rank f] installs the delivery callback for [rank],
     replacing any previous one. *)
@@ -61,10 +87,15 @@ val set_tracer : 'msg t -> Flux_trace.Tracer.t option -> unit
 val set_metrics : 'msg t -> ?label:string -> Flux_trace.Metrics.t option -> unit
 (** Per-hop numeric aggregation, recorded at send time under the
     sending rank: [<label>.queue_wait] and [<label>.transit] histograms
-    (seconds), a [<label>.link_bytes] counter (wire bytes) and a
-    [<label>.link_backlog] gauge (seconds of queued transmission).
-    [label] defaults to ["net"]; sessions label their three planes
-    ["net.rpc"] / ["net.event"] / ["net.ring"]. *)
+    (seconds), a [<label>.link_bytes] counter (wire bytes), a
+    [<label>.link_backlog] gauge (seconds of queued transmission), and
+    queue-occupancy gauges [<label>.link_depth] (in-flight messages on
+    the last-used link) / [<label>.link_depth_hwm] (high-water mark
+    across the rank's links). Policy sheds bump a
+    [<label>.overload_drop] counter and [Block] deferrals a
+    [<label>.link_defer] counter. [label] defaults to ["net"]; sessions
+    label their three planes ["net.rpc"] / ["net.event"] /
+    ["net.ring"]. *)
 
 val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
 (** [send t ~src ~dst ~size m] queues [m] for delivery. Sends from a
@@ -124,9 +155,23 @@ type stats = {
   dead_letters : int;  (** subset of [dropped] due to injected faults
                            (loss, cut links, blackouts) rather than dead
                            hosts *)
+  overload_drops : int;  (** subset of [dropped] shed by queue-limit
+                             policy (full link under [Drop_newest] /
+                             [Drop_oldest]) *)
+  overload_defers : int;  (** sends postponed by the [Block] policy *)
 }
 
 val stats : 'msg t -> stats
 
 val link_bytes : 'msg t -> src:int -> dst:int -> int
 (** Wire bytes delivered so far over one directed link. *)
+
+val link_depth : 'msg t -> src:int -> dst:int -> int
+(** Messages currently in flight on one directed link. *)
+
+val link_depth_hwm : 'msg t -> src:int -> dst:int -> int
+(** High-water mark of {!link_depth} over the link's lifetime. *)
+
+val max_link_depth_hwm : 'msg t -> int
+(** Highest {!link_depth_hwm} across all links of the fabric — the
+    bound the overload harness asserts against configured caps. *)

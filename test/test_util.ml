@@ -231,6 +231,57 @@ let test_ring_basic () =
   Ring_buffer.clear b;
   check int "cleared" 0 (Ring_buffer.length b)
 
+let test_ring_capacity_one () =
+  let b = Ring_buffer.create ~capacity:1 in
+  check int "capacity" 1 (Ring_buffer.capacity b);
+  check (Alcotest.list int) "empty" [] (Ring_buffer.to_list b);
+  Ring_buffer.push b 7;
+  check (Alcotest.list int) "holds one" [ 7 ] (Ring_buffer.to_list b);
+  Ring_buffer.push b 8;
+  Ring_buffer.push b 9;
+  check (Alcotest.list int) "keeps newest only" [ 9 ] (Ring_buffer.to_list b);
+  check int "length pinned" 1 (Ring_buffer.length b);
+  check int "dropped" 2 (Ring_buffer.dropped b)
+
+let test_ring_multi_wrap () =
+  (* Wrap the write cursor several full revolutions; to_list must stay
+     oldest-first and dropped must count every overwritten element. *)
+  let b = Ring_buffer.create ~capacity:4 in
+  for i = 1 to 19 do
+    Ring_buffer.push b i
+  done;
+  check (Alcotest.list int) "oldest-first after wraps" [ 16; 17; 18; 19 ]
+    (Ring_buffer.to_list b);
+  check int "length" 4 (Ring_buffer.length b);
+  check int "dropped = pushed - capacity" 15 (Ring_buffer.dropped b)
+
+let test_ring_invalid_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Ring_buffer.create: capacity must be positive") (fun () ->
+      ignore (Ring_buffer.create ~capacity:0 : int Ring_buffer.t));
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Ring_buffer.create: capacity must be positive") (fun () ->
+      ignore (Ring_buffer.create ~capacity:(-3) : int Ring_buffer.t))
+
+let test_ring_clear_then_reuse () =
+  let b = Ring_buffer.create ~capacity:3 in
+  List.iter (Ring_buffer.push b) [ 1; 2; 3; 4; 5 ];
+  Ring_buffer.clear b;
+  check (Alcotest.list int) "empty after clear" [] (Ring_buffer.to_list b);
+  (* The buffer must be fully usable again, with oldest-first ordering
+     across a fresh wrap after the clear. *)
+  List.iter (Ring_buffer.push b) [ 10; 11; 12; 13 ];
+  check (Alcotest.list int) "reused after clear" [ 11; 12; 13 ] (Ring_buffer.to_list b)
+
+let prop_ring_dropped_counts =
+  QCheck.Test.make ~name:"dropped = max 0 (pushed - capacity)" ~count:100
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (cap, xs) ->
+      let b = Ring_buffer.create ~capacity:cap in
+      List.iter (Ring_buffer.push b) xs;
+      Ring_buffer.dropped b = max 0 (List.length xs - cap)
+      && Ring_buffer.length b = min cap (List.length xs))
+
 let prop_ring_keeps_latest =
   QCheck.Test.make ~name:"ring keeps the most recent k" ~count:100
     QCheck.(pair (int_range 1 10) (small_list small_int))
@@ -349,8 +400,15 @@ let () =
           Alcotest.test_case "invalid" `Quick test_hex_invalid;
         ] );
       qsuite "hex-props" [ prop_hex_roundtrip ];
-      ("ring_buffer", [ Alcotest.test_case "basic" `Quick test_ring_basic ]);
-      qsuite "ring-props" [ prop_ring_keeps_latest ];
+      ( "ring_buffer",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "capacity one" `Quick test_ring_capacity_one;
+          Alcotest.test_case "multiple wraps" `Quick test_ring_multi_wrap;
+          Alcotest.test_case "invalid capacity" `Quick test_ring_invalid_capacity;
+          Alcotest.test_case "clear then reuse" `Quick test_ring_clear_then_reuse;
+        ] );
+      qsuite "ring-props" [ prop_ring_keeps_latest; prop_ring_dropped_counts ];
       ( "treemath",
         [
           Alcotest.test_case "binary" `Quick test_tree_binary;
