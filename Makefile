@@ -1,4 +1,4 @@
-.PHONY: all build test fmt chaos overload check clean
+.PHONY: all build test fmt chaos overload shard check clean
 
 all: build
 
@@ -35,10 +35,19 @@ overload:
 	dune exec test/test_overload.exe -- -q
 	dune exec bench/main.exe -- overload
 
+# Sharded-KVS sweep: 16 seeded cross-shard fence chaos schedules (a
+# shard master killed mid-fence; zero lost acked writes, monotonic
+# reads, fence atomicity, same-seed determinism) plus the
+# goodput-vs-shards soak at 2x one master's capacity
+# (BENCH_SHARD.json — the distributed-master scaling claim).
+shard:
+	dune exec test/test_shard.exe -- -q
+	dune exec bench/main.exe -- shard
+
 # The pre-merge gate: format (when available), build with warnings
 # promoted to errors under lib/ (see lib/dune), and run every test,
-# then the chaos and overload sweeps.
-check: fmt build test chaos overload
+# then the chaos, overload and shard sweeps.
+check: fmt build test chaos overload shard
 
 clean:
 	dune clean

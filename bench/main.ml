@@ -3,7 +3,7 @@
 
    Usage: main.exe [experiment...] where experiment is one of
      table1 fig2 fig3 fig4a fig4b sweep model ablate-sched ablate-fanout
-     ablate-shards faults chaos micro overload observe perf
+     ablate-shards faults chaos micro overload shard observe perf
    No arguments runs everything. Scales can be reduced with
    BENCH_FAST=1 for a quick pass. *)
 
@@ -28,6 +28,7 @@ module Workload = Flux_core.Workload
 module Central = Flux_baseline.Central
 module Chaos = Flux_kap.Chaos
 module Overload = Flux_kap.Overload
+module Shard = Flux_kap.Shard
 module Export = Flux_trace.Export
 
 let fast = Sys.getenv_opt "BENCH_FAST" <> None
@@ -667,6 +668,80 @@ let overload () =
   close_out oc;
   Printf.printf "  wrote BENCH_OVERLOAD.json (%d scenarios)\n%!" (List.length rows)
 
+(* --- Shard: goodput vs shard count at 2x offered load --------------------- *)
+
+let shard () =
+  header "Shard: goodput vs shards at 2x one master's capacity (distributed KVS master)";
+  let duration = if fast then 0.25 else 0.4 in
+  let base = { Shard.soak_default with Shard.duration } in
+  let cap = Shard.soak_capacity base in
+  Printf.printf
+    "(%d nodes, %d producers, %.2fs window, per-master capacity %.0f ops/s, offered %.0f)\n%!"
+    base.Shard.size
+    (List.length base.Shard.producers)
+    duration cap base.Shard.rate;
+  Printf.printf "%-7s %8s %8s %8s %10s %8s %6s %5s\n" "shards" "offered" "acked" "shed"
+    "goodput" "intake" "lost" "viol";
+  let rows =
+    List.map
+      (fun shards ->
+        let r = Shard.soak { base with Shard.shards } in
+        Printf.printf "%-7d %8d %8d %8d %10.0f %8d %6d %5d\n%!" shards
+          r.Shard.offered r.Shard.acked r.Shard.shed r.Shard.goodput r.Shard.intake_hwm
+          r.Shard.lost_acks
+          (List.length r.Shard.violations);
+        List.iter (fun v -> Printf.printf "    violation: %s\n%!" v) r.Shard.violations;
+        ( r,
+          Json.obj
+            [
+              ("shards", Json.int shards);
+              ("offered", Json.int r.Shard.offered);
+              ("acked", Json.int r.Shard.acked);
+              ("shed", Json.int r.Shard.shed);
+              ("failed", Json.int r.Shard.failed);
+              ("goodput", Json.float r.Shard.goodput);
+              ("ack_p50", Json.float r.Shard.ack_p50);
+              ("ack_p99", Json.float r.Shard.ack_p99);
+              ("admission_sheds", Json.int r.Shard.admission_sheds);
+              ("intake_hwm", Json.int r.Shard.intake_hwm);
+              ("lost_acks", Json.int r.Shard.lost_acks);
+              ("drained", Json.bool r.Shard.drained);
+              ("sim_events", Json.int r.Shard.sim_events);
+              ("violations", Json.int (List.length r.Shard.violations));
+            ] ))
+      [ 1; 2; 4 ]
+  in
+  let goodput_of n =
+    List.filter_map
+      (fun (r, _) -> if r.Shard.shards = n then Some r.Shard.goodput else None)
+      rows
+    |> function g :: _ -> g | [] -> 0.0
+  in
+  let g1 = goodput_of 1 and g4 = goodput_of 4 in
+  let ratio = if g1 > 0.0 then g4 /. g1 else 0.0 in
+  Printf.printf "  goodput scales %.2fx from 1 to 4 shards (%s)\n%!" ratio
+    (if ratio >= 1.8 then "distributed master relieves the bottleneck"
+     else "BELOW the 1.8x bar");
+  let doc =
+    Json.obj
+      [
+        ("experiment", Json.string "shard");
+        ("nodes", Json.int base.Shard.size);
+        ("producers", Json.int (List.length base.Shard.producers));
+        ("duration", Json.float duration);
+        ("per_master_capacity", Json.float cap);
+        ("offered_rate", Json.float base.Shard.rate);
+        ("scaling_1_to_4", Json.float ratio);
+        ("tier", Json.string (if fast then "fast" else "paper-scale"));
+        ("rows", Json.list (List.map snd rows));
+      ]
+  in
+  let oc = open_out "BENCH_SHARD.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_SHARD.json (%d shard counts)\n%!" (List.length rows)
+
 (* --- Observe: traced fence critical path + metrics registry export -------- *)
 
 let observe () =
@@ -818,6 +893,7 @@ let experiments =
     ("chaos", chaos);
     ("micro", micro);
     ("overload", overload);
+    ("shard", shard);
     ("observe", observe);
     ("perf", perf);
   ]

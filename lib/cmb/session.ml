@@ -637,17 +637,22 @@ let request_from_module b ?timeout ?attempts ?(idempotent = false) ?trace_ctx ~t
 
 (* --- Ring plane ------------------------------------------------------ *)
 
-let rec rpc_rank b ?timeout ?attempts ?(idempotent = false) ?trace_ctx ~dst ~topic payload
-    ~reply =
+let rec rpc_rank b ?timeout ?attempts ?(idempotent = false) ?trace_ctx ?route ~dst ~topic
+    payload ~reply =
   let t = b.b_session in
   let timeout, attempts = rpc_opts t ?timeout ?attempts ~idempotent () in
   let ctx = request_ctx t trace_ctx in
   let reply = instrument_reply b ~topic ~ctx reply in
   let nonce = fresh_nonce b in
-  let msg = Message.request ~dst ~topic ~origin:b.b_rank ~nonce payload in
-  let msg = match ctx with Some c -> Message.with_trace msg c | None -> msg in
   trace t ~name:"rpc.send" ~rank:b.b_rank ?ctx ~fields:[ ("topic", Json.string topic) ] ();
+  (* Each (re)transmission resolves its destination afresh: with [route]
+     a retransmit follows the *current* topology (e.g. a volume tree
+     healed around a dead parent, or a freshly elected master) instead
+     of hammering the original, possibly dead, rank. *)
   let transmit () =
+    let dst = match route with Some f -> f () | None -> dst in
+    let msg = Message.request ~dst ~topic ~origin:b.b_rank ~nonce payload in
+    let msg = match ctx with Some c -> Message.with_trace msg c | None -> msg in
     if dst = b.b_rank then
       (* Loop-back: deliver to the local module directly. *)
       ignore

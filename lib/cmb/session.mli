@@ -202,13 +202,18 @@ val rpc_rank :
   ?attempts:int ->
   ?idempotent:bool ->
   ?trace_ctx:Flux_trace.Tracer.ctx ->
+  ?route:(unit -> int) ->
   dst:int ->
   topic:string ->
   Flux_json.Json.t ->
   reply:(reply -> unit) ->
   unit
 (** Rank-addressed RPC over the ring plane. Deadline semantics as in
-    {!request_up}. *)
+    {!request_up}. When [route] is given, every (re)transmission calls
+    it to resolve the destination, so idempotent retries follow the
+    current topology (a healed volume tree, a newly elected master)
+    instead of retransmitting to the rank first addressed; [dst] is
+    then only the first attempt's target. *)
 
 val publish : broker -> ?trace_ctx:Flux_trace.Tracer.ctx -> topic:string -> Flux_json.Json.t -> unit
 (** Publish an event: it ascends to the session root, receives a session

@@ -45,6 +45,7 @@ type fence_state = {
   mutable fs_timer_armed : bool;
   mutable fs_last_arrival : float;
   fs_nprocs : int;
+  mutable fs_retries : int; (* upstream forwards that came back failed *)
   mutable fs_ctx : Tracer.ctx option; (* causal parent of this batch's flush *)
 }
 
@@ -60,8 +61,8 @@ type master_fence = {
 type routing = {
   rt_service : string;
   rt_master : int;
-  rt_parent : unit -> int option;
-  rt_children : unit -> int list;
+  rt_parent : master:int -> int option;
+  rt_children : master:int -> int list;
   rt_direct : bool;
 }
 
@@ -105,6 +106,13 @@ type t = {
   mutable bytes_held : int;
   mutable n_loads_issued : int;
   mutable apply_backlog : int; (* requests awaiting a scheduled master apply *)
+  (* Cross-shard fence hold (two-phase epoch-merge, see {!Volumes}): when
+     installed, a completed master fence freezes its proposed root and
+     defers adoption/responses/setroot until [release] fires. *)
+  mutable fence_hold :
+    (name:string -> ri:Proto.root_info -> release:(unit -> unit) -> unit) option;
+  mutable held : (string * int) option; (* held fence name, participants parked *)
+  mutable held_applies : (unit -> unit) list; (* applies deferred behind the hold *)
   mutable intake_hwm : int; (* peak intake depth seen at the admission gate *)
   mutable admission_sheds : int;
   mutable tracer : Tracer.t option;
@@ -144,6 +152,7 @@ let child_span t parent =
   | Some tr, Some c -> Some (Tracer.child_ctx tr c)
   | _ -> None
 
+let set_fence_hold t hook = t.fence_hold <- hook
 let is_master t = t.master
 let epoch t = t.epoch
 let master_rank t = t.master_rank
@@ -224,13 +233,29 @@ let live_peers t =
 let send_up t ?timeout ?attempts ?idempotent ?trace_ctx ~method_ payload ~reply =
   let topic = t.routing.rt_service ^ "." ^ method_ in
   if t.routing.rt_direct then
-    match t.routing.rt_parent () with
+    match t.routing.rt_parent ~master:t.master_rank with
     | Some p ->
-      Session.rpc_rank t.b ?timeout ?attempts ?idempotent ?trace_ctx ~dst:p ~topic payload
-        ~reply
-    | None -> reply (Error (t.routing.rt_service ^ ": master has no parent"))
+      (* Retransmits re-resolve the parent, so a send outliving its
+         first target follows the healed tree (or a new master). If the
+         healed tree says we have no parent by then, loop back to self:
+         either we were just elected (the local handler applies) or the
+         belief is stale and the handler re-forwards once it updates. *)
+      let route () =
+        match t.routing.rt_parent ~master:t.master_rank with
+        | Some p -> p
+        | None -> Session.rank t.b
+      in
+      Session.rpc_rank t.b ?timeout ?attempts ?idempotent ?trace_ctx ~route ~dst:p ~topic
+        payload ~reply
+    | None ->
+      if t.master then reply (Error (t.routing.rt_service ^ ": master has no parent"))
+      else
+        (* We believe the master is (or has become) ourselves but hold no
+           mastership: a takeover is still in flight. Fail fast; callers
+           on the fence path re-contribute and retry. *)
+        reply (Error (t.routing.rt_service ^ ": no live master"))
   else
-    match t.routing.rt_parent () with
+    match t.routing.rt_parent ~master:t.master_rank with
     | Some _ ->
       Session.request_from_module t.b ?timeout ?attempts ?idempotent ?trace_ctx ~topic
         payload ~reply
@@ -257,14 +282,18 @@ let fresh_fid t =
 (* A flush may be retransmitted with the same fid while the first copy is
    in flight (the response was lost, or the fence it joined is slow), so
    applying it must be keyed on ([origin], [fid]).  [flush_dup_key]
-   extracts that key from any request that carries one. *)
+   extracts that key from any request that carries one.  Client-issued
+   commit and fence requests may carry a fid too (the Volumes fan-out
+   stamps one): their retransmits — a fence reply is deferred until the
+   whole collective completes, easily outliving one RPC deadline — must
+   likewise contribute exactly once. *)
 let flush_dup_key (req : Message.t) =
-  if String.equal (Topic.method_ req.Message.topic) "flush" then begin
+  match Topic.method_ req.Message.topic with
+  | "flush" | "commit" | "fence" -> (
     match Json.member_opt "fid" req.Message.payload with
     | Some fj -> Some (req.Message.origin, Json.to_int fj)
-    | None -> None
-  end
-  else None
+    | None -> None)
+  | _ -> None
 
 (* Drop completed dedup entries when the table grows large; in-flight
    entries (waiters still queued) are kept so retransmits keep folding
@@ -300,6 +329,33 @@ let respond_result t (req : Message.t) result =
       d.fd_waiting <- [];
       List.iter answer waiting
     | None -> ())
+
+(* Retransmitted flushes (and fid-stamped commits/fences) must be applied
+   exactly once: the first arrival of an ([origin], [fid]) pair registers
+   a dedup entry and is processed; later copies are answered from the
+   recorded result, or queued behind the in-flight original. Returns
+   [true] when [req] was a duplicate. *)
+let flush_duplicate t (req : Message.t) fid =
+  fid >= 0
+  &&
+  let key = (req.Message.origin, fid) in
+  match Hashtbl.find_opt t.flush_seen key with
+  | Some d ->
+    (match d.fd_result with
+    | Some (Ok payload) -> Session.respond t.b req payload
+    | Some (Error e) -> Session.respond_error t.b req e
+    | None -> d.fd_waiting <- req :: d.fd_waiting);
+    true
+  | None ->
+    flush_seen_compact t;
+    Hashtbl.replace t.flush_seen key { fd_result = None; fd_waiting = [] };
+    false
+
+(* Client-stamped request id, used by commit/fence retransmit dedup. *)
+let req_fid (req : Message.t) =
+  match Json.member_opt "fid" req.Message.payload with
+  | Some f -> Json.to_int f
+  | None -> -1
 
 (* --- Fault-in with coalescing ------------------------------------------- *)
 
@@ -370,6 +426,13 @@ let fault_in t ?trace_ctx sha k =
    object cache. *)
 let demote t =
   t.master <- false;
+  (* A fence held for the cross-shard merge dies with the mastership:
+     its parked participants time out and their idempotent retransmits
+     re-aggregate at the successor, which re-prepares with the
+     coordinator. Deferred applies behind the hold are dropped the same
+     way (their senders retransmit too). *)
+  t.held <- None;
+  t.held_applies <- [];
   let mfs = Hashtbl.fold (fun name mf acc -> (name, mf) :: acc) t.master_fences [] in
   Hashtbl.reset t.master_fences;
   List.iter
@@ -432,7 +495,7 @@ let master_store t v =
   cache_put t sha v;
   sha
 
-let master_apply t ?trace_ctx ~tuples ~objects ~respond_to () =
+let master_apply t ?trace_ctx ?fence ~tuples ~objects ~respond_to () =
   List.iter (fun (o : Proto.obj) -> cache_put t o.Proto.osha o.Proto.value) objects;
   let ntuples = List.length tuples in
   metric_incr t "kvs.commits";
@@ -447,55 +510,89 @@ let master_apply t ?trace_ctx ~tuples ~objects ~respond_to () =
   in
   let nresp = List.length respond_to in
   t.apply_backlog <- t.apply_backlog + nresp;
-  let finish () =
-    t.apply_backlog <- t.apply_backlog - nresp;
-    trace t ~name:"apply" ?ctx:trace_ctx ~fields:[ ("tuples", Json.int ntuples) ] ();
-    let delta = ref [] in
-    let delta_bytes = ref 0 in
-    if ntuples > 0 then begin
+  let rec finish () =
+    if t.held <> None then
+      (* A cross-shard fence has frozen this master's root: applying now
+         would invalidate the frozen proposal. Park behind the hold and
+         re-run at release, against the post-fence root. *)
+      t.held_applies <- finish :: t.held_applies
+    else begin
+      t.apply_backlog <- t.apply_backlog - nresp;
+      trace t ~name:"apply" ?ctx:trace_ctx ~fields:[ ("tuples", Json.int ntuples) ] ();
+      let delta = ref [] in
+      let delta_bytes = ref 0 in
       let new_root =
-        Tree.apply_tuples
-          ~fetch:(fun sha -> lookup_obj t sha)
-          ~store:(fun v ->
-            let sha = master_store t v in
-            (* Record the interior objects this apply created so the
-               setroot event can replicate them to every live slave:
-               value objects already ride the flush path, and with the
-               interior nodes mirrored too a takeover finds everything
-               it needs in surviving caches. Capped so huge directories
-               do not turn every setroot into a bulk transfer. *)
-            let sz = Json.serialized_size v in
-            if !delta_bytes + sz <= t.cfg.setroot_delta_max then begin
-              delta := { Proto.osha = sha; value = v } :: !delta;
-              delta_bytes := !delta_bytes + sz
-            end;
-            sha)
-          ~root:t.root
-          (List.map (fun (tp : Proto.tuple) -> (tp.Proto.key, dirent_of tp)) tuples)
+        if ntuples = 0 then t.root
+        else
+          Tree.apply_tuples
+            ~fetch:(fun sha -> lookup_obj t sha)
+            ~store:(fun v ->
+              let sha = master_store t v in
+              (* Record the interior objects this apply created so the
+                 setroot event can replicate them to every live slave:
+                 value objects already ride the flush path, and with the
+                 interior nodes mirrored too a takeover finds everything
+                 it needs in surviving caches. Capped so huge directories
+                 do not turn every setroot into a bulk transfer. *)
+              let sz = Json.serialized_size v in
+              if !delta_bytes + sz <= t.cfg.setroot_delta_max then begin
+                delta := { Proto.osha = sha; value = v } :: !delta;
+                delta_bytes := !delta_bytes + sz
+              end;
+              sha)
+            ~root:t.root
+            (List.map (fun (tp : Proto.tuple) -> (tp.Proto.key, dirent_of tp)) tuples)
       in
-      (* Adopting through [apply_root] bumps the version and wakes local
-         wait_version callers in one place. *)
-      apply_root t
+      let proposed =
         {
           Proto.ri_epoch = t.epoch;
           ri_master = Session.rank t.b;
-          ri_version = t.version + 1;
+          ri_version = (if ntuples = 0 then t.version else t.version + 1);
           ri_root = new_root;
         }
-    end;
-    let ri = current_ri t in
-    let payload = Proto.commit_reply ri in
-    List.iter (fun req -> respond_result t req (Ok payload)) respond_to;
-    if ntuples > 0 then begin
-      (* The broadcast is its own span under the commit, so the descent
-         shows up as a distinct segment of the fence critical path. *)
-      let pub_ctx = child_span t trace_ctx in
-      trace t ~name:"setroot.publish" ?ctx:pub_ctx
-        ~fields:[ ("version", Json.int t.version) ]
-        ();
-      Session.publish t.b ?trace_ctx:pub_ctx
-        ~topic:(t.routing.rt_service ^ ".setroot")
-        (Proto.setroot_to_json ri ~objects:(List.rev !delta))
+      in
+      let commit () =
+        (* Adopting through [apply_root] bumps the version and wakes
+           local wait_version callers in one place. *)
+        if ntuples > 0 then apply_root t proposed;
+        let ri = current_ri t in
+        let payload = Proto.commit_reply ri in
+        List.iter (fun req -> respond_result t req (Ok payload)) respond_to;
+        if ntuples > 0 then begin
+          (* The broadcast is its own span under the commit, so the
+             descent shows up as a distinct segment of the fence
+             critical path. *)
+          let pub_ctx = child_span t trace_ctx in
+          trace t ~name:"setroot.publish" ?ctx:pub_ctx
+            ~fields:[ ("version", Json.int t.version) ]
+            ();
+          Session.publish t.b ?trace_ctx:pub_ctx
+            ~topic:(t.routing.rt_service ^ ".setroot")
+            (Proto.setroot_to_json ri ~objects:(List.rev !delta))
+        end
+      in
+      match (t.fence_hold, fence) with
+      | Some hook, Some name ->
+        (* Phase 1 of the cross-shard fence: freeze the proposed root
+           and hand it to the coordinator. Responses, adoption and the
+           setroot all wait for phase 2 (the coordinator's release),
+           so no participant — and no slave — can observe this shard's
+           epoch-E data before every shard reached epoch E. *)
+        t.held <- Some (name, nresp);
+        trace t ~name:"fence.hold" ?ctx:trace_ctx
+          ~fields:[ ("name", Json.string name); ("version", Json.int proposed.Proto.ri_version) ]
+          ();
+        hook ~name ~ri:proposed ~release:(fun () ->
+            match t.held with
+            | Some (n, _) when String.equal n name && t.master ->
+              t.held <- None;
+              trace t ~name:"fence.release" ~fields:[ ("name", Json.string name) ] ();
+              commit ();
+              let parked = List.rev t.held_applies in
+              t.held_applies <- [];
+              List.iter (fun k -> k ()) parked
+            | _ -> ())
+      | _ -> commit ()
     end
   in
   (* Charge the master CPU for tuple application, serialized across
@@ -526,6 +623,7 @@ let fence_get t name nprocs =
         fs_timer_armed = false;
         fs_last_arrival = 0.0;
         fs_nprocs = nprocs;
+        fs_retries = 0;
         fs_ctx = None;
       }
     in
@@ -584,8 +682,8 @@ let master_fence_check t name mf =
       Hashtbl.fold (fun h v acc -> { Proto.osha = Sha1.of_hex h; value = v } :: acc)
         mf.mf_objects []
     in
-    master_apply t ?trace_ctx:mf.mf_ctx ~tuples:(List.rev mf.mf_tuples) ~objects
-      ~respond_to:mf.mf_pending ()
+    master_apply t ?trace_ctx:mf.mf_ctx ~fence:name ~tuples:(List.rev mf.mf_tuples)
+      ~objects ~respond_to:mf.mf_pending ()
   end
 
 let master_fence_contribute t ~name ~nprocs ~count ~tuples ~objects req =
@@ -618,24 +716,73 @@ let rec fence_forward t name fs =
   Hashtbl.reset fs.fs_objects;
   fs.fs_pending <- [];
   fs.fs_ctx <- None;
-  let payload =
-    Proto.flush_to_json
-      { Proto.fence = Some (name, fs.fs_nprocs); count; fid = fresh_fid t; tuples; objects }
+  (* Fold the in-flight batch back into the open fence: used when a
+     forward fails (dead parent, deposed master) so the contributions
+     survive to be re-forwarded through the healed topology. *)
+  let refold () =
+    fs.fs_count <- fs.fs_count + count;
+    fs.fs_tuples <- List.rev_append tuples fs.fs_tuples;
+    List.iter
+      (fun (o : Proto.obj) ->
+        if not (Hashtbl.mem fs.fs_objects (hex o.Proto.osha)) then
+          Hashtbl.replace fs.fs_objects (hex o.Proto.osha) o.Proto.value)
+      objects;
+    fs.fs_pending <- pending @ fs.fs_pending;
+    fs.fs_last_arrival <- Engine.now t.eng
   in
-  trace t ~name:"flush.forward" ?ctx
-    ~fields:[ ("name", Json.string name); ("count", Json.int count) ]
-    ();
-  (* The reply blocks until the whole fence completes, so the deadline
-     must cover a slow collective; the fid lets the parent suppress the
-     duplicate contribution if an attempt's response is lost. *)
-  send_up t ~timeout:30.0 ~idempotent:true ?trace_ctx:ctx ~method_:"flush" payload
-    ~reply:(fun r ->
-      (match r with
-      | Ok reply ->
-        apply_root t (Proto.commit_reply_decode reply);
-        List.iter (fun req -> respond_result t req (Ok reply)) pending
-      | Error e -> List.iter (fun req -> respond_result t req (Error e)) pending);
-      if fs.fs_count = 0 && fs.fs_pending = [] then Hashtbl.remove t.fences name)
+  if t.master then begin
+    (* Elected mid-fence: the contributions this instance was
+       aggregating as a slave terminate here now. *)
+    let mf = master_fence_get t name fs.fs_nprocs in
+    mf.mf_count <- mf.mf_count + count;
+    mf.mf_tuples <- List.rev_append tuples mf.mf_tuples;
+    List.iter
+      (fun (o : Proto.obj) ->
+        if not (Hashtbl.mem mf.mf_objects (hex o.Proto.osha)) then
+          Hashtbl.replace mf.mf_objects (hex o.Proto.osha) o.Proto.value)
+      objects;
+    mf.mf_pending <- pending @ mf.mf_pending;
+    if fs.fs_count = 0 && fs.fs_pending = [] then Hashtbl.remove t.fences name;
+    master_fence_check t name mf
+  end
+  else begin
+    let payload =
+      Proto.flush_to_json
+        { Proto.fence = Some (name, fs.fs_nprocs); count; fid = fresh_fid t; tuples; objects }
+    in
+    trace t ~name:"flush.forward" ?ctx
+      ~fields:[ ("name", Json.string name); ("count", Json.int count) ]
+      ();
+    (* The reply blocks until the whole fence completes, so the deadline
+       must cover a slow collective; the fid lets the parent suppress the
+       duplicate contribution if an attempt's response is lost. *)
+    send_up t ~timeout:30.0 ~idempotent:true ?trace_ctx:ctx ~method_:"flush" payload
+      ~reply:(fun r ->
+        (match r with
+        | Ok reply ->
+          apply_root t (Proto.commit_reply_decode reply);
+          List.iter (fun req -> respond_result t req (Ok reply)) pending
+        | Error e when fs.fs_retries < 12 ->
+          (* Failover-transient errors (the parent died mid-collective,
+             the master was deposed, the successor is still freezing, a
+             busy budget ran out): keep the contributions and try again
+             once the topology and mastership have settled — fences
+             degrade to latency, not errors. *)
+          fs.fs_retries <- fs.fs_retries + 1;
+          refold ();
+          trace t ~name:"flush.retry"
+            ~fields:
+              [
+                ("name", Json.string name);
+                ("attempt", Json.int fs.fs_retries);
+                ("error", Json.string e);
+              ]
+            ();
+          arm_fence_timer t name fs
+            (Float.min 1.0 (0.005 *. (2.0 ** float_of_int fs.fs_retries)))
+        | Error e -> List.iter (fun req -> respond_result t req (Error e)) pending);
+        if fs.fs_count = 0 && fs.fs_pending = [] then Hashtbl.remove t.fences name)
+  end
 
 (* Forwarding policy: forward as soon as the subtree is known complete;
    otherwise wait until every live child has contributed and the fence
@@ -644,7 +791,7 @@ let rec fence_forward t name fs =
    full windows of quiet so sparse fences cannot deadlock. *)
 and fence_check_ready t name fs =
   if fs.fs_count > 0 then begin
-    let children = t.routing.rt_children () in
+    let children = t.routing.rt_children ~master:t.master_rank in
     let all_heard = List.for_all (fun c -> List.mem c fs.fs_heard) children in
     let idle = Engine.now t.eng -. fs.fs_last_arrival in
     let complete = fs.fs_count >= fs.fs_nprocs in
@@ -761,40 +908,44 @@ let handle_fetch t (req : Message.t) =
       (Printf.sprintf "object %s not cached" (Sha1.short sha))
 
 let handle_commit t (req : Message.t) =
-  let tuples =
-    match Json.member_opt "tuples" req.Message.payload with
-    | Some tj -> Proto.tuples_of_json tj
-    | None -> []
-  in
-  let objects = resolve_objects t tuples in
-  if t.master then
-    master_apply t ?trace_ctx:req.Message.trace ~tuples ~objects ~respond_to:[ req ] ()
-  else
-    let payload =
-      Proto.flush_to_json
-        { Proto.fence = None; count = 0; fid = fresh_fid t; tuples; objects }
+  if not (flush_duplicate t req (req_fid req)) then begin
+    let tuples =
+      match Json.member_opt "tuples" req.Message.payload with
+      | Some tj -> Proto.tuples_of_json tj
+      | None -> []
     in
-    send_up t ~idempotent:true ?trace_ctx:(child_span t req.Message.trace) ~method_:"flush"
-      payload ~reply:(fun r ->
-        match r with
-        | Ok reply ->
-          apply_root t (Proto.commit_reply_decode reply);
-          Session.respond t.b req reply
-        | Error e -> Session.respond_error t.b req e)
+    let objects = resolve_objects t tuples in
+    if t.master then
+      master_apply t ?trace_ctx:req.Message.trace ~tuples ~objects ~respond_to:[ req ] ()
+    else
+      let payload =
+        Proto.flush_to_json
+          { Proto.fence = None; count = 0; fid = fresh_fid t; tuples; objects }
+      in
+      send_up t ~idempotent:true ?trace_ctx:(child_span t req.Message.trace)
+        ~method_:"flush" payload ~reply:(fun r ->
+          match r with
+          | Ok reply ->
+            apply_root t (Proto.commit_reply_decode reply);
+            respond_result t req (Ok reply)
+          | Error e -> respond_result t req (Error e))
+  end
 
 let handle_fence t (req : Message.t) =
-  let name = Json.to_string_v (Json.member "name" req.Message.payload) in
-  let nprocs = Json.to_int (Json.member "nprocs" req.Message.payload) in
-  let tuples =
-    match Json.member_opt "tuples" req.Message.payload with
-    | Some tj -> Proto.tuples_of_json tj
-    | None -> []
-  in
-  let objects = resolve_objects t tuples in
-  trace t ~name:"fence.enter" ?ctx:req.Message.trace
-    ~fields:[ ("name", Json.string name) ]
-    ();
-  fence_contribute t ~name ~nprocs ~count:1 ~tuples ~objects ~from_child:None (Some req)
+  if not (flush_duplicate t req (req_fid req)) then begin
+    let name = Json.to_string_v (Json.member "name" req.Message.payload) in
+    let nprocs = Json.to_int (Json.member "nprocs" req.Message.payload) in
+    let tuples =
+      match Json.member_opt "tuples" req.Message.payload with
+      | Some tj -> Proto.tuples_of_json tj
+      | None -> []
+    in
+    let objects = resolve_objects t tuples in
+    trace t ~name:"fence.enter" ?ctx:req.Message.trace
+      ~fields:[ ("name", Json.string name) ]
+      ();
+    fence_contribute t ~name ~nprocs ~count:1 ~tuples ~objects ~from_child:None (Some req)
+  end
 
 (* Atomic put-and-commit of a binding list: used by services (mon,
    resvc, provenance) that have no client-side transaction state. *)
@@ -818,34 +969,16 @@ let handle_mput t (req : Message.t) =
       Proto.flush_to_json
         { Proto.fence = None; count = 0; fid = fresh_fid t; tuples; objects }
     in
-    Session.request_from_module t.b ~idempotent:true
-      ?trace_ctx:(child_span t req.Message.trace) ~topic:"kvs.flush" payload
-      ~reply:(fun r ->
+    (* Through [send_up], not a hardcoded "kvs.flush" tree RPC: a routed
+       family's flush must follow its own service topic and volume tree,
+       or every slave-side mput to a volume black-holes. *)
+    send_up t ~idempotent:true ?trace_ctx:(child_span t req.Message.trace)
+      ~method_:"flush" payload ~reply:(fun r ->
         match r with
         | Ok reply ->
           apply_root t (Proto.commit_reply_decode reply);
           Session.respond t.b req reply
         | Error e -> Session.respond_error t.b req e)
-
-(* Retransmitted flushes must be applied exactly once: the first arrival
-   of an ([origin], [fid]) pair registers a dedup entry and is processed;
-   later copies are answered from the recorded result, or queued behind
-   the in-flight original. Returns [true] when [req] was a duplicate. *)
-let flush_duplicate t (req : Message.t) fid =
-  fid >= 0
-  &&
-  let key = (req.Message.origin, fid) in
-  match Hashtbl.find_opt t.flush_seen key with
-  | Some d ->
-    (match d.fd_result with
-    | Some (Ok payload) -> Session.respond t.b req payload
-    | Some (Error e) -> Session.respond_error t.b req e
-    | None -> d.fd_waiting <- req :: d.fd_waiting);
-    true
-  | None ->
-    flush_seen_compact t;
-    Hashtbl.replace t.flush_seen key { fd_result = None; fd_waiting = [] };
-    false
 
 let handle_flush t (req : Message.t) =
   let f = Proto.flush_of_json req.Message.payload in
@@ -910,7 +1043,16 @@ let pure_while_frozen = function
    needs to drain instead of blind exponential guessing. *)
 
 let intake_depth t =
-  Hashtbl.fold (fun _ mf acc -> acc + List.length mf.mf_pending) t.master_fences t.apply_backlog
+  (* Participants parked behind a cross-shard hold, and applies deferred
+     behind it, are accepted-but-unanswered work too: without counting
+     them the gate would re-open while the coordinator is still merging
+     and the hold queue could grow without bound. *)
+  let held =
+    (match t.held with Some (_, n) -> n | None -> 0) + List.length t.held_applies
+  in
+  Hashtbl.fold
+    (fun _ mf acc -> acc + List.length mf.mf_pending)
+    t.master_fences (t.apply_backlog + held)
 
 let write_method = function
   | "commit" | "fence" | "mput" | "flush" -> true
@@ -945,11 +1087,34 @@ let admission_overloaded t m =
        depth >= t.cfg.admission_max_intake
      end
 
+(* A contribution to a fence this master has already opened is never
+   shed: the parked peer contributions are what is pinning the intake
+   count, and admitting the remaining participants is the only way that
+   intake can drain — shedding a completer would wedge the fence at the
+   admission limit. *)
+let joins_open_fence t m (req : Message.t) =
+  t.master
+  &&
+  match m with
+  | "fence" -> (
+    match Json.member_opt "name" req.Message.payload with
+    | Some n -> Hashtbl.mem t.master_fences (Json.to_string_v n)
+    | None -> false)
+  | "flush" -> (
+    match Json.member_opt "fence" req.Message.payload with
+    | Some fj when fj <> Json.Null -> (
+      match Json.member_opt "name" fj with
+      | Some n -> Hashtbl.mem t.master_fences (Json.to_string_v n)
+      | None -> false)
+    | _ -> false)
+  | _ -> false
+
 let handle_request t (req : Message.t) =
   let m = Topic.method_ req.Message.topic in
   match t.frozen with
   | Some (_, q) when not (pure_while_frozen m) -> q := req :: !q
-  | _ when admission_overloaded t m -> admission_shed t req
+  | _ when admission_overloaded t m && not (joins_open_fence t m req) ->
+    admission_shed t req
   | _ -> (
     match m with
     | "put" -> handle_put t req
@@ -1058,6 +1223,8 @@ let begin_rejoin t =
   t.frozen <- Some (Rejoin, ref []);
   Hashtbl.reset t.fences;
   Hashtbl.reset t.master_fences;
+  t.held <- None;
+  t.held_applies <- [];
   let stale_loads = Hashtbl.fold (fun _ w acc -> List.rev !w @ acc) t.pending_loads [] in
   Hashtbl.reset t.pending_loads;
   List.iter (fun k -> k (Error "kvs: node rejoined")) stale_loads;
@@ -1092,8 +1259,10 @@ let default_routing b =
   {
     rt_service = "kvs";
     rt_master = 0;
-    rt_parent = (fun () -> Session.tree_parent b);
-    rt_children = (fun () -> Session.tree_children b);
+    (* The session tree re-roots itself on failover (heal), so the
+       default routing ignores the believed master. *)
+    rt_parent = (fun ~master:_ -> Session.tree_parent b);
+    rt_children = (fun ~master:_ -> Session.tree_children b);
     rt_direct = false;
   }
 
@@ -1121,6 +1290,9 @@ let create_instance cfg ?routing b =
       version_waiters = [];
       dir_index = Hashtbl.create 16;
       cpu_free_at = 0.0;
+      fence_hold = None;
+      held = None;
+      held_applies = [];
       next_fid = 0;
       flush_seen = Hashtbl.create 64;
       bytes_held = 0;
@@ -1210,15 +1382,22 @@ let load sess ?(config = default_config) ?ranks () =
       Array.iter (fun t -> on_liveness t r up) instances);
   instances
 
-(* Routed families (Volumes) keep their statically assigned master: the
-   per-volume trees are relabeled so "lowest live rank" is meaningless
-   there, and the volume experiments never kill masters. No liveness
-   watch is registered for them. *)
+(* Routed families (Volumes) fail over like the session store, but their
+   election order follows the volume's *virtual ring*: successors are
+   preferred in relabeled-tree order starting at the static master, so a
+   dead master's role moves to the next rank of its own volume instead
+   of piling every volume's mastership onto rank 0. [on_liveness] takes
+   the first live rank of [service_ranks], which encodes that order. *)
 
 let load_routed sess ?(config = default_config) ~routing () =
+  let n = Session.size sess in
   let instances =
-    Array.init (Session.size sess) (fun r ->
-        create_instance config ~routing:(routing r) (Session.broker sess r))
+    Array.init n (fun r -> create_instance config ~routing:(routing r) (Session.broker sess r))
   in
+  let m0 = instances.(0).routing.rt_master in
+  let ring_order = List.init n (fun i -> (m0 + i) mod n) in
+  Array.iter (fun t -> t.service_ranks <- ring_order) instances;
   Session.load_module sess (fun b -> module_of instances.(Session.rank b));
+  Session.add_liveness_watch sess (fun r up ->
+      Array.iter (fun t -> on_liveness t r up) instances);
   instances

@@ -81,18 +81,41 @@ val ranks_to_depth : Session.t -> int -> int list
 
 type routing = {
   rt_service : string;  (** topic service component, e.g. ["kvs-2"] *)
-  rt_master : int;  (** rank holding the authoritative store *)
-  rt_parent : unit -> int option;  (** aggregation-tree parent of this rank *)
-  rt_children : unit -> int list;
+  rt_master : int;  (** rank initially holding the authoritative store *)
+  rt_parent : master:int -> int option;
+      (** aggregation-tree parent of this rank, given the rank this
+          instance currently believes is master — so a routed family can
+          re-root (and heal) its relabeled tree after a failover *)
+  rt_children : master:int -> int list;
   rt_direct : bool;
       (** send upstream over the rank-addressed plane (required when the
-          aggregation tree differs from the session's RPC tree) *)
+          aggregation tree differs from the session's RPC tree);
+          retransmits re-resolve [rt_parent], following the healed tree *)
 }
 
 val load_routed :
   Session.t -> ?config:config -> routing:(int -> routing) -> unit -> t array
 (** Load one store family under the given per-rank routing, on every
-    rank. *)
+    rank. Registers a liveness watch like {!load}; the election order is
+    the volume's virtual ring (static master first, then successive
+    ranks modulo the session size), so a dead master's role stays inside
+    its own volume's labeling instead of collapsing onto rank 0. *)
+
+val set_fence_hold :
+  t ->
+  (name:string -> ri:Proto.root_info -> release:(unit -> unit) -> unit) option ->
+  unit
+(** Install the cross-shard fence hook (phase 1 of {!Volumes}' two-phase
+    epoch-merge). When set, a master fence that has gathered all
+    [nprocs] contributions computes — but does not adopt — its new root,
+    then calls the hook with the fence [name] and the frozen proposal
+    [ri]; participant responses, root adoption and the [setroot]
+    broadcast all wait until [release] runs. Applies arriving while a
+    fence is held are deferred behind it (and still counted by
+    {!intake_depth}, so admission control keeps the hold queue bounded).
+    A demotion or rejoin drops the hold: the parked participants'
+    idempotent retransmits re-aggregate at the successor master, which
+    re-prepares with the coordinator. *)
 
 (** {1 Failover and rejoin}
 
@@ -107,7 +130,8 @@ val load_routed :
     again it freezes, publishes a [hello], and thaws once the incumbent
     master's setroot brings it to the current epoch and version.
     Mastership is non-preemptive: a revived lower rank rejoins as a
-    slave. {!load_routed} families keep their static master. *)
+    slave. {!load_routed} families fail over the same way, with the
+    election preference in virtual-ring order (see {!load_routed}). *)
 
 val is_master : t -> bool
 

@@ -106,6 +106,45 @@ let setroot_of_json j =
     | Some oj -> List.map obj_of_json (Json.to_list oj)
     | None -> [] )
 
+(* --- Cross-shard fence (two-phase epoch-merge) ----------------------- *)
+
+(* Phase 1: a shard master froze its proposed root for a named
+   cross-shard fence and announces it to the coordinator plane. *)
+type prepare = { px_name : string; px_vol : int; px_ri : root_info }
+
+let prepare_to_json p =
+  Json.obj
+    (("name", Json.string p.px_name) :: ("vol", Json.int p.px_vol)
+    :: root_info_fields p.px_ri)
+
+let prepare_of_json j =
+  {
+    px_name = Json.to_string_v (Json.member "name" j);
+    px_vol = Json.to_int (Json.member "vol" j);
+    px_ri = root_info_of_json j;
+  }
+
+(* Phase 2's merged record: the N shard roots published under one
+   cross-shard fence epoch — the atomic cut observers reason about. *)
+type composite = { cx_name : string; cx_epoch : int; cx_roots : root_info array }
+
+let composite_to_json c =
+  Json.obj
+    [
+      ("name", Json.string c.cx_name);
+      ("xepoch", Json.int c.cx_epoch);
+      ( "roots",
+        Json.list (Array.to_list (Array.map root_info_to_json c.cx_roots)) );
+    ]
+
+let composite_of_json j =
+  {
+    cx_name = Json.to_string_v (Json.member "name" j);
+    cx_epoch = Json.to_int (Json.member "xepoch" j);
+    cx_roots =
+      Array.of_list (List.map root_info_of_json (Json.to_list (Json.member "roots" j)));
+  }
+
 let load_request sha = Json.obj [ ("s", Json.string (Sha1.to_hex sha)) ]
 let load_request_sha j = Sha1.of_hex (Json.to_string_v (Json.member "s" j))
 let load_reply v = Json.obj [ ("v", v) ]

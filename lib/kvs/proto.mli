@@ -56,6 +56,24 @@ val setroot_to_json : root_info -> objects:obj list -> Json.t
 
 val setroot_of_json : Json.t -> root_info * obj list
 
+(** {1 Cross-shard fence (two-phase epoch-merge)} *)
+
+type prepare = { px_name : string; px_vol : int; px_ri : root_info }
+(** Phase-1 announcement: volume [px_vol]'s master has gathered every
+    contribution of cross-shard fence [px_name] and frozen [px_ri] as
+    its proposed root — adoption and publication wait for phase 2. *)
+
+val prepare_to_json : prepare -> Json.t
+val prepare_of_json : Json.t -> prepare
+
+type composite = { cx_name : string; cx_epoch : int; cx_roots : root_info array }
+(** Phase-2 merged setroot record: the frozen roots of all shards,
+    published under one cross-shard fence epoch [cx_epoch] — the atomic
+    cut a reader can use to name a consistent state across volumes. *)
+
+val composite_to_json : composite -> Json.t
+val composite_of_json : Json.t -> composite
+
 val load_request : Sha1.digest -> Json.t
 val load_request_sha : Json.t -> Sha1.digest
 val load_reply : Json.t -> Json.t

@@ -212,6 +212,206 @@ let test_sharding_distributes_master_bytes () =
     true
     (sharded < single)
 
+(* --- Key validation and routing properties --------------------------------- *)
+
+let test_key_validation () =
+  let _, _, vt = make_world ~size:8 ~shards:4 () in
+  List.iter
+    (fun bad ->
+      (match Volumes.check_key bad with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "check_key accepted %S" bad);
+      (match Volumes.volume_for_key vt bad with
+      | Error _ -> ()
+      | Ok v -> Alcotest.failf "volume_for_key routed %S to %d" bad v);
+      match Volumes.volume_of_key vt bad with
+      | exception Invalid_argument _ -> ()
+      | v -> Alcotest.failf "volume_of_key routed %S to %d" bad v)
+    [ ""; "."; ".x"; "x."; "a..b"; ".a.b"; "a.b." ];
+  (* A put with an illegal key is a structured error, not a silent
+     routing onto one fixed shard. *)
+  let eng, _, vt = make_world ~size:8 ~shards:4 () in
+  run_clients eng
+    [
+      (fun () ->
+        let c = Volumes.client vt ~rank:5 in
+        match Volumes.put c ~key:".oops.k" (Json.int 1) with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "put accepted a key with an empty component");
+    ]
+
+let prop_legal_keys_route =
+  let _, _, vt = make_world ~size:8 ~shards:3 () in
+  let component = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (1 -- 8)) in
+  let key_gen =
+    QCheck.Gen.(map (String.concat ".") (list_size (1 -- 4) component))
+  in
+  let arb = QCheck.make ~print:(fun k -> k) key_gen in
+  QCheck.Test.make ~name:"every legal key routes to exactly one stable shard"
+    ~count:500 arb (fun key ->
+      match (Volumes.volume_for_key vt key, Volumes.volume_for_key vt key) with
+      | Ok a, Ok b ->
+        a = b && a >= 0
+        && a < Volumes.shards vt
+        (* …and only the first component decides. *)
+        && Volumes.volume_for_key vt (key ^ ".suffix") = Ok a
+      | _ -> false)
+
+(* --- Admission sheds on the fan-out path ------------------------------------ *)
+
+(* Regression: a busy shed from one volume's admission control must ride
+   the Session busy/backoff machinery and retry — not abort the whole
+   cross-shard fence. The client sits on volume 0's master, floods its
+   apply queue past [admission_max_intake], then fences all volumes:
+   volume 1 completes first and holds (phase 1) while volume 0 sheds,
+   backs off, retries, and completes — then both release. *)
+let test_fence_retries_admission_shed () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~rank_topology:Session.Direct ~size:8 () in
+  let config =
+    {
+      Kvs.default_config with
+      Kvs.apply_cpu_per_tuple = 5e-3;
+      admission_max_intake = 2;
+    }
+  in
+  let vt = Volumes.load sess ~config ~shards:2 () in
+  run_clients eng
+    [
+      (fun () ->
+        let api = Api.connect sess ~rank:0 in
+        (* Build an apply backlog at volume 0's master (this rank). *)
+        for i = 0 to 11 do
+          Api.rpc_async api ~timeout:5.0 ~attempts:1 ~topic:"kvs-0.mput"
+            (Json.obj
+               [
+                 ( "bindings",
+                   Json.list
+                     [
+                       Json.obj
+                         [
+                           ("key", Json.string (Printf.sprintf "flood.k%d" i));
+                           ("v", Json.int i);
+                         ];
+                     ] );
+               ])
+            ~reply:(fun _ -> ());
+          Proc.sleep 1e-4
+        done;
+        let c = Volumes.client vt ~rank:0 in
+        expect_ok "put" (Volumes.put c ~key:"flood.fk" (Json.int 99));
+        expect_ok "fence under admission pressure"
+          (Volumes.fence c ~name:"shedf" ~nprocs:1));
+    ];
+  check bool "the fan-out was shed and retried through the busy machinery" true
+    (Session.rpc_busy_retries sess > 0);
+  check bool "volume 0 did shed" true
+    (Kvs.admission_sheds (Volumes.instance vt ~volume:0 ~rank:0) > 0)
+
+(* --- Partial failure must not strand applied volumes ------------------------ *)
+
+(* Regression for the fold bug: when one volume's commit fails, volumes
+   that succeeded must still clear their pending tuples, so the caller's
+   retry re-sends only the failed volume's work (no double apply). A
+   fence parked at volume 0 (nprocs=2, one contribution) pins its intake
+   at the admission limit, so a concurrent commit touching volumes 0 and
+   1 fails on 0 (attempts exhausted against the shed) and succeeds on 1;
+   the second fence participant then unblocks everything and the retry
+   commits volume 0 alone. *)
+let test_partial_commit_failure_clears_applied () =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~rank_topology:Session.Direct ~size:8 () in
+  let config = { Kvs.default_config with Kvs.admission_max_intake = 1 } in
+  let vt = Volumes.load sess ~config ~shards:2 () in
+  let comp_of vol =
+    (* First path components landing on each volume. *)
+    let rec find i =
+      let c = Printf.sprintf "s%d" i in
+      if Volumes.volume_of_key vt (c ^ ".k") = vol then c else find (i + 1)
+    in
+    find 0
+  in
+  let c0 = comp_of 0 and c1 = comp_of 1 in
+  let fence_parked = Ivar.create () in
+  let commit_failed = Ivar.create () in
+  run_clients eng
+    [
+      (fun () ->
+        (* Participant 1 of 2: contributes at volume 0's master and
+           parks, pinning intake at the limit. *)
+        let c = Volumes.client vt ~rank:0 in
+        expect_ok "put" (Volumes.put c ~key:(c0 ^ ".p1") (Json.int 1));
+        Ivar.fill eng fence_parked ();
+        expect_ok "parked fence" (Volumes.fence c ~name:"park" ~nprocs:2));
+      (fun () ->
+        Proc.await fence_parked;
+        Proc.sleep 0.05;
+        let c = Volumes.client vt ~rank:2 in
+        expect_ok "put v0" (Volumes.put c ~key:(c0 ^ ".b") (Json.int 10));
+        expect_ok "put v1" (Volumes.put c ~key:(c1 ^ ".b") (Json.int 11));
+        (match Volumes.commit c with
+        | Ok _ -> Alcotest.fail "commit should fail while volume 0 is pinned"
+        | Error e ->
+          check bool "error names the failing volume" true
+            (try
+               ignore (Str.search_forward (Str.regexp_string "kvs-0") e 0);
+               true
+             with Not_found -> false));
+        Ivar.fill eng commit_failed ();
+        (* Retry after the fence unparks: only volume 0's tuples are
+           re-sent (volume 1 cleared on its success). *)
+        Proc.sleep 0.2;
+        ignore (expect_ok "retry commit" (Volumes.commit c) : int);
+        check json_t "v0 write readable" (Json.int 10)
+          (expect_ok "get" (Volumes.get c ~key:(c0 ^ ".b")));
+        check json_t "v1 write readable" (Json.int 11)
+          (expect_ok "get" (Volumes.get c ~key:(c1 ^ ".b"))));
+      (fun () ->
+        Proc.await commit_failed;
+        (* Participant 2 of 2 completes the parked fence. *)
+        let c = Volumes.client vt ~rank:4 in
+        expect_ok "unpark fence" (Volumes.fence c ~name:"park" ~nprocs:2));
+    ];
+  (* Volume 1 applied the commit exactly once — the retry must not have
+     re-sent its already-applied tuple (a fence with no tuples does not
+     bump the version). *)
+  let v1 = Volumes.instance vt ~volume:1 ~rank:(Volumes.master_rank vt 1) in
+  check int "volume 1 applied the commit exactly once" 1 (Kvs.version v1)
+
+(* --- Cross-shard fence accessors -------------------------------------------- *)
+
+let test_cross_shard_composite () =
+  let eng, sess, vt = make_world ~size:8 ~shards:2 () in
+  let clients = [ 3; 6 ] in
+  let bodies =
+    List.map
+      (fun r () ->
+        let c = Volumes.client vt ~rank:r in
+        expect_ok "put" (Volumes.put c ~key:(Printf.sprintf "x%d.k" r) (Json.int r));
+        expect_ok "fence" (Volumes.fence c ~name:"merge" ~nprocs:2))
+      clients
+  in
+  run_clients eng bodies;
+  (* Every rank derived the same composite under the same epoch. *)
+  for r = 0 to Session.size sess - 1 do
+    check int (Printf.sprintf "xfence epoch at rank %d" r) 1
+      (Volumes.xfence_epoch vt ~rank:r);
+    match Volumes.last_composite vt ~rank:r with
+    | None -> Alcotest.failf "rank %d has no composite" r
+    | Some cx ->
+      check Alcotest.string "composite names the fence" "merge"
+        cx.Flux_kvs.Proto.cx_name;
+      check int "composite spans both shards" 2
+        (Array.length cx.Flux_kvs.Proto.cx_roots);
+      Array.iteri
+        (fun vol (ri : Flux_kvs.Proto.root_info) ->
+          let m = Volumes.instance vt ~volume:vol ~rank:(Volumes.master_rank vt vol) in
+          check int
+            (Printf.sprintf "composite root %d matches volume version" vol)
+            (Kvs.version m) ri.Flux_kvs.Proto.ri_version)
+        cx.Flux_kvs.Proto.cx_roots
+  done
+
 let () =
   Alcotest.run "flux_volumes"
     [
@@ -221,6 +421,8 @@ let () =
           Alcotest.test_case "masters spread" `Quick test_masters_spread;
           Alcotest.test_case "stable key routing" `Quick test_volume_of_key_stable;
           Alcotest.test_case "invalid shards" `Quick test_volumes_invalid_shards;
+          Alcotest.test_case "key validation" `Quick test_key_validation;
+          QCheck_alcotest.to_alcotest prop_legal_keys_route;
         ] );
       ( "operations",
         [
@@ -235,5 +437,14 @@ let () =
         [
           Alcotest.test_case "master bytes divided" `Quick
             test_sharding_distributes_master_bytes;
+        ] );
+      ( "cross-shard",
+        [
+          Alcotest.test_case "fence retries through admission sheds" `Quick
+            test_fence_retries_admission_shed;
+          Alcotest.test_case "partial commit failure clears applied volumes" `Quick
+            test_partial_commit_failure_clears_applied;
+          Alcotest.test_case "composite epoch-merge record" `Quick
+            test_cross_shard_composite;
         ] );
     ]
