@@ -1,4 +1,4 @@
-.PHONY: all build test fmt chaos overload shard check clean
+.PHONY: all build test fmt chaos overload shard ckpt check clean
 
 all: build
 
@@ -44,10 +44,20 @@ shard:
 	dune exec test/test_shard.exe -- -q
 	dune exec bench/main.exe -- shard
 
+# Checkpoint/requeue sweep: 16 seeded kill schedules (worker mid-job,
+# KVS master mid-snapshot, worker between a committed checkpoint and
+# the next fence) with zero acked-write loss, restart-equivalent reads,
+# monotonic recovery points and same-seed determinism asserted per run,
+# plus the checkpoint-overhead and recovery-vs-depth bench
+# (BENCH_CKPT.json).
+ckpt:
+	dune exec test/test_ckpt.exe -- -q
+	dune exec bench/main.exe -- ckpt
+
 # The pre-merge gate: format (when available), build with warnings
 # promoted to errors under lib/ (see lib/dune), and run every test,
-# then the chaos, overload and shard sweeps.
-check: fmt build test chaos overload shard
+# then the chaos, overload, shard and ckpt sweeps.
+check: fmt build test chaos overload shard ckpt
 
 clean:
 	dune clean

@@ -3,7 +3,7 @@
 
    Usage: main.exe [experiment...] where experiment is one of
      table1 fig2 fig3 fig4a fig4b sweep model ablate-sched ablate-fanout
-     ablate-shards faults chaos micro overload shard observe perf
+     ablate-shards faults chaos micro overload shard ckpt observe perf
    No arguments runs everything. Scales can be reduced with
    BENCH_FAST=1 for a quick pass. *)
 
@@ -29,6 +29,7 @@ module Central = Flux_baseline.Central
 module Chaos = Flux_kap.Chaos
 module Overload = Flux_kap.Overload
 module Shard = Flux_kap.Shard
+module Ckpt = Flux_kap.Ckpt
 module Export = Flux_trace.Export
 
 let fast = Sys.getenv_opt "BENCH_FAST" <> None
@@ -742,6 +743,94 @@ let shard () =
   close_out oc;
   Printf.printf "  wrote BENCH_SHARD.json (%d shard counts)\n%!" (List.length rows)
 
+(* --- Ckpt: checkpoint overhead + recovery time vs snapshot depth ---------- *)
+
+let ckpt () =
+  header "Ckpt: checkpoint overhead vs plain fences, recovery time vs checkpoint depth";
+  let pr_violations label r =
+    List.iter (fun v -> Printf.printf "    %s violation: %s\n%!" label v) r.Ckpt.r_violations
+  in
+  (* Curve 1: fault-free runs, manifests on vs off. The manifest put +
+     commit after each checkpoint fence is the whole overhead of making
+     the fence a durable recovery point. *)
+  let epochs = if fast then 4 else 8 in
+  let base = { Ckpt.default with Ckpt.kill = None; epochs } in
+  let plain = Ckpt.run { base with Ckpt.manifests = false } in
+  let durable = Ckpt.run { base with Ckpt.manifests = true } in
+  pr_violations "plain" plain;
+  pr_violations "durable" durable;
+  let overhead_pct =
+    if plain.Ckpt.r_ckpt_mean > 0.0 then
+      100.0 *. ((durable.Ckpt.r_ckpt_mean /. plain.Ckpt.r_ckpt_mean) -. 1.0)
+    else 0.0
+  in
+  Printf.printf "%-10s %14s %14s\n" "fences" "mean(s)" "p50(s)";
+  Printf.printf "%-10s %14.6f %14.6f\n" "plain" plain.Ckpt.r_ckpt_mean plain.Ckpt.r_ckpt_p50;
+  Printf.printf "%-10s %14.6f %14.6f\n%!" "durable" durable.Ckpt.r_ckpt_mean
+    durable.Ckpt.r_ckpt_p50;
+  Printf.printf "  checkpoint overhead over a plain fence: %+.1f%%\n%!" overhead_pct;
+  (* Curve 2: kill a worker right after epoch [epochs-1] commits its
+     manifest and measure first-kill-to-completion as checkpoint depth
+     grows. Because a recovery point is just a root hash, resuming from
+     a deep manifest costs the same as a shallow one — recovery time
+     should stay flat while the snapshot grows. The seed is chosen so
+     the window assassin's target epoch is [epochs - 1]. *)
+  let depths = if fast then [ 2; 4 ] else [ 2; 4; 8 ] in
+  Printf.printf "%-8s %12s %10s %12s %10s %10s\n" "epochs" "recovery(s)" "attempts"
+    "resume_from" "snap_objs" "snap_bytes";
+  let rows =
+    List.map
+      (fun epochs ->
+        let r =
+          Ckpt.run
+            { Ckpt.default with
+              Ckpt.kill = Some Ckpt.Between_ckpt_and_fence;
+              epochs;
+              seed = (2 * epochs) - 3
+            }
+        in
+        pr_violations (Printf.sprintf "depth-%d" epochs) r;
+        let resume_from =
+          match List.rev r.Ckpt.r_resume_epochs with e :: _ -> e | [] -> 0
+        in
+        Printf.printf "%-8d %12.3f %10d %12d %10d %10d\n%!" epochs r.Ckpt.r_recovery_time
+          r.Ckpt.r_attempts resume_from r.Ckpt.r_snapshot_objects r.Ckpt.r_snapshot_bytes;
+        Json.obj
+          [
+            ("epochs", Json.int epochs);
+            ("recovery_time", Json.float r.Ckpt.r_recovery_time);
+            ("attempts", Json.int r.Ckpt.r_attempts);
+            ("requeues", Json.int r.Ckpt.r_requeues);
+            ("resume_from", Json.int resume_from);
+            ("acked_epoch", Json.int r.Ckpt.r_acked_epoch);
+            ("snapshot_objects", Json.int r.Ckpt.r_snapshot_objects);
+            ("snapshot_bytes", Json.int r.Ckpt.r_snapshot_bytes);
+            ("violations", Json.int (List.length r.Ckpt.r_violations));
+          ])
+      depths
+  in
+  let doc =
+    Json.obj
+      [
+        ("experiment", Json.string "ckpt");
+        ("nodes", Json.int Ckpt.default.Ckpt.size);
+        ("workers", Json.int (List.length Ckpt.default.Ckpt.workers));
+        ("overhead_epochs", Json.int epochs);
+        ("plain_fence_mean", Json.float plain.Ckpt.r_ckpt_mean);
+        ("plain_fence_p50", Json.float plain.Ckpt.r_ckpt_p50);
+        ("durable_ckpt_mean", Json.float durable.Ckpt.r_ckpt_mean);
+        ("durable_ckpt_p50", Json.float durable.Ckpt.r_ckpt_p50);
+        ("overhead_pct", Json.float overhead_pct);
+        ("tier", Json.string (if fast then "fast" else "paper-scale"));
+        ("recovery_rows", Json.list rows);
+      ]
+  in
+  let oc = open_out "BENCH_CKPT.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_CKPT.json (%d depths)\n%!" (List.length depths)
+
 (* --- Observe: traced fence critical path + metrics registry export -------- *)
 
 let observe () =
@@ -894,6 +983,7 @@ let experiments =
     ("micro", micro);
     ("overload", overload);
     ("shard", shard);
+    ("ckpt", ckpt);
     ("observe", observe);
     ("perf", perf);
   ]

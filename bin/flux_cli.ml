@@ -591,12 +591,91 @@ let trace_cmd =
     Term.(
       ret (const run $ nodes_arg $ fanout_arg $ ppn_arg $ perfetto_arg $ metrics_arg $ full_arg))
 
+(* --- flux ckpt ----------------------------------------------------------- *)
+
+let ckpt_cmd =
+  let module Ckpt = Flux_kap.Ckpt in
+  let ppn_arg =
+    Arg.(value & opt int 1 & info [ "ppn" ] ~docv:"PPN" ~doc:"Tasks per worker node.")
+  in
+  let epochs_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "epochs" ] ~docv:"EPOCHS" ~doc:"Checkpoint epochs the job runs through.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "interval" ] ~docv:"KEYS"
+          ~doc:"Work between checkpoints: keys each task writes per epoch.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Kill-schedule seed.")
+  in
+  let kill_arg =
+    Arg.(
+      value & opt string "node"
+      & info [ "kill" ] ~docv:"KIND"
+          ~doc:"Kill schedule: node (worker mid-job), master (KVS master mid-snapshot), \
+                window (worker between checkpoint and fence), or none (fault-free).")
+  in
+  let run nodes fanout ppn epochs interval seed kill =
+    (* Rank 0 (wexec master), the driver and the capture rank are never
+       killable, so a meaningful schedule needs at least one worker rank
+       strictly between them: 6 nodes. *)
+    checked
+      [
+        at_least "-N/--nodes" 6 nodes;
+        at_least "-k/--fanout" 2 fanout;
+        positive "--ppn" ppn;
+        positive "--epochs" epochs;
+        positive "--interval" interval;
+        positive "--seed" seed;
+        one_of "--kill" [ "node"; "master"; "window"; "none" ] kill;
+      ]
+    @@ fun () ->
+    let kill =
+      match kill with
+      | "node" -> Some Ckpt.Node_mid_job
+      | "master" -> Some Ckpt.Master_mid_snapshot
+      | "window" -> Some Ckpt.Between_ckpt_and_fence
+      | _ -> None
+    in
+    let workers = List.init (min 4 (nodes - 5)) (fun i -> i + 2) in
+    let r =
+      Ckpt.run
+        {
+          Ckpt.default with
+          Ckpt.size = nodes;
+          fanout;
+          kill;
+          workers;
+          per_rank = ppn;
+          epochs;
+          keys_per_epoch = interval;
+          seed;
+        }
+    in
+    Format.printf "%a@." Ckpt.pp_report r;
+    if r.Ckpt.r_violations = [] then `Ok ()
+    else `Error (false, "checkpoint schedule ended with violations")
+  in
+  Cmd.v
+    (Cmd.info "ckpt"
+       ~doc:
+         "Run a checkpointing job under a seeded kill schedule and report recovery \
+          behaviour (attempts, resume points, snapshot size).")
+    Term.(
+      ret
+        (const run $ nodes_arg $ fanout_arg $ ppn_arg $ epochs_arg $ interval_arg $ seed_arg
+       $ kill_arg))
+
 let main_cmd =
   let doc = "command-line access to the simulated Flux framework" in
   Cmd.group (Cmd.info "flux" ~version:"0.1.0" ~doc)
     [
       ping_cmd; topo_cmd; kvs_cmd; resource_cmd; schedule_cmd; kap_cmd; exec_cmd;
-      barrier_cmd; down_cmd; watch_cmd; volumes_cmd; trace_cmd;
+      barrier_cmd; down_cmd; watch_cmd; volumes_cmd; trace_cmd; ckpt_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -80,10 +80,27 @@ let fence ?(timeout = infinity) t ~name ~nprocs =
   | Ok v ->
     t.pending <- [];
     Ok v
-  | Error e -> Error e
+  | Error e ->
+    (* This participant is abandoning the collective (typically its
+       deadline fired), so the fence can never complete: clear the
+       name's aggregation state up the tree — without the abort, this
+       handle's contribution stays parked in the master's pending map
+       and a retried fence under the same name collides with it.
+       Asynchronous and best effort: if the fence in fact completed
+       (only this reply was lost), the name is no longer registered
+       anywhere and the abort is a no-op. *)
+    Api.rpc_async t.api ~timeout:5.0 ~topic:"kvs.fenceabort"
+      (Json.obj [ ("name", Json.string name) ])
+      ~reply:(fun _ -> ());
+    Error e
 
 let get_version t =
   version_reply (Api.rpc t.api ~idempotent:true ~topic:"kvs.getversion" Json.null)
+
+let get_root t =
+  match Api.rpc t.api ~idempotent:true ~topic:"kvs.getroot" Json.null with
+  | Ok payload -> Ok (Proto.commit_reply_decode payload)
+  | Error e -> Error e
 
 let wait_version t v =
   (* Blocks until the store reaches version [v]: no deadline. *)

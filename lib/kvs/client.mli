@@ -38,10 +38,18 @@ val fence : ?timeout:float -> t -> name:string -> nprocs:int -> (int, string) re
     names must be fresh (not reused by an earlier fence). By default a
     fence blocks forever; pass [timeout] to abandon one whose aggregated
     contributions were lost with a failed master (the transaction is
-    then indeterminate — see {!abort}). *)
+    then indeterminate — see {!abort}). An abandoned fence is aborted up
+    the tree: the name's parked aggregation state is cleared at every
+    hop (so the name may be retried fresh) and peers still blocked on it
+    fail with a ["fence aborted"] error rather than hanging — if the
+    fence had already completed, the abort is a no-op. *)
 
 val get_version : t -> (int, string) result
 (** Current root version at the local slave. *)
+
+val get_root : t -> (Proto.root_info, string) result
+(** The local broker's current (epoch, version, root) — the snapshot
+    name a checkpoint manifest records. *)
 
 val wait_version : t -> int -> (unit, string) result
 (** Block until the local root version is at least the argument — the

@@ -146,6 +146,11 @@ let metric_observe t name v =
   | Some m -> Metrics.observe m ~name ~rank:(Session.rank t.b) v
   | None -> ()
 
+let metric_add t name n =
+  match t.metrics with
+  | Some m -> Metrics.add m ~name ~rank:(Session.rank t.b) n
+  | None -> ()
+
 (* A child span under [parent], when both a tracer and a parent exist. *)
 let child_span t parent =
   match (t.tracer, parent) with
@@ -702,6 +707,18 @@ let master_fence_contribute t ~name ~nprocs ~count ~tuples ~objects req =
   | None -> ());
   master_fence_check t name mf
 
+(* A fence abort is terminal for the collective: the error must not be
+   refolded into a retry loop (that would resurrect exactly the stale
+   aggregation state the abort exists to clear), so every abort reply
+   embeds this marker and the retry arms test for it. *)
+let abort_marker = "fence aborted: "
+let fence_abort_error name = abort_marker ^ name
+
+let is_abort_error e =
+  let n = String.length abort_marker and m = String.length e in
+  let rec at i = i + n <= m && (String.equal (String.sub e i n) abort_marker || at (i + 1)) in
+  at 0
+
 let rec fence_forward t name fs =
   let tuples = List.rev fs.fs_tuples in
   let objects =
@@ -762,12 +779,14 @@ let rec fence_forward t name fs =
         | Ok reply ->
           apply_root t (Proto.commit_reply_decode reply);
           List.iter (fun req -> respond_result t req (Ok reply)) pending
-        | Error e when fs.fs_retries < 12 ->
+        | Error e when fs.fs_retries < 12 && not (is_abort_error e) ->
           (* Failover-transient errors (the parent died mid-collective,
              the master was deposed, the successor is still freezing, a
              busy budget ran out): keep the contributions and try again
              once the topology and mastership have settled — fences
-             degrade to latency, not errors. *)
+             degrade to latency, not errors. (Abort errors are terminal:
+             refolding them would re-register the very state the abort
+             cleared.) *)
           fs.fs_retries <- fs.fs_retries + 1;
           refold ();
           trace t ~name:"flush.retry"
@@ -947,6 +966,51 @@ let handle_fence t (req : Message.t) =
     fence_contribute t ~name ~nprocs ~count:1 ~tuples ~objects ~from_child:None (Some req)
   end
 
+(* A participant abandoned the fence (its client-side deadline fired):
+   clear the name's aggregation state at every hop so a retried fence
+   with the same name cannot collide with the aborted instance's parked
+   contributions, and fail the peers still parked on it — the fence is
+   all-or-nothing, so once one participant is gone it can never
+   complete. Best effort: if the fence in fact completed before the
+   abort arrived, the name is no longer registered and this is a no-op
+   (the abort can therefore never tear a committed fence). A fence
+   frozen for the cross-shard merge is left alone — it has already
+   aggregated completely and the coordinator will release it. *)
+let handle_fenceabort t (req : Message.t) =
+  let name = Json.to_string_v (Json.member "name" req.Message.payload) in
+  let held_here = match t.held with Some (n, _) -> String.equal n name | None -> false in
+  if not held_here then begin
+    trace t ~name:"fence.abort" ?ctx:req.Message.trace ~fields:[ ("name", Json.string name) ] ();
+    (match Hashtbl.find_opt t.fences name with
+    | Some fs ->
+      let parked = fs.fs_pending in
+      fs.fs_count <- 0;
+      fs.fs_tuples <- [];
+      Hashtbl.reset fs.fs_objects;
+      fs.fs_pending <- [];
+      fs.fs_ctx <- None;
+      Hashtbl.remove t.fences name;
+      metric_incr t "kvs.fence.abort";
+      List.iter (fun r -> respond_result t r (Error (fence_abort_error name))) parked
+    | None -> ());
+    if t.master then begin
+      match Hashtbl.find_opt t.master_fences name with
+      | Some mf ->
+        Hashtbl.remove t.master_fences name;
+        metric_incr t "kvs.fence.abort";
+        List.iter (fun r -> respond_result t r (Error (fence_abort_error name))) mf.mf_pending
+      | None -> ()
+    end
+  end;
+  if t.master || held_here then Session.respond t.b req Json.null
+  else
+    (* Propagate toward the master so interior aggregates and the
+       master's pending map clear too; answer once the upstream hop
+       resolves either way. *)
+    send_up t ~idempotent:true ~timeout:5.0 ~method_:"fenceabort"
+      (Json.obj [ ("name", Json.string name) ])
+      ~reply:(fun _ -> Session.respond t.b req Json.null)
+
 (* Atomic put-and-commit of a binding list: used by services (mon,
    resvc, provenance) that have no client-side transaction state. *)
 let handle_mput t (req : Message.t) =
@@ -1021,6 +1085,109 @@ let handle_waitversion t (req : Message.t) =
 
 let handle_getroot t (req : Message.t) =
   Session.respond t.b req (Proto.commit_reply (current_ri t))
+
+(* --- Snapshot / restore ---------------------------------------------------------- *)
+
+(* Serialize the object store reachable from this instance's current
+   root. A master holds every reachable object by construction; a slave
+   may not (its cache is lossy), in which case the walk reports the
+   first unavailable object instead of fabricating a partial store.
+   CPU-time metrics use host time, not virtual time: the walk happens
+   between simulation events, so its real cost is what matters. *)
+let snapshot t =
+  let t0 = Sys.time () in
+  let seen = Hashtbl.create 256 in
+  let objects = ref [] in
+  let missing = ref None in
+  let rec walk ~dir sha =
+    let h = hex sha in
+    if not (Hashtbl.mem seen h) then begin
+      match lookup_obj t sha with
+      | None -> if !missing = None then missing := Some h
+      | Some v ->
+        Hashtbl.replace seen h ();
+        objects := (h, v) :: !objects;
+        if dir then
+          List.iter
+            (fun (_, ent) ->
+              match Tree.dirent_ref ent with
+              | `Dir s -> walk ~dir:true s
+              | `File s -> walk ~dir:false s
+              | `Val _ -> ())
+            (Tree.dir_entries v)
+    end
+  in
+  match walk ~dir:true t.root with
+  | exception Json.Type_error m ->
+    Error (Printf.sprintf "%s: snapshot: malformed directory object: %s" t.routing.rt_service m)
+  | () -> (
+    match !missing with
+    | Some h ->
+      Error
+        (Printf.sprintf "%s: snapshot: object %s not held at rank %d" t.routing.rt_service h
+           (Session.rank t.b))
+    | None ->
+      let snap =
+        {
+          Snapshot.s_service = t.routing.rt_service;
+          s_root = t.root;
+          s_version = t.version;
+          s_epoch = t.epoch;
+          s_composite = None;
+          s_objects = List.rev !objects;
+        }
+      in
+      metric_incr t "ckpt.snapshot";
+      metric_add t "ckpt.bytes" (Snapshot.objects_bytes snap);
+      metric_observe t "ckpt.snapshot.duration" (Sys.time () -. t0);
+      Ok snap)
+
+(* Rebuild this instance's store from a verified snapshot and announce
+   the restored root to every slave. Only the acting master may restore
+   (the authoritative store is what is being rebuilt), and only forward:
+   a snapshot older than (or divergent from) the store's current version
+   is refused rather than silently losing acked writes. *)
+let restore t (snap : Snapshot.t) =
+  let t0 = Sys.time () in
+  if not t.master then
+    Error (t.routing.rt_service ^ ": restore requires the acting master")
+  else
+    match Snapshot.verify snap with
+    | Error e -> Error (Snapshot.error_to_string e)
+    | Ok () ->
+      if
+        snap.Snapshot.s_version < t.version
+        || (snap.Snapshot.s_version = t.version
+            && t.version > 0
+            && not (Sha1.equal snap.Snapshot.s_root t.root))
+      then
+        Error
+          (Printf.sprintf "%s: refusing restore: snapshot v%d is behind or divergent from store v%d"
+             t.routing.rt_service snap.Snapshot.s_version t.version)
+      else begin
+        List.iter (fun (h, v) -> cache_put t (Sha1.of_hex h) v) snap.Snapshot.s_objects;
+        apply_root t
+          {
+            Proto.ri_epoch = Int.max t.epoch snap.Snapshot.s_epoch;
+            ri_master = Session.rank t.b;
+            ri_version = snap.Snapshot.s_version;
+            ri_root = snap.Snapshot.s_root;
+          };
+        Session.publish t.b
+          ~topic:(t.routing.rt_service ^ ".setroot")
+          (Proto.setroot_to_json (current_ri t) ~objects:[]);
+        trace t ~name:"restore"
+          ~fields:
+            [
+              ("version", Json.int t.version);
+              ("objects", Json.int (List.length snap.Snapshot.s_objects));
+            ]
+          ();
+        metric_incr t "ckpt.restore";
+        metric_add t "ckpt.bytes" (Snapshot.objects_bytes snap);
+        metric_observe t "ckpt.restore.duration" (Sys.time () -. t0);
+        Ok ()
+      end
 
 (* --- Freeze / dispatch ---------------------------------------------------------- *)
 
@@ -1128,6 +1295,7 @@ let handle_request t (req : Message.t) =
     | "getversion" -> handle_getversion t req
     | "waitversion" -> handle_waitversion t req
     | "getroot" -> handle_getroot t req
+    | "fenceabort" -> handle_fenceabort t req
     | m ->
       Session.respond_error t.b req
         (Printf.sprintf "%s: unknown method %S" t.routing.rt_service m))

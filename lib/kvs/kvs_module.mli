@@ -171,6 +171,31 @@ val admission_sheds : t -> int
 val expire_cache : t -> unit
 (** Drop every clean cached object (simulates the idle-expiry sweep). *)
 
+(** {1 Snapshot / restore}
+
+    The content-addressed design makes a snapshot *be* a root hash; these
+    walk the reachable object set behind it into a durable serialized
+    store and back (see {!Snapshot}). Both are instantaneous in virtual
+    time — they model an out-of-band dump/load, not wire traffic; the
+    wire-level equivalent is {!Snapshot.capture}. *)
+
+val snapshot : t -> (Snapshot.t, string) result
+(** Serialize every object reachable from this instance's current root.
+    The master holds all of them by construction; on a slave the walk
+    fails cleanly if its lossy cache is missing one. Updates the
+    [ckpt.snapshot] / [ckpt.bytes] counters and the
+    [ckpt.snapshot.duration] histogram when metrics are attached. *)
+
+val restore : t -> Snapshot.t -> (unit, string) result
+(** Rebuild the authoritative store from a verified snapshot, adopt its
+    (epoch, version, root), and announce the restored root to every
+    slave via [setroot]. Master only, forward only: a snapshot behind
+    (or divergent from) the current version is refused — restoring must
+    never silently lose acked writes. Re-verifies integrity, so a
+    corrupt store of unknown provenance returns the structured error
+    text rather than poisoning the store. Updates [ckpt.restore] /
+    [ckpt.bytes] / [ckpt.restore.duration] when metrics are attached. *)
+
 val set_tracer : t -> Flux_trace.Tracer.t option -> unit
 (** Emit category ["kvs"] events: one per handled request method
     (put/get/commit/fence/flush/load/...) with the rank and the

@@ -68,6 +68,21 @@ val last_composite : t -> rank:int -> Proto.composite option
 (** The most recent merged setroot record [rank] derived: the frozen
     roots of all volumes under one cross-shard epoch. *)
 
+(** {1 Snapshot / restore} *)
+
+val snapshot : t -> (Snapshot.t, string) result
+(** One serialized store spanning every volume: the union of each acting
+    master's reachable object set (content addressing dedups shared
+    objects) plus a {!Proto.composite} record naming each volume's
+    (epoch, version, root) — the same record shape the cross-shard fence
+    publishes, so the snapshot names one consistent cut. *)
+
+val restore : t -> Snapshot.t -> (unit, string) result
+(** Rebuild each volume's acting master from its composite member root
+    (see {!Kvs_module.restore} for the verification and forward-only
+    rules). Fails if the snapshot's volume count differs from this
+    store's. *)
+
 (** {1 Client} *)
 
 type client

@@ -6,6 +6,8 @@ module Engine = Flux_sim.Engine
 module Proc = Flux_sim.Proc
 module Api = Flux_cmb.Api
 module Client = Flux_kvs.Client
+module Kproto = Flux_kvs.Proto
+module Sha1 = Flux_sha1.Sha1
 
 type proc_ctx = {
   px_rank : int;
@@ -33,9 +35,12 @@ type job_local = {
 }
 
 type master_job = {
-  mutable mj_total : int; (* expected task completions *)
+  mj_total : int; (* expected task completions *)
   mutable mj_done : int;
   mutable mj_failed : int;
+  mj_per_rank : int;
+  mj_ranks : int list; (* participant ranks at launch *)
+  mj_rank_done : (int, int) Hashtbl.t; (* completions attributed per rank *)
 }
 
 type t = {
@@ -48,17 +53,38 @@ type t = {
 let running_tasks t =
   Hashtbl.fold (fun _ jl acc -> acc + jl.jl_remaining) t.jobs 0
 
-(* Report local completions to the root (Pass-chains up the tree). *)
+(* Report local completions to the root (Pass-chains up the tree). The
+   reporting rank rides along so the master can attribute completions
+   per rank — the bookkeeping that lets a dead rank's unreported tasks
+   be accounted as failures exactly once. *)
 let report_done t ~jobid ~count ~failed =
   Session.request_from_module t.b ~topic:"wexec.done"
     (Json.obj
-       [ ("jobid", Json.string jobid); ("count", Json.int count); ("failed", Json.int failed) ])
+       [
+         ("jobid", Json.string jobid);
+         ("count", Json.int count);
+         ("failed", Json.int failed);
+         ("rank", Json.int (Session.rank t.b));
+       ])
     ~reply:(fun _ -> ())
 
-let master_account t ~jobid ~count ~failed =
+(* When the reporting rank is known, its contribution is clamped to the
+   per-rank task count: a completion report racing the same rank's
+   death-accounting (either order) can then never double-count, so the
+   job completes exactly once with consistent totals. *)
+let master_account t ~jobid ?rank ~count ~failed () =
   match Hashtbl.find_opt t.master_jobs jobid with
   | None -> () (* unknown job: stale completion after kill cleanup *)
   | Some mj ->
+    let count, failed =
+      match rank with
+      | None -> (count, failed)
+      | Some r ->
+        let prior = Option.value ~default:0 (Hashtbl.find_opt mj.mj_rank_done r) in
+        let take = min count (mj.mj_per_rank - prior) in
+        Hashtbl.replace mj.mj_rank_done r (prior + take);
+        (take, min failed take)
+    in
     mj.mj_done <- mj.mj_done + count;
     mj.mj_failed <- mj.mj_failed + failed;
     if mj.mj_done >= mj.mj_total then begin
@@ -82,7 +108,8 @@ let task_finished t ~jobid ~failed =
       let count = List.length jl.jl_pids in
       let failed_n = jl.jl_failed in
       Hashtbl.remove t.jobs jobid;
-      if t.master then master_account t ~jobid ~count ~failed:failed_n
+      if t.master then
+        master_account t ~jobid ~rank:(Session.rank t.b) ~count ~failed:failed_n ()
       else report_done t ~jobid ~count ~failed:failed_n
     end
 
@@ -93,7 +120,8 @@ let start_local_tasks t ~jobid ~prog ~args ~per_rank ~rank_index ~ntasks =
   match Hashtbl.find_opt programs prog with
   | None ->
     (* Unknown program: report all local tasks as failed. *)
-    if t.master then master_account t ~jobid ~count:per_rank ~failed:per_rank
+    if t.master then
+      master_account t ~jobid ~rank:(Session.rank t.b) ~count:per_rank ~failed:per_rank ()
     else report_done t ~jobid ~count:per_rank ~failed:per_rank
   | Some body ->
     let jl = { jl_pids = []; jl_remaining = per_rank; jl_failed = 0; jl_killed = false } in
@@ -170,9 +198,40 @@ let handle_kill t jobid =
       let count = List.length jl.jl_pids in
       let failed = jl.jl_failed + jl.jl_remaining in
       Hashtbl.remove t.jobs jobid;
-      if t.master then master_account t ~jobid ~count ~failed
+      if t.master then master_account t ~jobid ~rank:(Session.rank t.b) ~count ~failed ()
       else report_done t ~jobid ~count ~failed
     end
+
+(* A rank was marked down. At the master: account the dead rank's
+   not-yet-reported tasks of every job it participates in as failures —
+   without this, [run] blocks forever on a completion total that can no
+   longer be reached. At the dead rank itself: destroy local tasks
+   silently (its broker is gone; nothing can be reported), so a later
+   revival cannot resume them and double-report. *)
+let on_rank_down t r =
+  let self = Session.rank t.b in
+  if r = self then begin
+    let eng = Session.b_engine t.b in
+    Hashtbl.iter
+      (fun _ jl ->
+        jl.jl_killed <- true;
+        List.iter (fun pid -> Proc.kill eng pid) jl.jl_pids)
+      t.jobs;
+    Hashtbl.reset t.jobs
+  end
+  else if t.master && not (Session.is_down (Session.session_of t.b) self) then begin
+    let affected =
+      Hashtbl.fold
+        (fun jobid mj acc -> if List.mem r mj.mj_ranks then (jobid, mj) :: acc else acc)
+        t.master_jobs []
+    in
+    List.iter
+      (fun (jobid, mj) ->
+        let prior = Option.value ~default:0 (Hashtbl.find_opt mj.mj_rank_done r) in
+        let missing = mj.mj_per_rank - prior in
+        if missing > 0 then master_account t ~jobid ~rank:r ~count:missing ~failed:missing ())
+      affected
+  end
 
 let module_of t =
   {
@@ -185,17 +244,34 @@ let module_of t =
             let p = req.Message.payload in
             let jobid = Json.to_string_v (Json.member "jobid" p) in
             let per_rank = Json.to_int (Json.member "per_rank" p) in
-            let nranks = List.length (Json.to_list (Json.member "ranks" p)) in
+            let ranks = List.map Json.to_int (Json.to_list (Json.member "ranks" p)) in
+            let nranks = List.length ranks in
             if Hashtbl.mem t.master_jobs jobid then begin
               Session.respond_error t.b req (Printf.sprintf "job %S already running" jobid);
               Session.Consumed
             end
             else begin
               Hashtbl.replace t.master_jobs jobid
-                { mj_total = per_rank * nranks; mj_done = 0; mj_failed = 0 };
+                {
+                  mj_total = per_rank * nranks;
+                  mj_done = 0;
+                  mj_failed = 0;
+                  mj_per_rank = per_rank;
+                  mj_ranks = ranks;
+                  mj_rank_done = Hashtbl.create 8;
+                };
               (* Broadcast the launch over the event plane. *)
               Session.publish t.b ~topic:("wexec.exec." ^ jobid) p;
               Session.respond t.b req Json.null;
+              (* Ranks already dead at launch never start their tasks:
+                 account them as failed now so the completion total is
+                 reachable. *)
+              let sess = Session.session_of t.b in
+              List.iter
+                (fun r ->
+                  if Session.is_down sess r then
+                    master_account t ~jobid ~rank:r ~count:per_rank ~failed:per_rank ())
+                ranks;
               Session.Consumed
             end
           end
@@ -203,10 +279,15 @@ let module_of t =
         | "done" ->
           if t.master then begin
             let p = req.Message.payload in
+            let rank =
+              match Json.member_opt "rank" p with Some r -> Some (Json.to_int r) | None -> None
+            in
             master_account t
               ~jobid:(Json.to_string_v (Json.member "jobid" p))
+              ?rank
               ~count:(Json.to_int (Json.member "count" p))
-              ~failed:(Json.to_int (Json.member "failed" p));
+              ~failed:(Json.to_int (Json.member "failed" p))
+              ();
             Session.respond t.b req Json.null;
             Session.Consumed
           end
@@ -233,6 +314,12 @@ let load sess () =
         })
   in
   Session.load_module sess (fun b -> module_of instances.(Session.rank b));
+  (* Down-node detection rides the session's liveness transitions (fed
+     by {!Live} heartbeats or injected by a harness): the master
+     accounts a dead rank's unfinished tasks as failures so completion
+     events still fire, and a dead rank destroys its local tasks. *)
+  Session.add_liveness_watch sess (fun r up ->
+      if not up then Array.iter (fun t -> on_rank_down t r) instances);
   instances
 
 type completion = { c_jobid : string; c_ntasks : int; c_failed : int }
@@ -271,3 +358,87 @@ let run api ~jobid ~prog ?(args = Json.null) ?(per_rank = 1) ~ranks () =
 
 let kill api ~jobid =
   Api.publish api ~topic:("wexec.kill." ^ jobid) (Json.obj [ ("jobid", Json.string jobid) ])
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint manifests                                                *)
+
+type manifest = { m_job : string; m_epoch : int; m_version : int; m_root : string }
+
+let manifest_key jobid epoch = Printf.sprintf "ckpt.%s.e%d" jobid epoch
+let latest_key jobid = Printf.sprintf "ckpt.%s.latest" jobid
+
+let manifest_to_json m =
+  Json.obj
+    [
+      ("job", Json.string m.m_job);
+      ("epoch", Json.int m.m_epoch);
+      ("version", Json.int m.m_version);
+      ("root", Json.string m.m_root);
+    ]
+
+let manifest_of_json j =
+  match
+    {
+      m_job = Json.to_string_v (Json.member "job" j);
+      m_epoch = Json.to_int (Json.member "epoch" j);
+      m_version = Json.to_int (Json.member "version" j);
+      m_root = Json.to_string_v (Json.member "root" j);
+    }
+  with
+  | m -> Some m
+  | exception Json.Type_error _ -> None
+
+let checkpoint ?timeout ctx ~epoch =
+  (* The fence name doubles as the manifest key, so each (job, epoch)
+     pair fences under a fresh name — the freshness rule fences require.
+     Synchronize first; then exactly one task records the fence's root
+     as the manifest. Because tasks only mutate the store through the
+     checkpoint fences, the root read just after the fence IS the fence
+     root: the manifest names a cut every task has agreed on. *)
+  let name = manifest_key ctx.px_jobid epoch in
+  match Client.fence ?timeout ctx.px_kvs ~name ~nprocs:ctx.px_ntasks with
+  | Error e -> Error e
+  | Ok v when ctx.px_global_index <> 0 -> Ok v
+  | Ok _ -> (
+    match Client.get_root ctx.px_kvs with
+    | Error e -> Error e
+    | Ok ri ->
+      let m =
+        {
+          m_job = ctx.px_jobid;
+          m_epoch = epoch;
+          m_version = ri.Kproto.ri_version;
+          m_root = Sha1.to_hex ri.Kproto.ri_root;
+        }
+      in
+      let payload = manifest_to_json m in
+      let ( let* ) r f = match r with Ok () -> f () | Error e -> Error e in
+      let* () = Client.put ctx.px_kvs ~key:name payload in
+      let* () = Client.put ctx.px_kvs ~key:(latest_key ctx.px_jobid) payload in
+      Client.commit ctx.px_kvs)
+
+let newest_manifest kvs ~jobid ~max_epoch =
+  (* Walk candidate epochs newest-first, verifying each: the [latest]
+     pointer may be torn (rank 0 died between the epoch-key commit and
+     the next fence), so trust only a manifest that parses, names its
+     own epoch, carries a well-formed root hash, and does not claim a
+     version from the future of the store being consulted. *)
+  let current_version = match Client.get_version kvs with Ok v -> v | Error _ -> max_int in
+  let verified e =
+    match Client.get kvs ~key:(manifest_key jobid e) with
+    | Error _ -> None
+    | Ok j -> (
+      match manifest_of_json j with
+      | None -> None
+      | Some m ->
+        if
+          m.m_epoch = e
+          && m.m_version <= current_version
+          && (match Sha1.of_hex m.m_root with
+             | (_ : Sha1.digest) -> true
+             | exception Invalid_argument _ -> false)
+        then Some m
+        else None)
+  in
+  let rec scan e = if e < 0 then None else match verified e with Some m -> Some m | None -> scan (e - 1) in
+  scan max_epoch

@@ -29,6 +29,11 @@ val register_program : string -> (proc_ctx -> unit) -> unit
 type t
 
 val load : Flux_cmb.Session.t -> unit -> t array
+(** Installs the module at every rank (rank 0 is the job master) and
+    registers a liveness watch: when a rank goes down, its unreported
+    tasks are accounted as failures at the master — so a job spanning a
+    dead node still completes — and the dead rank's local tasks are
+    destroyed so a later revival cannot double-report. *)
 
 type completion = {
   c_jobid : string;
@@ -56,3 +61,45 @@ val kill : Flux_cmb.Api.t -> jobid:string -> unit
 
 val running_tasks : t -> int
 (** Tasks currently executing on this rank. *)
+
+(** {1 Checkpoint manifests}
+
+    The SCR-style application pattern: tasks periodically fence, and one
+    task records the fence's root hash as a {e manifest} under a
+    reserved [ckpt.] KVS directory. Because KVS objects are immutable
+    and content-addressed, the recorded root names a complete,
+    consistent cut of the job's state for free — restart is "resume
+    from the newest verified manifest". *)
+
+type manifest = {
+  m_job : string;
+  m_epoch : int;  (** checkpoint ordinal within the job *)
+  m_version : int;  (** KVS root version at the fence *)
+  m_root : string;  (** root hash (hex) at the fence *)
+}
+
+val manifest_key : string -> int -> string
+(** [manifest_key jobid epoch] — the manifest's KVS key, also used as
+    the checkpoint fence name. *)
+
+val latest_key : string -> string
+(** Convenience pointer to the most recent manifest (may be torn if the
+    writer died mid-sequence; {!newest_manifest} never trusts it). *)
+
+val manifest_to_json : manifest -> Flux_json.Json.t
+val manifest_of_json : Flux_json.Json.t -> manifest option
+
+val checkpoint : ?timeout:float -> proc_ctx -> epoch:int -> (int, string) result
+(** Collective checkpoint: all [px_ntasks] tasks fence under
+    [manifest_key px_jobid epoch]; task 0 then writes the manifest at
+    that key (and at {!latest_key}) and commits. Returns the resulting
+    root version. Pass [timeout] so tasks survive a fence stranded by a
+    dead participant — the fence is then aborted up the tree and the
+    caller may retry or give up (see {!Flux_kvs.Client.fence}). *)
+
+val newest_manifest :
+  Flux_kvs.Client.t -> jobid:string -> max_epoch:int -> manifest option
+(** Scan epochs [max_epoch] down to [0] and return the first manifest
+    that verifies: it parses, names its own epoch, carries a well-formed
+    root hash, and does not claim a version newer than the store serving
+    the lookup. *)

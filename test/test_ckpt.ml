@@ -1,0 +1,339 @@
+(* Checkpoint/requeue kill schedules, snapshot store round-trips, and
+   the damage model: a killed worker, a master lost mid-snapshot, or a
+   death in the checkpoint/fence window must cost no acked write; a
+   store rebuilt from serialized bytes must read back identically; and
+   any single flipped byte must decode to a structured error. *)
+
+module Ckpt = Flux_kap.Ckpt
+module Snapshot = Flux_kvs.Snapshot
+module Tree = Flux_kvs.Tree
+module Kvs = Flux_kvs.Kvs_module
+module Volumes = Flux_kvs.Volumes
+module Client = Flux_kvs.Client
+module Wexec = Flux_modules.Wexec
+module Sha1 = Flux_sha1.Sha1
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Proc = Flux_sim.Proc
+module Session = Flux_cmb.Session
+
+let check = Alcotest.check
+let expect_ok label = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" label e
+
+(* --- Kill schedules -------------------------------------------------------- *)
+
+let seeds = List.init 16 (fun i -> 1 + (13 * i))
+
+let kind_of_seed seed =
+  match seed mod 3 with
+  | 0 -> Ckpt.Node_mid_job
+  | 1 -> Ckpt.Master_mid_snapshot
+  | _ -> Ckpt.Between_ckpt_and_fence
+
+let kind_name = function
+  | Ckpt.Node_mid_job -> "node-mid-job"
+  | Ckpt.Master_mid_snapshot -> "master-mid-snapshot"
+  | Ckpt.Between_ckpt_and_fence -> "between-ckpt-and-fence"
+
+let run_seed seed =
+  Ckpt.run { Ckpt.default with Ckpt.seed; kill = Some (kind_of_seed seed) }
+
+let test_schedule seed () =
+  let r = run_seed seed in
+  (match r.Ckpt.r_violations with
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "seed %d: %d violations:\n%s" seed (List.length vs)
+      (String.concat "\n" vs));
+  check Alcotest.int
+    (Printf.sprintf "seed %d: every epoch checkpointed" seed)
+    Ckpt.default.Ckpt.epochs r.Ckpt.r_acked_epoch;
+  (* Master schedules kill twice: the pre-phase deposes rank 0, then the
+     assassin strikes the acting master while the capture is in flight. *)
+  let min_kills =
+    match kind_of_seed seed with Ckpt.Master_mid_snapshot -> 2 | _ -> 1
+  in
+  check Alcotest.bool
+    (Printf.sprintf "seed %d: the schedule killed someone" seed)
+    true
+    (r.Ckpt.r_kills >= min_kills);
+  check Alcotest.int
+    (Printf.sprintf "seed %d: everyone killed was revived" seed)
+    r.Ckpt.r_kills r.Ckpt.r_revives;
+  check Alcotest.bool
+    (Printf.sprintf "seed %d: the job completed" seed)
+    true (r.Ckpt.r_attempts >= 1);
+  check Alcotest.bool
+    (Printf.sprintf "seed %d: readback exercised" seed)
+    true (r.Ckpt.r_keys_checked > 0);
+  check Alcotest.bool
+    (Printf.sprintf "seed %d: final snapshot non-empty" seed)
+    true
+    (r.Ckpt.r_snapshot_objects > 0)
+
+let test_deterministic kind () =
+  let cfg = { Ckpt.default with Ckpt.seed = 7; kill = Some kind } in
+  let a = Ckpt.run cfg and b = Ckpt.run cfg in
+  if Ckpt.fingerprint a <> Ckpt.fingerprint b then
+    Alcotest.failf "%s: same seed produced different runs" (kind_name kind);
+  if a <> b then
+    Alcotest.failf "%s: same seed produced different reports" (kind_name kind)
+
+let test_requeue_happens () =
+  (* Node death mid-job must actually exercise the requeue path on at
+     least one seed of the sweep. *)
+  let requeued =
+    List.exists
+      (fun seed ->
+        let r =
+          Ckpt.run { Ckpt.default with Ckpt.seed = seed; kill = Some Ckpt.Node_mid_job }
+        in
+        r.Ckpt.r_requeues >= 1)
+      [ 1; 3; 6; 9 ]
+  in
+  check Alcotest.bool "some schedule requeued" true requeued
+
+(* --- Snapshot store round-trips -------------------------------------------- *)
+
+(* Build a store by hand with interior directories, referenced leaf
+   objects, and inline values — every dirent kind the walk must follow. *)
+let build_store () =
+  let tbl : (string, Json.t) Hashtbl.t = Hashtbl.create 16 in
+  let store o =
+    let sha = Sha1.digest_json o in
+    Hashtbl.replace tbl (Sha1.to_hex sha) o;
+    sha
+  in
+  let fetch sha = Hashtbl.find_opt tbl (Sha1.to_hex sha) in
+  ignore (store Tree.empty_dir : Sha1.digest);
+  let leaf = Json.obj [ ("payload", Json.string (String.make 64 'q')) ] in
+  let leaf_sha = store leaf in
+  let root =
+    Tree.apply_tuples ~fetch ~store ~root:Tree.empty_dir_sha
+      [
+        ("a.b.c", Tree.dirent_file leaf_sha);
+        ("a.b.d", Tree.dirent_val (Json.int 42));
+        ("a.e", Tree.dirent_val (Json.string "inline"));
+        ("x", Tree.dirent_file leaf_sha);
+      ]
+  in
+  let objects = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  ( {
+      Snapshot.s_service = "kvs";
+      s_root = root;
+      s_version = 1;
+      s_epoch = 0;
+      s_composite = None;
+      s_objects = List.sort (fun (a, _) (b, _) -> String.compare a b) objects;
+    },
+    leaf )
+
+let lookup_through snap key =
+  let fetch sha =
+    List.assoc_opt (Sha1.to_hex sha) snap.Snapshot.s_objects
+  in
+  Tree.lookup ~fetch ~root:snap.Snapshot.s_root ~key ()
+
+let test_tree_roundtrip () =
+  let snap, leaf = build_store () in
+  expect_ok "verify" (Result.map_error Snapshot.error_to_string (Snapshot.verify snap));
+  let decoded =
+    expect_ok "decode"
+      (Result.map_error Snapshot.error_to_string (Snapshot.decode (Snapshot.encode snap)))
+  in
+  check Alcotest.string "encode is a fixed point" (Snapshot.encode snap)
+    (Snapshot.encode decoded);
+  check Alcotest.bool "root preserved" true
+    (Sha1.equal snap.Snapshot.s_root decoded.Snapshot.s_root);
+  check Alcotest.int "version preserved" snap.Snapshot.s_version decoded.Snapshot.s_version;
+  (* Interior directories and leaves both resolve through the decoded
+     object set alone. *)
+  (match lookup_through decoded "a.b.c" with
+  | Tree.Found v -> check (Alcotest.testable Json.pp Json.equal) "leaf" leaf v
+  | _ -> Alcotest.fail "a.b.c did not resolve from decoded store");
+  (match lookup_through decoded "a.b.d" with
+  | Tree.Found v -> check (Alcotest.testable Json.pp Json.equal) "inline" (Json.int 42) v
+  | _ -> Alcotest.fail "a.b.d did not resolve from decoded store");
+  match lookup_through decoded "a.nope" with
+  | Tree.No_key -> ()
+  | _ -> Alcotest.fail "phantom key resolved"
+
+let test_rehash_detects_tamper () =
+  let snap, _ = build_store () in
+  let tampered =
+    {
+      snap with
+      Snapshot.s_objects =
+        (match snap.Snapshot.s_objects with
+        | (sha, _) :: rest -> (sha, Json.string "swapped") :: rest
+        | [] -> assert false);
+    }
+  in
+  match Snapshot.verify tampered with
+  | Error (Snapshot.Corrupt_object _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Snapshot.error_to_string e)
+  | Ok () -> Alcotest.fail "tampered object passed verification"
+
+let test_missing_root () =
+  let snap, _ = build_store () in
+  let orphan = { snap with Snapshot.s_root = Sha1.digest_string "nowhere" } in
+  match Snapshot.verify orphan with
+  | Error (Snapshot.Missing_root _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Snapshot.error_to_string e)
+  | Ok () -> Alcotest.fail "unresolvable root passed verification"
+
+let test_truncation () =
+  let snap, _ = build_store () in
+  let s = Snapshot.encode snap in
+  (* Every proper prefix must decode to a structured error. *)
+  List.iter
+    (fun frac ->
+      let cut = String.length s * frac / 10 in
+      match Snapshot.decode (String.sub s 0 cut) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "prefix of %d bytes decoded as a full store" cut)
+    [ 1; 3; 5; 7; 9 ]
+
+let corrupt_byte_prop =
+  QCheck.Test.make ~count:300
+    ~name:"one flipped byte decodes to a structured error, never a crash"
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 255))
+    (fun (pos, delta) ->
+      let snap, _ = build_store () in
+      let s = Bytes.of_string (Snapshot.encode snap) in
+      let i = pos mod Bytes.length s in
+      Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor delta));
+      match Snapshot.decode (Bytes.to_string s) with
+      | Error _ -> true
+      | Ok _ -> QCheck.Test.fail_reportf "flip at %d (xor %d) still decoded" i delta
+      | exception e ->
+        QCheck.Test.fail_reportf "flip at %d (xor %d) raised %s" i delta
+          (Printexc.to_string e))
+
+(* --- Manifests -------------------------------------------------------------- *)
+
+let test_manifest_roundtrip () =
+  let m =
+    { Wexec.m_job = "j1"; m_epoch = 3; m_version = 17; m_root = String.make 40 'a' }
+  in
+  (match Wexec.manifest_of_json (Wexec.manifest_to_json m) with
+  | Some m' -> check Alcotest.bool "round trip" true (m = m')
+  | None -> Alcotest.fail "manifest did not round-trip");
+  (match Wexec.manifest_of_json Json.null with
+  | None -> ()
+  | Some _ -> Alcotest.fail "null parsed as a manifest");
+  match Wexec.manifest_of_json (Json.obj [ ("job", Json.string "j") ]) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "partial object parsed as a manifest"
+
+(* --- Sharded snapshot/restore ---------------------------------------------- *)
+
+let test_sharded_roundtrip () =
+  let eng = Engine.create () in
+  let sess =
+    Session.create eng ~fanout:2 ~rank_topology:Session.Direct ~size:8 ()
+  in
+  let vt = Volumes.load sess ~shards:2 () in
+  (* First components chosen to land one on each volume. *)
+  let comp vol =
+    let rec find i =
+      let c = Printf.sprintf "s%d" i in
+      match Volumes.volume_for_key vt c with Ok v when v = vol -> c | _ -> find (i + 1)
+    in
+    find 0
+  in
+  let keys =
+    List.concat_map
+      (fun vol -> List.init 3 (fun i -> Printf.sprintf "%s.k%d" (comp vol) i))
+      [ 0; 1 ]
+  in
+  ignore
+    (Proc.spawn eng (fun () ->
+         let c = Volumes.client vt ~rank:5 in
+         List.iter
+           (fun k -> expect_ok "put" (Volumes.put c ~key:k (Json.string ("v-" ^ k))))
+           keys;
+         ignore (expect_ok "commit" (Volumes.commit c) : int))
+      : Proc.pid);
+  Engine.run eng;
+  let snap = expect_ok "snapshot" (Volumes.snapshot vt) in
+  expect_ok "verify" (Result.map_error Snapshot.error_to_string (Snapshot.verify snap));
+  (match snap.Snapshot.s_composite with
+  | Some cx -> check Alcotest.int "composite spans both volumes" 2 (Array.length cx.Flux_kvs.Proto.cx_roots)
+  | None -> Alcotest.fail "sharded snapshot lacks its composite record");
+  let decoded =
+    expect_ok "decode"
+      (Result.map_error Snapshot.error_to_string (Snapshot.decode (Snapshot.encode snap)))
+  in
+  (* Restore into a brand-new sharded session and read every key back. *)
+  let eng2 = Engine.create () in
+  let sess2 =
+    Session.create eng2 ~fanout:2 ~rank_topology:Session.Direct ~size:8 ()
+  in
+  let vt2 = Volumes.load sess2 ~shards:2 () in
+  expect_ok "restore" (Volumes.restore vt2 decoded);
+  ignore
+    (Proc.spawn eng2 (fun () ->
+         (* Wait for the restored setroots to reach rank 3's slaves
+            before reading through them. *)
+         (match decoded.Snapshot.s_composite with
+         | None -> ()
+         | Some cx ->
+           Array.iteri
+             (fun vol (ri : Flux_kvs.Proto.root_info) ->
+               while
+                 Kvs.version (Volumes.instance vt2 ~volume:vol ~rank:3)
+                 < ri.Flux_kvs.Proto.ri_version
+               do
+                 Proc.sleep 0.005
+               done)
+             cx.Flux_kvs.Proto.cx_roots);
+         let c = Volumes.client vt2 ~rank:3 in
+         List.iter
+           (fun k ->
+             let v = expect_ok ("get " ^ k) (Volumes.get c ~key:k) in
+             check
+               (Alcotest.testable Json.pp Json.equal)
+               k
+               (Json.string ("v-" ^ k))
+               v)
+           keys)
+      : Proc.pid);
+  Engine.run eng2
+
+let () =
+  Alcotest.run "ckpt"
+    [
+      ( "schedules",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d: %s, 0 violations" seed
+                 (kind_name (kind_of_seed seed)))
+              `Quick (test_schedule seed))
+          seeds
+        @ [
+            Alcotest.test_case "node-mid-job deterministic" `Quick
+              (test_deterministic Ckpt.Node_mid_job);
+            Alcotest.test_case "master-mid-snapshot deterministic" `Quick
+              (test_deterministic Ckpt.Master_mid_snapshot);
+            Alcotest.test_case "ckpt-fence-window deterministic" `Quick
+              (test_deterministic Ckpt.Between_ckpt_and_fence);
+            Alcotest.test_case "requeue path exercised" `Quick test_requeue_happens;
+          ] );
+      ( "store",
+        [
+          Alcotest.test_case "interior+leaf round-trip" `Quick test_tree_roundtrip;
+          Alcotest.test_case "re-hash catches tampering" `Quick test_rehash_detects_tamper;
+          Alcotest.test_case "missing root detected" `Quick test_missing_root;
+          Alcotest.test_case "truncation detected" `Quick test_truncation;
+          QCheck_alcotest.to_alcotest corrupt_byte_prop;
+        ] );
+      ( "manifests",
+        [ Alcotest.test_case "json round-trip is total" `Quick test_manifest_roundtrip ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "snapshot/restore round-trip across volumes" `Quick
+            test_sharded_roundtrip;
+        ] );
+    ]

@@ -214,6 +214,71 @@ let test_two_fences_interleaved () =
           [ 1; 3; 5 ]);
     ]
 
+let test_fence_abort_then_retry () =
+  (* A timed-out fence is aborted up the tree, clearing the name's
+     parked aggregation state at every hop — so once all participants
+     are actually ready, the same name completes fresh. *)
+  let eng, sess, _ = make_world ~size:7 () in
+  let release = Ivar.create () in
+  run_clients eng
+    [
+      (fun () ->
+        let c = Client.connect sess ~rank:3 in
+        expect_ok "put" (Client.put c ~key:"ar.k3" (Json.int 3));
+        (match Client.fence c ~name:"ar.fence" ~nprocs:2 ~timeout:0.5 with
+        | Ok _ -> Alcotest.fail "fence completed without its peer"
+        | Error _ -> Client.abort c);
+        (* Let the abort finish propagating before reusing the name. *)
+        Proc.sleep 0.1;
+        Ivar.fill eng release ();
+        expect_ok "put again" (Client.put c ~key:"ar.k3" (Json.int 3));
+        ignore (expect_ok "retry fence" (Client.fence c ~name:"ar.fence" ~nprocs:2) : int));
+      (fun () ->
+        Proc.await release;
+        let c = Client.connect sess ~rank:5 in
+        expect_ok "put" (Client.put c ~key:"ar.k5" (Json.int 5));
+        ignore (expect_ok "peer fence" (Client.fence c ~name:"ar.fence" ~nprocs:2) : int));
+    ];
+  run_clients eng
+    [
+      (fun () ->
+        let c = Client.connect sess ~rank:1 in
+        expect_ok "wait" (Client.wait_version c 1);
+        check json_t "k3 committed" (Json.int 3) (expect_ok "get" (Client.get c ~key:"ar.k3"));
+        check json_t "k5 committed" (Json.int 5) (expect_ok "get" (Client.get c ~key:"ar.k5")));
+    ]
+
+let test_fence_abort_unparks_peer () =
+  (* When one participant abandons the fence, peers parked on it get a
+     structured "fence aborted" error instead of hanging forever. *)
+  let eng, sess, _ = make_world ~size:7 () in
+  let peer_result = ref None in
+  run_clients eng
+    [
+      (fun () ->
+        let c = Client.connect sess ~rank:3 in
+        expect_ok "put" (Client.put c ~key:"au.k3" (Json.int 3));
+        (match Client.fence c ~name:"au.fence" ~nprocs:3 ~timeout:0.5 with
+        | Ok _ -> Alcotest.fail "fence completed without its peers"
+        | Error _ -> Client.abort c));
+      (fun () ->
+        let c = Client.connect sess ~rank:5 in
+        expect_ok "put" (Client.put c ~key:"au.k5" (Json.int 5));
+        (* No timeout: only the propagated abort can release this one. *)
+        peer_result := Some (Client.fence c ~name:"au.fence" ~nprocs:3));
+    ];
+  let contains_abort e =
+    let marker = "fence aborted" in
+    let n = String.length marker and m = String.length e in
+    let rec at i = i + n <= m && (String.equal (String.sub e i n) marker || at (i + 1)) in
+    at 0
+  in
+  match !peer_result with
+  | Some (Error e) ->
+    check bool (Printf.sprintf "abort error surfaced (got %S)" e) true (contains_abort e)
+  | Some (Ok _) -> Alcotest.fail "parked peer completed a fence that was aborted"
+  | None -> Alcotest.fail "parked peer still blocked after abort"
+
 let test_snapshot_isolation_during_update () =
   (* A get pinned to the old root mid-commit still resolves from the old
      snapshot: old and new objects coexist (atomic root switch). *)
@@ -246,6 +311,8 @@ let () =
         [
           Alcotest.test_case "single participant" `Quick test_fence_single_participant;
           Alcotest.test_case "two fences interleaved" `Quick test_two_fences_interleaved;
+          Alcotest.test_case "abort then retry same name" `Quick test_fence_abort_then_retry;
+          Alcotest.test_case "abort unparks peer" `Quick test_fence_abort_unparks_peer;
           Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation_during_update;
         ] );
     ]
