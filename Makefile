@@ -1,4 +1,4 @@
-.PHONY: all build test fmt chaos overload shard ckpt check clean
+.PHONY: all build test fmt chaos overload shard ckpt sched check clean
 
 all: build
 
@@ -54,10 +54,21 @@ ckpt:
 	dune exec test/test_ckpt.exe -- -q
 	dune exec bench/main.exe -- ckpt
 
+# Scheduling ablation: the hierarchical instance tree vs the
+# centralized baseline under a pilot-style many-task workload, with
+# per-level scheduler-hop latency decomposed from the trace span chain
+# (sched.submit -> sched.match -> wexec.start -> wexec.complete). The
+# alcotest suite asserts exactly-once task accounting across an
+# 8-seed leaf-kill sweep; the bench writes the throughput-vs-depth and
+# throughput-vs-fanout tables (BENCH_SCHED.json).
+sched:
+	dune exec test/test_sched.exe -- -q
+	dune exec bench/main.exe -- sched
+
 # The pre-merge gate: format (when available), build with warnings
 # promoted to errors under lib/ (see lib/dune), and run every test,
-# then the chaos, overload, shard and ckpt sweeps.
-check: fmt build test chaos overload shard ckpt
+# then the chaos, overload, shard, ckpt and sched sweeps.
+check: fmt build test chaos overload shard ckpt sched
 
 clean:
 	dune clean

@@ -3,7 +3,7 @@
 
    Usage: main.exe [experiment...] where experiment is one of
      table1 fig2 fig3 fig4a fig4b sweep model ablate-sched ablate-fanout
-     ablate-shards faults chaos micro overload shard ckpt observe perf
+     ablate-shards faults chaos micro overload shard ckpt sched observe perf
    No arguments runs everything. Scales can be reduced with
    BENCH_FAST=1 for a quick pass. *)
 
@@ -30,6 +30,7 @@ module Chaos = Flux_kap.Chaos
 module Overload = Flux_kap.Overload
 module Shard = Flux_kap.Shard
 module Ckpt = Flux_kap.Ckpt
+module Sched = Flux_kap.Sched
 module Export = Flux_trace.Export
 
 let fast = Sys.getenv_opt "BENCH_FAST" <> None
@@ -831,6 +832,161 @@ let ckpt () =
   close_out oc;
   Printf.printf "  wrote BENCH_CKPT.json (%d depths)\n%!" (List.length depths)
 
+(* --- Sched: hierarchical vs centralized under a pilot-style task storm ---- *)
+
+let sched () =
+  header "Sched: hierarchical vs centralized scheduling of a pilot-style task storm";
+  let nodes = if fast then 16 else 32 in
+  let tasks = if fast then 400 else 1200 in
+  let base =
+    { Sched.default with
+      Sched.nodes;
+      tasks;
+      fanout = 2;
+      children = 2;
+      mean_duration = 0.1;
+      min_duration = 0.01;
+      task_kind = Sched.Wexec_tasks;
+      trace = true
+    }
+  in
+  let level_row lv =
+    Json.obj
+      [
+        ("level", Json.int lv.Sched.lv_depth);
+        ("jobs", Json.int lv.Sched.lv_jobs);
+        ("submit_match_mean", Json.float lv.Sched.lv_submit_match_mean);
+        ("submit_match_p95", Json.float lv.Sched.lv_submit_match_p95);
+      ]
+  in
+  let report_row ~label (r : Sched.report) =
+    List.iter (fun v -> Printf.printf "    %s violation: %s\n%!" label v) r.Sched.r_violations;
+    Json.obj
+      [
+        ("config", Json.string label);
+        ("depth", Json.int r.Sched.r_depth);
+        ("children", Json.int r.Sched.r_children);
+        ("leaves", Json.int r.Sched.r_leaves);
+        ("tasks", Json.int r.Sched.r_tasks);
+        ("acked", Json.int r.Sched.r_acked);
+        ("jobs_per_s", Json.float r.Sched.r_jobs_per_s);
+        ("makespan", Json.float r.Sched.r_makespan);
+        ("mean_wait", Json.float r.Sched.r_mean_wait);
+        ("sched_cycles", Json.int r.Sched.r_sched_cycles);
+        ("hop_match_start_mean", Json.float r.Sched.r_hop_match_start_mean);
+        ("hop_start_complete_mean", Json.float r.Sched.r_hop_start_complete_mean);
+        ("levels", Json.list (List.map level_row r.Sched.r_levels));
+        ("requeues", Json.int r.Sched.r_requeues);
+        ("kills", Json.int r.Sched.r_kills);
+        ("violations", Json.int (List.length r.Sched.r_violations));
+      ]
+  in
+  (* Curve 1: throughput vs hierarchy depth at fixed fanout 2 — the
+     paper's log2(C)*T(G) argument. Depth 0 is one flat Flux instance;
+     the centralized baseline is the traditional monolithic scheduler
+     with the same decision-cost model. *)
+  Printf.printf "%-14s %8s %10s %12s %10s %12s\n" "config" "acked" "jobs/s" "makespan(s)"
+    "cycles" "mean_wait(s)";
+  let central = Sched.run_central base in
+  Printf.printf "%-14s %8d %10.1f %12.3f %10d %12.4f\n%!" "central" central.Sched.c_completed
+    central.Sched.c_jobs_per_s central.Sched.c_makespan central.Sched.c_sched_cycles
+    central.Sched.c_mean_wait;
+  let depth_rows =
+    List.map
+      (fun depth ->
+        let r = Sched.run { base with Sched.depth } in
+        let label = Printf.sprintf "depth-%d" depth in
+        Printf.printf "%-14s %8d %10.1f %12.3f %10d %12.4f\n%!" label r.Sched.r_acked
+          r.Sched.r_jobs_per_s r.Sched.r_makespan r.Sched.r_sched_cycles r.Sched.r_mean_wait;
+        List.iter
+          (fun lv ->
+            Printf.printf "    level %d: %6d jobs  submit->match mean %.5fs  p95 %.5fs\n%!"
+              lv.Sched.lv_depth lv.Sched.lv_jobs lv.Sched.lv_submit_match_mean
+              lv.Sched.lv_submit_match_p95)
+          r.Sched.r_levels;
+        (depth, r, report_row ~label r))
+      [ 0; 1; 2; 3 ]
+  in
+  (* Curve 2: throughput vs hierarchy fanout at depth 1 — wider trees
+     shrink T(G) per level but shorten the tree; the sweet spot moves
+     with the task grain, which is the tunability argument. *)
+  let fanout_rows =
+    List.filter_map
+      (fun children ->
+        if nodes / children < 1 then None
+        else begin
+          let r = Sched.run { base with Sched.depth = 1; children } in
+          let label = Printf.sprintf "fanout-%d" children in
+          Printf.printf "%-14s %8d %10.1f %12.3f %10d %12.4f\n%!" label r.Sched.r_acked
+            r.Sched.r_jobs_per_s r.Sched.r_makespan r.Sched.r_sched_cycles
+            r.Sched.r_mean_wait;
+          Some (report_row ~label r)
+        end)
+      [ 2; 4; 8 ]
+  in
+  (* Curve 3: the chaos row — kill a worker rank of leaf 0 mid-batch and
+     let the surviving siblings drain the backlog via requeues. The
+     invariant set (no lost task, no double ack, no exec-after-ack) must
+     hold with zero violations. *)
+  let chaos_cfg =
+    { base with
+      Sched.depth = 2;
+      children = 2;
+      kill_leaf = true;
+      tasks = (if fast then 200 else 600)
+    }
+  in
+  let chaos_r = Sched.run chaos_cfg in
+  Printf.printf "%-14s %8d %10.1f %12.3f %10d %12.4f  (kills %d, requeues %d)\n%!"
+    "chaos-leaf" chaos_r.Sched.r_acked chaos_r.Sched.r_jobs_per_s chaos_r.Sched.r_makespan
+    chaos_r.Sched.r_sched_cycles chaos_r.Sched.r_mean_wait chaos_r.Sched.r_kills
+    chaos_r.Sched.r_requeues;
+  let chaos_row = report_row ~label:"chaos-leaf" chaos_r in
+  (* Headline: the hierarchy must beat the monolithic controller once
+     it is at least two levels deep. *)
+  let speedup_at d =
+    List.filter_map
+      (fun (depth, r, _) ->
+        if depth = d && central.Sched.c_jobs_per_s > 0.0 then
+          Some (r.Sched.r_jobs_per_s /. central.Sched.c_jobs_per_s)
+        else None)
+      depth_rows
+  in
+  (match speedup_at 2 with
+  | [ s ] ->
+    Printf.printf "  hierarchical depth-2 vs central: %.2fx jobs/s (%s)\n%!" s
+      (if s > 1.0 then "hierarchy wins" else "UNEXPECTED: central wins")
+  | _ -> ());
+  let doc =
+    Json.obj
+      [
+        ("experiment", Json.string "sched");
+        ("nodes", Json.int nodes);
+        ("tasks", Json.int tasks);
+        ("mean_duration", Json.float base.Sched.mean_duration);
+        ("policy", Json.string base.Sched.policy);
+        ( "central",
+          Json.obj
+            [
+              ("completed", Json.int central.Sched.c_completed);
+              ("jobs_per_s", Json.float central.Sched.c_jobs_per_s);
+              ("makespan", Json.float central.Sched.c_makespan);
+              ("mean_wait", Json.float central.Sched.c_mean_wait);
+              ("sched_cycles", Json.int central.Sched.c_sched_cycles);
+            ] );
+        ("depth_rows", Json.list (List.map (fun (_, _, j) -> j) depth_rows));
+        ("fanout_rows", Json.list fanout_rows);
+        ("chaos", chaos_row);
+        ("tier", Json.string (if fast then "fast" else "paper-scale"));
+      ]
+  in
+  let oc = open_out "BENCH_SCHED.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_SCHED.json (%d depth rows, %d fanout rows)\n%!"
+    (List.length depth_rows) (List.length fanout_rows)
+
 (* --- Observe: traced fence critical path + metrics registry export -------- *)
 
 let observe () =
@@ -984,6 +1140,7 @@ let experiments =
     ("overload", overload);
     ("shard", shard);
     ("ckpt", ckpt);
+    ("sched", sched);
     ("observe", observe);
     ("perf", perf);
   ]

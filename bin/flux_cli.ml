@@ -670,12 +670,103 @@ let ckpt_cmd =
         (const run $ nodes_arg $ fanout_arg $ ppn_arg $ epochs_arg $ interval_arg $ seed_arg
        $ kill_arg))
 
+(* --- flux sched ---------------------------------------------------------- *)
+
+let sched_cmd =
+  let module Sched = Flux_kap.Sched in
+  let depth_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "depth" ] ~docv:"DEPTH"
+          ~doc:"Levels of nested child instances (0 = one flat instance).")
+  in
+  let children_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "children" ] ~docv:"C" ~doc:"Instance-tree fan-out per level.")
+  in
+  let tasks_arg =
+    Arg.(value & opt int 200 & info [ "tasks" ] ~docv:"N" ~doc:"Pilot tasks to submit.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "fcfs"
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Scheduling policy at every level.")
+  in
+  let central_arg =
+    Arg.(
+      value & flag
+      & info [ "central" ]
+          ~doc:"Also run the centralized single-controller baseline for comparison.")
+  in
+  let kill_arg =
+    Arg.(
+      value & flag
+      & info [ "kill-leaf" ]
+          ~doc:
+            "Kill a worker rank of the first leaf instance mid-batch; surviving \
+             sibling leaves drain the backlog via requeues.")
+  in
+  let run nodes fanout depth children tasks seed policy central kill_leaf =
+    let leaves = int_of_float (float_of_int children ** float_of_int depth) in
+    checked
+      [
+        at_least "-N/--nodes" 2 nodes;
+        at_least "-k/--fanout" 2 fanout;
+        in_range "--depth" ~lo:0 ~hi:4 depth;
+        at_least "--children" 2 children;
+        positive "--tasks" tasks;
+        positive "--seed" seed;
+        (if depth > 0 && nodes / leaves < 1 then
+           Some
+             (Printf.sprintf "--children^--depth (%d leaves) exceeds %d nodes" leaves nodes)
+         else None);
+      ]
+    @@ fun () ->
+    let cfg =
+      { Sched.default with
+        Sched.nodes;
+        fanout;
+        depth;
+        children;
+        tasks;
+        seed;
+        policy;
+        kill_leaf
+      }
+    in
+    let r = Sched.run cfg in
+    Format.printf "%a@." Sched.pp_report r;
+    if central then begin
+      let c = Sched.run_central cfg in
+      Format.printf "%a@." Sched.pp_central c;
+      if c.Sched.c_jobs_per_s > 0.0 then
+        Format.printf "hierarchy/central throughput: %.2fx@."
+          (r.Sched.r_jobs_per_s /. c.Sched.c_jobs_per_s)
+    end;
+    if r.Sched.r_violations = [] then `Ok ()
+    else `Error (false, "scheduling run ended with accounting violations")
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:
+         "Run the pilot-style many-task scheduling ablation: a hierarchy of nested \
+          instances vs the centralized baseline, with per-level hop latency from the \
+          trace span chain.")
+    Term.(
+      ret
+        (const run $ nodes_arg $ fanout_arg $ depth_arg $ children_arg $ tasks_arg
+       $ seed_arg $ policy_arg $ central_arg $ kill_arg))
+
 let main_cmd =
   let doc = "command-line access to the simulated Flux framework" in
   Cmd.group (Cmd.info "flux" ~version:"0.1.0" ~doc)
     [
       ping_cmd; topo_cmd; kvs_cmd; resource_cmd; schedule_cmd; kap_cmd; exec_cmd;
-      barrier_cmd; down_cmd; watch_cmd; volumes_cmd; trace_cmd; ckpt_cmd;
+      barrier_cmd; down_cmd; watch_cmd; volumes_cmd; trace_cmd; ckpt_cmd; sched_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

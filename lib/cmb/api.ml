@@ -14,20 +14,20 @@ let session t = t.sess
 
 let broker t = Session.broker t.sess t.r
 
-let rpc_async t ?timeout ?attempts ?idempotent ~topic payload ~reply =
+let rpc_async t ?timeout ?attempts ?idempotent ?trace_ctx ~topic payload ~reply =
   let eng = Session.engine t.sess in
   (* Model the UNIX-domain-socket hop in both directions. *)
   ignore
     (Engine.schedule eng ~delay:t.ipc (fun () ->
-         Session.request_up (broker t) ?timeout ?attempts ?idempotent ~topic payload
-           ~reply:(fun r ->
+         Session.request_up (broker t) ?timeout ?attempts ?idempotent ?trace_ctx ~topic
+           payload ~reply:(fun r ->
              ignore (Engine.schedule eng ~delay:t.ipc (fun () -> reply r) : Engine.handle)))
       : Engine.handle)
 
-let rpc t ?timeout ?attempts ?idempotent ~topic payload =
+let rpc t ?timeout ?attempts ?idempotent ?trace_ctx ~topic payload =
   let iv = Ivar.create () in
   let eng = Session.engine t.sess in
-  rpc_async t ?timeout ?attempts ?idempotent ~topic payload ~reply:(fun r ->
+  rpc_async t ?timeout ?attempts ?idempotent ?trace_ctx ~topic payload ~reply:(fun r ->
       Ivar.fill eng iv r);
   Proc.await iv
 

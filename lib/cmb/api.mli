@@ -18,19 +18,23 @@ val rpc :
   ?timeout:float ->
   ?attempts:int ->
   ?idempotent:bool ->
+  ?trace_ctx:Flux_trace.Tracer.ctx ->
   topic:string ->
   Flux_json.Json.t ->
   Session.reply
 (** Blocking RPC injected at the local broker and routed upstream. Only
     valid inside a process body. Returns [Error "timeout"] if the
     deadline (see {!Session.rpc_config}) expires; [timeout]/[attempts]/
-    [idempotent] are forwarded to {!Session.request_up}. *)
+    [idempotent]/[trace_ctx] are forwarded to {!Session.request_up}
+    ([trace_ctx] rides the message envelope out-of-band, so it never
+    perturbs payload sizes or simulated timing). *)
 
 val rpc_async :
   t ->
   ?timeout:float ->
   ?attempts:int ->
   ?idempotent:bool ->
+  ?trace_ctx:Flux_trace.Tracer.ctx ->
   topic:string ->
   Flux_json.Json.t ->
   reply:(Session.reply -> unit) ->

@@ -49,6 +49,9 @@ type t = {
   mutable child_job : Job.t option;
   i_nested : bool; (* owns a dedicated comms session; pool ranks are session-local *)
   mutable tracer : Flux_trace.Tracer.t option;
+  (* Live span per non-terminal job: rooted at sched.submit, re-spanned
+     at sched.match, threaded through wexec for App payloads. *)
+  job_ctxs : (string, Flux_trace.Tracer.ctx) Hashtbl.t;
 }
 
 let name t = t.i_name
@@ -89,10 +92,33 @@ let record_state t (job : Job.t) =
 
 let set_tracer t tr = t.tracer <- tr
 
-let trace t ~name ?fields () =
+let trace t ~name ?ctx ?fields () =
   match t.tracer with
-  | Some tr -> Flux_trace.Tracer.emit tr ~cat:"sched" ~name ?fields ()
+  | Some tr -> Flux_trace.Tracer.emit tr ~cat:"sched" ~name ?ctx ?fields ()
   | None -> ()
+
+let job_ctx t (job : Job.t) = Hashtbl.find_opt t.job_ctxs job.Job.jid
+
+(* Open a fresh span for [job]: the root span at submit, then a child
+   span per causal step (match). Terminal states drop the entry. *)
+let span_job t (job : Job.t) ~name ?(fields = []) () =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+    let ctx =
+      match Hashtbl.find_opt t.job_ctxs job.Job.jid with
+      | None -> Flux_trace.Tracer.root_ctx tr
+      | Some parent -> Flux_trace.Tracer.child_ctx tr parent
+    in
+    Hashtbl.replace t.job_ctxs job.Job.jid ctx;
+    Flux_trace.Tracer.emit tr ~cat:"sched" ~name ~ctx
+      ~fields:
+        ([
+           ("jid", Flux_json.Json.string job.Job.jid);
+           ("depth", Flux_json.Json.int (depth t));
+         ]
+        @ fields)
+      ()
 
 let transition t job s =
   Job.set_state job ~now:(Engine.now t.eng) s;
@@ -104,12 +130,14 @@ let transition t job s =
           | Job.Complete -> "complete"
           | Job.Failed _ -> "failed"
           | Job.Cancelled -> "cancelled"))
+    ?ctx:(job_ctx t job)
     ~fields:
       [
         ("jid", Flux_json.Json.string job.Job.jid);
         ("nodes", Flux_json.Json.int (List.length job.Job.granted_nodes));
       ]
     ();
+  if Job.is_terminal s then Hashtbl.remove t.job_ctxs job.Job.jid;
   record_state t job
 
 (* --- Idle detection ------------------------------------------------------ *)
@@ -158,6 +186,13 @@ and cycle t =
             Float.max (Engine.now t.eng) t.cpu_free_at +. t.cost.start_cost;
           t.queue <- List.filter (fun j -> j != job) t.queue;
           job.Job.granted_nodes <- grant.Pool.g_nodes;
+          span_job t job ~name:"match"
+            ~fields:
+              [
+                ("nodes", Flux_json.Json.int (List.length grant.Pool.g_nodes));
+                ("wait", Flux_json.Json.float (Engine.now t.eng -. job.Job.submit_time));
+              ]
+            ();
           transition t job Job.Allocated;
           launch t job grant
         | None -> ())
@@ -220,7 +255,13 @@ and launch t job grant =
       (Engine.schedule t.eng ~delay:d (fun () -> finish t job grant (Ok ()))
         : Engine.handle)
   | Job.App { prog; args; per_rank; duration } ->
-    let api = Api.connect t.sess ~rank:(List.hd grant.Pool.g_nodes) in
+    (* Watch the launch from rank 0 (the wexec master's broker), not a
+       granted worker: a worker that dies mid-job stops receiving
+       events, and a completion watch parked on it would strand the job
+       in Running forever — the enclosing instance must observe the
+       failure to requeue the work. *)
+    let api = Api.connect t.sess ~rank:0 in
+    let trace_ctx = job_ctx t job in
     let args =
       match args with
       | Json.Obj fields -> Json.obj (fields @ [ ("duration", Json.float duration) ])
@@ -230,7 +271,7 @@ and launch t job grant =
     ignore
       (Proc.spawn t.eng ~name:("launch-" ^ job.Job.jid) (fun () ->
            match
-             Wexec.run api ~jobid:job.Job.jid ~prog ~args ~per_rank
+             Wexec.run api ~jobid:job.Job.jid ~prog ~args ~per_rank ?trace_ctx
                ~ranks:grant.Pool.g_nodes ()
            with
            | Ok c ->
@@ -308,6 +349,7 @@ and create_child t ~policy ~sess ~nested ~nodes ~power_budget ~job ~grant =
       child_job = Some job;
       i_nested = nested;
       tracer = t.tracer;
+      job_ctxs = Hashtbl.create 16;
     }
   in
   t.i_children <- child :: t.i_children;
@@ -361,37 +403,59 @@ and submit ?jid t ~spec ~payload =
   let job = Job.create ~jid ~spec ~payload ~now:(Engine.now t.eng) in
   t.all_jobs <- job :: t.all_jobs;
   t.queue <- t.queue @ [ job ];
+  span_job t job ~name:"submit"
+    ~fields:[ ("queue", Flux_json.Json.int (List.length t.queue)) ]
+    ();
   record_state t job;
   kick t;
   job
 
 (* --- Elasticity --------------------------------------------------------------- *)
 
+type resize_error =
+  | Resize_invalid of int  (** non-positive node count requested *)
+  | Resize_nested  (** a dedicated comms session cannot be resized *)
+  | Resize_root  (** the root has no parent to trade nodes with *)
+  | Resize_exhausted  (** the parent chain had no free node to move *)
+
+let resize_error_to_string = function
+  | Resize_invalid n -> Printf.sprintf "invalid node count %d (must be positive)" n
+  | Resize_nested -> "nested instance: a dedicated comms session cannot be resized"
+  | Resize_root -> "root instance: no parent to trade nodes with"
+  | Resize_exhausted -> "no free nodes available to move"
+
+(* A resize that moves zero nodes is an error, not Ok 0: callers that
+   treated the old bare-int no-op as success silently stalled the
+   elasticity loop (the roadmap's autoscaler needs the distinction). *)
+let resize_guard t ~nnodes k =
+  if nnodes <= 0 then Error (Resize_invalid nnodes)
+  else if t.i_nested then Error Resize_nested
+  else match t.i_parent with None -> Error Resize_root | Some p -> k p
+
 let rec request_grow t ~nnodes =
-  if t.i_nested then 0 (* a dedicated comms session cannot be resized *)
-  else
-  match t.i_parent with
-  | None -> 0
-  | Some p ->
-    (* Parental consent: the parent serves from its free pool, asking
-       its own parent for the shortfall first. *)
-    let shortfall = nnodes - Pool.free_nodes p.i_pool in
-    if shortfall > 0 then ignore (request_grow p ~nnodes:shortfall : int);
-    let granted = Pool.donate_nodes p.i_pool nnodes in
-    Pool.absorb_nodes t.i_pool granted;
-    if granted <> [] then kick t;
-    List.length granted
+  resize_guard t ~nnodes (fun p ->
+      (* Parental consent: the parent serves from its free pool, asking
+         its own parent for the shortfall first. *)
+      let shortfall = nnodes - Pool.free_nodes p.i_pool in
+      if shortfall > 0 then
+        ignore (request_grow p ~nnodes:shortfall : (int, resize_error) result);
+      let granted = Pool.donate_nodes p.i_pool nnodes in
+      Pool.absorb_nodes t.i_pool granted;
+      if granted = [] then Error Resize_exhausted
+      else begin
+        kick t;
+        Ok (List.length granted)
+      end)
 
 let request_shrink t ~nnodes =
-  if t.i_nested then 0
-  else
-  match t.i_parent with
-  | None -> 0
-  | Some p ->
-    let returned = Pool.donate_nodes t.i_pool nnodes in
-    Pool.absorb_nodes p.i_pool returned;
-    if returned <> [] then kick p;
-    List.length returned
+  resize_guard t ~nnodes (fun p ->
+      let returned = Pool.donate_nodes t.i_pool nnodes in
+      Pool.absorb_nodes p.i_pool returned;
+      if returned = [] then Error Resize_exhausted
+      else begin
+        kick p;
+        Ok (List.length returned)
+      end)
 
 let set_power_cap t w =
   let old = Pool.power_budget t.i_pool in
@@ -427,6 +491,7 @@ let create_root sess ?(policy = "fcfs") ?(cost_model = default_cost_model)
     child_job = None;
     i_nested = false;
     tracer = None;
+    job_ctxs = Hashtbl.create 16;
   }
 
 (* --- Cancellation ----------------------------------------------------------------- *)

@@ -78,14 +78,25 @@ val on_idle : t -> (unit -> unit) -> unit
 
 (** {1 Elasticity (parental-consent rule)} *)
 
-val request_grow : t -> nnodes:int -> int
-(** Ask the parent chain for more nodes; returns how many were granted
-    and absorbed into this instance's pool. On the root this draws from
-    nowhere and returns 0. *)
+type resize_error =
+  | Resize_invalid of int  (** non-positive node count requested *)
+  | Resize_nested  (** a dedicated comms session cannot be resized *)
+  | Resize_root  (** the root has no parent to trade nodes with *)
+  | Resize_exhausted  (** the parent chain had no free node to move *)
 
-val request_shrink : t -> nnodes:int -> int
-(** Return up to [nnodes] free nodes to the parent; returns how many
-    actually moved. *)
+val resize_error_to_string : resize_error -> string
+
+val request_grow : t -> nnodes:int -> (int, resize_error) result
+(** Ask the parent chain for more nodes; [Ok n] means [n >= 1] nodes
+    were granted and absorbed into this instance's pool (possibly fewer
+    than requested). A resize that cannot move a single node is a
+    structured error — never [Ok 0] — so elasticity controllers can
+    distinguish a partial grant from a silent no-op. *)
+
+val request_shrink : t -> nnodes:int -> (int, resize_error) result
+(** Return up to [nnodes] free nodes to the parent; [Ok n] is the count
+    that actually moved ([n >= 1]); same error contract as
+    {!request_grow}. *)
 
 (** {1 Power (site-wide constraint)} *)
 
@@ -98,7 +109,13 @@ val set_power_cap : t -> float -> unit
 val set_tracer : t -> Flux_trace.Tracer.t option -> unit
 (** Emit category ["sched"] events: [job.<state>] on every transition
     (with the job id and node count) and [cycle] per scheduling cycle
-    (with queue length). Children created later inherit the tracer. *)
+    (with queue length). Each job also carries a causal span chain —
+    ["submit"] opens a root span (fields [jid], [depth], [queue]) and
+    ["match"] a child span when the grant lands (fields [jid], [depth],
+    [nodes], [wait]) — which [App] payloads thread through wexec, so a
+    traced run decomposes per-level scheduler-hop latency
+    ([sched.submit -> sched.match -> wexec.start -> wexec.complete]).
+    Children created later inherit the tracer. *)
 
 (** {1 Metrics} *)
 

@@ -60,11 +60,68 @@ let io_phased rng ~n ~max_nodes ~fs_bandwidth_each ?(mean_duration = 120.0) () =
         sub_payload = Job.Sleep d;
       })
 
+let pilot_tasks rng ~n ?(prog = "") ?(mean_duration = 0.1) ?(min_duration = 0.01)
+    ?(arrival_rate = 0.0) () =
+  (* Merzky-style pilot stream: many single-node sub-second tasks,
+     submitted open-loop. With [prog] the tasks are wexec launches
+     (args carry a stable logical task id for exactly-once accounting
+     across requeues); without, synthetic [Sleep]s with the identical
+     duration/arrival draws — so a baseline can consume the same stream
+     shape without a wexec stack. *)
+  let arrivals = poisson_arrivals rng ~rate:arrival_rate ~n in
+  List.mapi
+    (fun i at ->
+      let d = Float.max min_duration (Rng.exponential rng mean_duration) in
+      let payload =
+        if prog = "" then Job.Sleep d
+        else
+          Job.App
+            {
+              prog;
+              args = Flux_json.Json.obj [ ("tid", Flux_json.Json.int i) ];
+              per_rank = 1;
+              duration = d;
+            }
+      in
+      {
+        Job.sub_after = at;
+        sub_spec = Jobspec.make ~nnodes:1 ~walltime_est:(2.0 *. d) ();
+        sub_payload = payload;
+      })
+    arrivals
+
 let split_round_robin k subs =
   if k <= 0 then invalid_arg "Workload.split_round_robin: k must be positive";
   let buckets = Array.make k [] in
   List.iteri (fun i s -> buckets.(i mod k) <- s :: buckets.(i mod k)) subs;
   Array.to_list (Array.map List.rev buckets)
+
+let rec nest ~depth ~children ~policy ~nnodes tasks =
+  (* Wrap a task stream into [depth] levels of child instances, each
+     level fanning out [children] ways and carving the node set evenly
+     (the paper's recursive hierarchy: every level is itself a full
+     Flux instance running [policy]). depth = 0 feeds the stream
+     unwrapped. *)
+  if depth < 0 then invalid_arg "Workload.nest: depth must be >= 0";
+  if depth = 0 then tasks
+  else begin
+    if children <= 1 then invalid_arg "Workload.nest: children must be >= 2";
+    let child_nodes = nnodes / children in
+    if child_nodes < 1 then invalid_arg "Workload.nest: not enough nodes to split";
+    List.map
+      (fun group ->
+        {
+          Job.sub_after = 0.0;
+          sub_spec = Jobspec.make ~nnodes:child_nodes ();
+          sub_payload =
+            Job.Child
+              {
+                policy;
+                workload = nest ~depth:(depth - 1) ~children ~policy ~nnodes:child_nodes group;
+              };
+        })
+      (split_round_robin children tasks)
+  end
 
 let total_node_seconds subs =
   List.fold_left

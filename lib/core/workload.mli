@@ -43,6 +43,36 @@ val io_phased :
     used to demonstrate co-scheduling compute with the global file
     system. *)
 
+val pilot_tasks :
+  Rng.t ->
+  n:int ->
+  ?prog:string ->
+  ?mean_duration:float ->
+  ?min_duration:float ->
+  ?arrival_rate:float ->
+  unit ->
+  Job.submission list
+(** A pilot-style many-task stream (Merzky et al.): [n] single-node
+    tasks with exponential sub-second durations (default mean 0.1 s,
+    floor 0.01 s) arriving open-loop at [arrival_rate] tasks/s (default:
+    all at t=0). With [prog] each task is a wexec [App] launch whose
+    args carry a stable logical task id ([tid] = stream index) for
+    exactly-once accounting across requeues; without, [Sleep] payloads
+    drawn from the identical random sequence — the same stream shape for
+    baselines with no wexec stack. *)
+
+val nest :
+  depth:int ->
+  children:int ->
+  policy:string ->
+  nnodes:int ->
+  Job.submission list ->
+  Job.submission list
+(** Wrap a task stream into [depth] levels of child instances fanning
+    out [children] ways per level, splitting [nnodes] evenly; the tasks
+    are dealt round-robin across the [children ^ depth] leaves.
+    [depth = 0] returns the stream unchanged. *)
+
 val split_round_robin : int -> Job.submission list -> Job.submission list list
 (** Deal a stream across [k] child instances (for two-level setups). *)
 

@@ -1,0 +1,626 @@
+(* Center-scale scheduling ablation harness: a pilot-style open-loop
+   stream of sub-second single-node tasks is fed either to a hierarchy
+   of nested Flux instances (configurable depth and per-level fanout)
+   or to the centralized baseline controller, measuring jobs/sec,
+   makespan, and — from the tracer's causal span chain
+   (sched.submit -> sched.match -> wexec.start -> wexec.complete) —
+   per-level scheduler-hop latency: the paper's log2(C)*T(G) argument,
+   measured.
+
+   The same harness doubles as wexec's chaos workload: a seeded
+   assassin kills a worker rank inside one leaf instance mid-batch; a
+   requeue monitor moves that leaf's failed tasks to surviving sibling
+   leaves. Logical task ids ride the wexec args, and every task body
+   records its executions, so the invariants are checked exactly:
+   every task acked exactly once, every acked task actually executed,
+   and no execution ever lands after its task's ack. *)
+
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Proc = Flux_sim.Proc
+module Rng = Flux_util.Rng
+module Stats = Flux_util.Stats
+module Session = Flux_cmb.Session
+module Kvs = Flux_kvs.Kvs_module
+module Wexec = Flux_modules.Wexec
+module Tracer = Flux_trace.Tracer
+module Metrics = Flux_trace.Metrics
+module Instance = Flux_core.Instance
+module Job = Flux_core.Job
+module Jobspec = Flux_core.Jobspec
+module Pool = Flux_core.Pool
+module Workload = Flux_core.Workload
+module Central = Flux_baseline.Central
+
+type task_kind =
+  | Sleep_tasks  (** synthetic: pure scheduler study, no launch stack *)
+  | Wexec_tasks  (** real launches through wexec with the full span chain *)
+
+type config = {
+  seed : int;
+  nodes : int;  (** session size = compute nodes of the center *)
+  fanout : int;  (** CMB tree fanout *)
+  depth : int;  (** levels of child instances (0 = one flat instance) *)
+  children : int;  (** instance-tree fanout per level *)
+  tasks : int;
+  mean_duration : float;
+  min_duration : float;
+  arrival_rate : float;  (** offered tasks/s, open loop; 0 = batch at t=0 *)
+  policy : string;
+  task_kind : task_kind;
+  cost_model : Instance.cost_model;
+  trace : bool;
+  kill_leaf : bool;  (** kill a worker rank of leaf 0 mid-batch *)
+  kill_frac : float;  (** strike once this fraction of tasks has acked *)
+  revive_after : float;
+  max_requeues : int;
+}
+
+let default =
+  {
+    seed = 1;
+    nodes = 16;
+    fanout = 2;
+    depth = 2;
+    children = 2;
+    tasks = 200;
+    mean_duration = 0.1;
+    min_duration = 0.01;
+    arrival_rate = 0.0;
+    policy = "fcfs";
+    task_kind = Wexec_tasks;
+    cost_model = Instance.default_cost_model;
+    trace = true;
+    kill_leaf = false;
+    kill_frac = 0.25;
+    revive_after = 1.0;
+    max_requeues = 5;
+  }
+
+type level = {
+  lv_depth : int;  (** 0 = root *)
+  lv_jobs : int;  (** matches observed at this level *)
+  lv_submit_match_mean : float;  (** scheduler-hop latency (wait in queue) *)
+  lv_submit_match_p95 : float;
+}
+
+type report = {
+  r_depth : int;
+  r_children : int;
+  r_leaves : int;
+  r_tasks : int;
+  r_acked : int;  (** logical tasks whose job completed *)
+  r_failed_jobs : int;  (** job attempts that ended Failed (pre-requeue) *)
+  r_requeues : int;
+  r_kills : int;
+  r_revives : int;
+  r_makespan : float;  (** last task completion - first task submission *)
+  r_jobs_per_s : float;
+  r_mean_wait : float;
+  r_sched_cycles : int;  (** summed over every instance in the tree *)
+  r_levels : level list;  (** per-level hop decomposition, root first *)
+  r_hop_match_start_mean : float;  (** sched.match -> wexec.start *)
+  r_hop_start_complete_mean : float;  (** wexec.start -> wexec.complete *)
+  r_spans : (string * int) list;  (** span-chain counter fingerprint *)
+  r_wexec_started : int;
+  r_wexec_done : int;
+  r_violations : string list;
+  r_final_clock : float;
+  r_sim_events : int;
+}
+
+(* --- Hierarchical run ----------------------------------------------------- *)
+
+type task_state = {
+  mutable ts_acked_at : float;  (** < 0.0: not acked *)
+  mutable ts_acks : int;
+  mutable ts_execs : int;
+  mutable ts_requeues : int;
+}
+
+type state = {
+  cfg : config;
+  eng : Engine.t;
+  sess : Session.t;
+  root : Instance.t;
+  tracer : Tracer.t option;
+  tasks : task_state array;  (** indexed by logical task id *)
+  mutable requeues : int;
+  mutable kills : int;
+  mutable revives : int;
+  mutable violations : string list;  (** reversed *)
+}
+
+let violate st fmt =
+  Printf.ksprintf
+    (fun s ->
+      st.violations <- Printf.sprintf "t=%.3f %s" (Engine.now st.eng) s :: st.violations)
+    fmt
+
+let prog_name = "sched.task"
+
+let time_limit = 600.0
+
+let tid_of_payload = function
+  | Job.App { args; _ } -> (
+    match Json.member_opt "tid" args with Some t -> Some (Json.to_int t) | None -> None)
+  | Job.Sleep _ | Job.Child _ | Job.Nested _ -> None
+
+(* The pilot task body: compute for the assigned duration, then record
+   the execution against the logical task id. A task killed mid-sleep
+   (worker death) never reaches the record — exactly the semantics the
+   at-most-once-per-ack invariant needs. *)
+let task_body st (ctx : Wexec.proc_ctx) =
+  let d = Json.to_float (Json.member "duration" ctx.px_args) in
+  Proc.sleep d;
+  let tid = Json.to_int (Json.member "tid" ctx.px_args) in
+  let ts = st.tasks.(tid) in
+  ts.ts_execs <- ts.ts_execs + 1;
+  if ts.ts_acked_at >= 0.0 then
+    violate st "task %d executed after its ack (execs=%d)" tid ts.ts_execs
+
+let rec instances st i = i :: List.concat_map (instances st) (Instance.children i)
+
+let leaves st =
+  List.filter (fun i -> Instance.children i = [] && Instance.depth i = st.cfg.depth)
+    (instances st st.root)
+
+(* Leaf-task jobs across the whole tree (requeues included). *)
+let task_jobs st =
+  List.concat_map
+    (fun i ->
+      List.filter
+        (fun (j : Job.t) ->
+          match j.Job.job_payload with
+          | Job.Sleep _ | Job.App _ -> true
+          | Job.Child _ | Job.Nested _ -> false)
+        (Instance.jobs i))
+    (instances st st.root)
+
+let acked_count st =
+  Array.fold_left (fun acc ts -> if ts.ts_acks > 0 then acc + 1 else acc) 0 st.tasks
+
+(* A task is resolved when acked, or when its requeue budget is spent
+   (the monitor stops waiting for it; the final audit flags it). *)
+let unresolved st =
+  Array.exists
+    (fun ts -> ts.ts_acks = 0 && ts.ts_requeues <= st.cfg.max_requeues)
+    st.tasks
+
+(* --- Chaos: leaf kill + requeue monitor ----------------------------------- *)
+
+let assassin st =
+  let rng = Rng.split (Rng.create st.cfg.seed) in
+  let threshold =
+    max 1 (int_of_float (st.cfg.kill_frac *. float_of_int st.cfg.tasks))
+  in
+  while acked_count st < threshold && Engine.now st.eng < time_limit do
+    Proc.sleep 0.002
+  done;
+  Proc.sleep (Rng.float rng 0.01);
+  match leaves st with
+  | [] -> violate st "assassin found no leaf instance"
+  | leaf :: _ -> (
+    (* Kill a worker rank owned by the first leaf — never rank 0 (the
+       wexec/KVS master is fixed there). Prefer a rank that is busy
+       running a task so the strike exercises wexec's death-accounting
+       path, not just pool bookkeeping. *)
+    let busy =
+      List.concat_map
+        (fun (j : Job.t) -> j.Job.granted_nodes)
+        (List.filter (fun (j : Job.t) -> j.Job.jstate = Job.Running) (Instance.jobs leaf))
+    in
+    let candidates =
+      List.filter (fun r -> r <> 0)
+        (busy @ Pool.free_node_list (Instance.pool leaf))
+    in
+    match candidates with
+    | [] -> violate st "assassin found no killable rank in leaf %s" (Instance.name leaf)
+    | v :: _ ->
+      Session.mark_down st.sess v;
+      st.kills <- st.kills + 1;
+      Proc.sleep st.cfg.revive_after;
+      Session.mark_up st.sess v;
+      st.revives <- st.revives + 1)
+
+(* Requeue failed task attempts onto a surviving sibling leaf: the
+   logical task id rides along, the jobid is fresh (wexec requires
+   fresh ids), and acked tasks are never requeued — that is exactly the
+   no-double-execution guarantee under test. *)
+let monitor st =
+  let requeued_jids : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let pick_target =
+    let cursor = ref 0 in
+    fun () ->
+      let ls = leaves st in
+      let n = List.length ls in
+      let ok i =
+        let pool = Instance.pool i in
+        Pool.total_nodes pool >= 1
+        && List.for_all (fun r -> not (Session.is_down st.sess r))
+             (Pool.free_node_list pool)
+      in
+      let rec scan k =
+        if k >= n then None
+        else
+          let c = List.nth ls ((!cursor + k) mod n) in
+          if ok c then begin
+            cursor := (!cursor + k + 1) mod n;
+            Some c
+          end
+          else scan (k + 1)
+      in
+      scan 0
+  in
+  while unresolved st && Engine.now st.eng < time_limit do
+    List.iter
+      (fun i ->
+        List.iter
+          (fun (j : Job.t) ->
+            match j.Job.jstate with
+            | Job.Failed _ when not (Hashtbl.mem requeued_jids j.Job.jid) -> (
+              Hashtbl.replace requeued_jids j.Job.jid ();
+              match tid_of_payload j.Job.job_payload with
+              | None -> ()
+              | Some tid ->
+                let ts = st.tasks.(tid) in
+                if ts.ts_acks = 0 && ts.ts_requeues < st.cfg.max_requeues then begin
+                  ts.ts_requeues <- ts.ts_requeues + 1;
+                  match pick_target () with
+                  | None ->
+                    (* No live leaf this tick; retry on the next one. *)
+                    ts.ts_requeues <- ts.ts_requeues - 1;
+                    Hashtbl.remove requeued_jids j.Job.jid
+                  | Some target ->
+                    st.requeues <- st.requeues + 1;
+                    ignore
+                      (Instance.submit target ~spec:j.Job.spec
+                         ~payload:j.Job.job_payload
+                        : Job.t)
+                end)
+            | _ -> ())
+          (Instance.jobs i))
+      (leaves st);
+    Proc.sleep 0.001
+  done
+
+(* --- Span-chain decomposition --------------------------------------------- *)
+
+let level_decomposition st =
+  match st.tracer with
+  | None -> ([], 0.0, 0.0)
+  | Some tr ->
+    let submits : (string, float * int) Hashtbl.t = Hashtbl.create 1024 in
+    let matches : (string, float) Hashtbl.t = Hashtbl.create 1024 in
+    let starts : (string, float) Hashtbl.t = Hashtbl.create 1024 in
+    let completes : (string, float) Hashtbl.t = Hashtbl.create 1024 in
+    List.iter
+      (fun (e : Tracer.event) ->
+        let jid () = Json.to_string_v (Json.member "jid" (Json.obj e.Tracer.ev_fields)) in
+        match (e.Tracer.ev_cat, e.Tracer.ev_name) with
+        | "sched", "submit" ->
+          let d = Json.to_int (Json.member "depth" (Json.obj e.Tracer.ev_fields)) in
+          Hashtbl.replace submits (jid ()) (e.Tracer.ev_ts, d)
+        | "sched", "match" -> Hashtbl.replace matches (jid ()) e.Tracer.ev_ts
+        | "wexec", "start" ->
+          let jobid =
+            Json.to_string_v (Json.member "jobid" (Json.obj e.Tracer.ev_fields))
+          in
+          if not (Hashtbl.mem starts jobid) then
+            Hashtbl.replace starts jobid e.Tracer.ev_ts
+        | "wexec", "complete" ->
+          let jobid =
+            Json.to_string_v (Json.member "jobid" (Json.obj e.Tracer.ev_fields))
+          in
+          Hashtbl.replace completes jobid e.Tracer.ev_ts
+        | _ -> ())
+      (Tracer.events tr);
+    let per_level : (int, Stats.t) Hashtbl.t = Hashtbl.create 8 in
+    let match_start = Stats.create () in
+    let start_complete = Stats.create () in
+    Hashtbl.iter
+      (fun jid (t_submit, d) ->
+        match Hashtbl.find_opt matches jid with
+        | None -> ()
+        | Some t_match ->
+          let s =
+            match Hashtbl.find_opt per_level d with
+            | Some s -> s
+            | None ->
+              let s = Stats.create () in
+              Hashtbl.replace per_level d s;
+              s
+          in
+          Stats.add s (t_match -. t_submit);
+          (match Hashtbl.find_opt starts jid with
+          | Some t_start -> Stats.add match_start (t_start -. t_match)
+          | None -> ());
+          (match (Hashtbl.find_opt starts jid, Hashtbl.find_opt completes jid) with
+          | Some t_start, Some t_c -> Stats.add start_complete (t_c -. t_start)
+          | _ -> ()))
+      submits;
+    let levels =
+      List.sort (fun a b -> compare a.lv_depth b.lv_depth)
+        (Hashtbl.fold
+           (fun d s acc ->
+             {
+               lv_depth = d;
+               lv_jobs = Stats.count s;
+               lv_submit_match_mean = Stats.mean s;
+               lv_submit_match_p95 = Stats.percentile s 0.95;
+             }
+             :: acc)
+           per_level [])
+    in
+    ( levels,
+      (if Stats.count match_start = 0 then 0.0 else Stats.mean match_start),
+      if Stats.count start_complete = 0 then 0.0 else Stats.mean start_complete )
+
+(* --- Audit ----------------------------------------------------------------- *)
+
+let audit st =
+  (* Fold the end state of every task-job into the per-task ledger,
+     then check the exactly-once story. Sleep payloads carry no logical
+     task id (nothing executes, nothing can double-execute), so the
+     ledger audit only applies to wexec tasks. *)
+  if st.cfg.task_kind = Wexec_tasks then begin
+  List.iter
+    (fun (j : Job.t) ->
+      match tid_of_payload j.Job.job_payload with
+      | None -> ()
+      | Some tid ->
+        let ts = st.tasks.(tid) in
+        (match j.Job.jstate with
+        | Job.Complete ->
+          ts.ts_acks <- ts.ts_acks + 1;
+          ts.ts_acked_at <-
+            (if ts.ts_acked_at < 0.0 then j.Job.end_time
+             else Float.min ts.ts_acked_at j.Job.end_time)
+        | _ -> ()))
+    (task_jobs st);
+  Array.iteri
+    (fun tid ts ->
+      if ts.ts_acks = 0 then
+        violate st "task %d lost: never acked (requeues %d)" tid ts.ts_requeues
+      else if ts.ts_acks > 1 then violate st "task %d acked %d times" tid ts.ts_acks;
+      if ts.ts_acks > 0 && ts.ts_execs = 0 then
+        violate st "task %d acked but never executed" tid;
+      if ts.ts_execs > ts.ts_requeues + 1 then
+        violate st "task %d executed %d times with only %d requeues" tid ts.ts_execs
+          ts.ts_requeues)
+    st.tasks
+  end
+
+(* Live ack bookkeeping so the assassin/monitor can pace themselves
+   without waiting for the final audit: poll completions incrementally. *)
+let ack_watcher st =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let done_ () =
+    (not (unresolved st)) || Engine.now st.eng >= time_limit
+  in
+  while not (done_ ()) do
+    List.iter
+      (fun (j : Job.t) ->
+        if j.Job.jstate = Job.Complete && not (Hashtbl.mem seen j.Job.jid) then begin
+          Hashtbl.replace seen j.Job.jid ();
+          match tid_of_payload j.Job.job_payload with
+          | None -> ()
+          | Some tid ->
+            let ts = st.tasks.(tid) in
+            if ts.ts_acks = 0 then begin
+              ts.ts_acks <- 1;
+              ts.ts_acked_at <- j.Job.end_time
+            end
+            else violate st "task %d acked twice (live)" tid
+        end)
+      (task_jobs st);
+    Proc.sleep 0.001
+  done
+
+let run cfg =
+  if cfg.depth < 0 then invalid_arg "Sched.run: depth must be >= 0";
+  if cfg.depth > 0 && cfg.children < 2 then
+    invalid_arg "Sched.run: children must be >= 2 when depth > 0";
+  let leaves_n =
+    int_of_float (float_of_int cfg.children ** float_of_int cfg.depth)
+  in
+  if cfg.depth > 0 && cfg.nodes / leaves_n < 1 then
+    invalid_arg "Sched.run: children^depth exceeds the node count";
+  if cfg.kill_leaf && cfg.task_kind <> Wexec_tasks then
+    invalid_arg "Sched.run: kill_leaf requires Wexec_tasks";
+  let eng = Engine.create () in
+  let sess = Session.create eng ~fanout:cfg.fanout ~size:cfg.nodes () in
+  let kvs = Kvs.load sess () in
+  ignore (Flux_modules.Barrier.load sess () : Flux_modules.Barrier.t array);
+  let wexec = Wexec.load sess () in
+  let tracer =
+    if cfg.trace then Some (Tracer.create ~capacity:2_000_000 ~now:(fun () -> Engine.now eng) ())
+    else None
+  in
+  let metrics = Metrics.create () in
+  Kvs.set_metrics_all kvs metrics;
+  Wexec.set_tracer_all wexec tracer;
+  Wexec.set_metrics_all wexec metrics;
+  let root =
+    Instance.create_root sess ~policy:cfg.policy ~cost_model:cfg.cost_model ~name:"sched"
+      ()
+  in
+  Instance.set_tracer root tracer;
+  let st =
+    {
+      cfg;
+      eng;
+      sess;
+      root;
+      tracer;
+      tasks =
+        Array.init cfg.tasks (fun _ ->
+            { ts_acked_at = -1.0; ts_acks = 0; ts_execs = 0; ts_requeues = 0 });
+      requeues = 0;
+      kills = 0;
+      revives = 0;
+      violations = [];
+    }
+  in
+  Wexec.register_program prog_name (task_body st);
+  let rng = Rng.create cfg.seed in
+  let prog = match cfg.task_kind with Sleep_tasks -> "" | Wexec_tasks -> prog_name in
+  let stream =
+    Workload.pilot_tasks rng ~n:cfg.tasks ~prog ~mean_duration:cfg.mean_duration
+      ~min_duration:cfg.min_duration ~arrival_rate:cfg.arrival_rate ()
+  in
+  let plan =
+    Workload.nest ~depth:cfg.depth ~children:cfg.children ~policy:cfg.policy
+      ~nnodes:cfg.nodes stream
+  in
+  Instance.submit_plan root plan;
+  if cfg.kill_leaf then begin
+    ignore (Proc.spawn eng ~name:"sched-assassin" (fun () -> assassin st) : Proc.pid);
+    ignore (Proc.spawn eng ~name:"sched-monitor" (fun () -> monitor st) : Proc.pid);
+    ignore (Proc.spawn eng ~name:"sched-acks" (fun () -> ack_watcher st) : Proc.pid)
+  end;
+  Engine.run eng;
+  (* Reset the live ledger and audit from ground truth (job records). *)
+  Array.iter
+    (fun ts ->
+      ts.ts_acks <- 0;
+      ts.ts_acked_at <- -1.0)
+    st.tasks;
+  audit st;
+  let tjobs = task_jobs st in
+  let completed = List.filter (fun (j : Job.t) -> j.Job.jstate = Job.Complete) tjobs in
+  let failed =
+    List.filter
+      (fun (j : Job.t) -> match j.Job.jstate with Job.Failed _ -> true | _ -> false)
+      tjobs
+  in
+  let first_submit =
+    List.fold_left (fun acc (j : Job.t) -> Float.min acc j.Job.submit_time) infinity tjobs
+  in
+  let last_end =
+    List.fold_left (fun acc (j : Job.t) -> Float.max acc j.Job.end_time) 0.0 completed
+  in
+  let makespan = if completed = [] then 0.0 else last_end -. first_submit in
+  let waits = List.map Job.wait_time completed in
+  let sched_cycles =
+    List.fold_left
+      (fun acc i -> acc + (Instance.stats i).Instance.st_sched_cycles)
+      0 (instances st st.root)
+  in
+  let levels, hop_ms, hop_sc = level_decomposition st in
+  let spans =
+    match st.tracer with
+    | None -> []
+    | Some tr ->
+      List.map
+        (fun (cat, name) -> (cat ^ "." ^ name, Tracer.count tr ~cat ~name))
+        [
+          ("sched", "submit");
+          ("sched", "match");
+          ("wexec", "start");
+          ("wexec", "complete");
+        ]
+  in
+  {
+    r_depth = cfg.depth;
+    r_children = cfg.children;
+    r_leaves = (if cfg.depth = 0 then 1 else leaves_n);
+    r_tasks = cfg.tasks;
+    r_acked =
+      (match cfg.task_kind with
+      | Wexec_tasks -> acked_count st
+      | Sleep_tasks -> List.length completed);
+    r_failed_jobs = List.length failed;
+    r_requeues = st.requeues;
+    r_kills = st.kills;
+    r_revives = st.revives;
+    r_makespan = makespan;
+    r_jobs_per_s =
+      (if makespan > 0.0 then float_of_int (List.length completed) /. makespan else 0.0);
+    r_mean_wait =
+      (if waits = [] then 0.0
+       else List.fold_left ( +. ) 0.0 waits /. float_of_int (List.length waits));
+    r_sched_cycles = sched_cycles;
+    r_levels = levels;
+    r_hop_match_start_mean = hop_ms;
+    r_hop_start_complete_mean = hop_sc;
+    r_spans = spans;
+    r_wexec_started = Metrics.counter_total metrics ~name:"wexec.tasks.started";
+    r_wexec_done = Metrics.counter_total metrics ~name:"wexec.tasks.done";
+    r_violations = List.rev st.violations;
+    r_final_clock = Engine.now eng;
+    r_sim_events = Engine.events_executed eng;
+  }
+
+(* --- Centralized baseline -------------------------------------------------- *)
+
+type central_report = {
+  c_tasks : int;
+  c_completed : int;
+  c_makespan : float;
+  c_jobs_per_s : float;
+  c_mean_wait : float;
+  c_sched_cycles : int;
+  c_final_clock : float;
+}
+
+(* The identical pilot stream (same seed, so the same durations and
+   arrivals) against one monolithic controller. The baseline has no
+   launch stack at all — tasks are pure timers — which only flatters
+   it: the hierarchy pays wexec RPCs on top and must still win. *)
+let run_central cfg =
+  let eng = Engine.create () in
+  let ctl =
+    Central.create eng ~nnodes:cfg.nodes ~policy:cfg.policy ~cost_model:cfg.cost_model ()
+  in
+  let rng = Rng.create cfg.seed in
+  let stream =
+    Workload.pilot_tasks rng ~n:cfg.tasks ~prog:"" ~mean_duration:cfg.mean_duration
+      ~min_duration:cfg.min_duration ~arrival_rate:cfg.arrival_rate ()
+  in
+  Central.submit_plan ctl stream;
+  Engine.run eng;
+  let s = Central.stats ctl in
+  {
+    c_tasks = cfg.tasks;
+    c_completed = s.Central.bs_completed;
+    c_makespan = s.Central.bs_makespan;
+    c_jobs_per_s =
+      (if s.Central.bs_makespan > 0.0 then
+         float_of_int s.Central.bs_completed /. s.Central.bs_makespan
+       else 0.0);
+    c_mean_wait = s.Central.bs_mean_wait;
+    c_sched_cycles = s.Central.bs_sched_cycles;
+    c_final_clock = Engine.now eng;
+  }
+
+(* --- Reporting ------------------------------------------------------------- *)
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>depth %d x %d children (%d leaves), %d tasks@,\
+     acked %d, failed attempts %d, requeues %d, kills/revives %d/%d@,\
+     makespan %.3fs -> %.1f jobs/s, mean wait %.4fs, %d sched cycles@,\
+     hops: match->start %.5fs, start->complete %.5fs@,"
+    r.r_depth r.r_children r.r_leaves r.r_tasks r.r_acked r.r_failed_jobs r.r_requeues
+    r.r_kills r.r_revives r.r_makespan r.r_jobs_per_s r.r_mean_wait r.r_sched_cycles
+    r.r_hop_match_start_mean r.r_hop_start_complete_mean;
+  List.iter
+    (fun lv ->
+      Format.fprintf ppf "  level %d: %d jobs, submit->match mean %.5fs p95 %.5fs@,"
+        lv.lv_depth lv.lv_jobs lv.lv_submit_match_mean lv.lv_submit_match_p95)
+    r.r_levels;
+  Format.fprintf ppf "violations: %d%a@]"
+    (List.length r.r_violations)
+    (fun ppf -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v))
+    r.r_violations
+
+let pp_central ppf (c : central_report) =
+  Format.fprintf ppf
+    "@[<v>central: %d/%d tasks, makespan %.3fs -> %.1f jobs/s, mean wait %.4fs, %d cycles@]"
+    c.c_completed c.c_tasks c.c_makespan c.c_jobs_per_s c.c_mean_wait c.c_sched_cycles
+
+(* Fingerprint for same-seed determinism comparisons: counters, clock,
+   and the span-chain counts must all be bit-for-bit reproducible. *)
+let fingerprint (r : report) =
+  (r.r_acked, r.r_jobs_per_s, r.r_makespan, r.r_final_clock, r.r_sim_events, r.r_spans)

@@ -8,6 +8,8 @@ module Api = Flux_cmb.Api
 module Client = Flux_kvs.Client
 module Kproto = Flux_kvs.Proto
 module Sha1 = Flux_sha1.Sha1
+module Tracer = Flux_trace.Tracer
+module Metrics = Flux_trace.Metrics
 
 type proc_ctx = {
   px_rank : int;
@@ -41,6 +43,7 @@ type master_job = {
   mj_per_rank : int;
   mj_ranks : int list; (* participant ranks at launch *)
   mj_rank_done : (int, int) Hashtbl.t; (* completions attributed per rank *)
+  mj_ctx : Tracer.ctx option; (* causal ctx of the launching RPC *)
 }
 
 type t = {
@@ -48,10 +51,35 @@ type t = {
   master : bool;
   jobs : (string, job_local) Hashtbl.t;
   master_jobs : (string, master_job) Hashtbl.t;
+  mutable wx_tracer : Tracer.t option;
+  mutable wx_metrics : Metrics.t option;
 }
 
 let running_tasks t =
   Hashtbl.fold (fun _ jl acc -> acc + jl.jl_remaining) t.jobs 0
+
+let set_tracer_all ts tr = Array.iter (fun t -> t.wx_tracer <- tr) ts
+let set_metrics_all ts m = Array.iter (fun t -> t.wx_metrics <- Some m) ts
+
+(* Lifecycle events ride the tracer ctx carried out-of-band in message
+   envelopes, so enabling them never perturbs payload sizes or simulated
+   timing: trace on/off is bit-for-bit unobservable to the run. *)
+let wemit t ~name ?parent ?fields () =
+  match t.wx_tracer with
+  | None -> ()
+  | Some tr ->
+    let ctx = Option.map (Tracer.child_ctx tr) parent in
+    Tracer.emit tr ~cat:"wexec" ~name ~rank:(Session.rank t.b) ?ctx ?fields ()
+
+let wchild t parent =
+  match (t.wx_tracer, parent) with
+  | Some tr, Some c -> Some (Tracer.child_ctx tr c)
+  | _ -> None
+
+let wcount t ~name n =
+  match t.wx_metrics with
+  | Some m -> Metrics.add m ~name ~rank:(Session.rank t.b) n
+  | None -> ()
 
 (* Report local completions to the root (Pass-chains up the tree). The
    reporting rank rides along so the master can attribute completions
@@ -89,7 +117,20 @@ let master_account t ~jobid ?rank ~count ~failed () =
     mj.mj_failed <- mj.mj_failed + failed;
     if mj.mj_done >= mj.mj_total then begin
       Hashtbl.remove t.master_jobs jobid;
-      Session.publish t.b ~topic:("wexec.complete." ^ jobid)
+      wcount t ~name:"wexec.jobs.completed" 1;
+      let ctx = wchild t mj.mj_ctx in
+      (match t.wx_tracer with
+      | Some tr ->
+        Tracer.emit tr ~cat:"wexec" ~name:"complete" ~rank:(Session.rank t.b) ?ctx
+          ~fields:
+            [
+              ("jobid", Json.string jobid);
+              ("ntasks", Json.int mj.mj_total);
+              ("failed", Json.int mj.mj_failed);
+            ]
+          ()
+      | None -> ());
+      Session.publish t.b ?trace_ctx:ctx ~topic:("wexec.complete." ^ jobid)
         (Json.obj
            [
              ("jobid", Json.string jobid);
@@ -103,6 +144,7 @@ let task_finished t ~jobid ~failed =
   | None -> ()
   | Some jl ->
     jl.jl_remaining <- jl.jl_remaining - 1;
+    wcount t ~name:(if failed then "wexec.tasks.failed" else "wexec.tasks.done") 1;
     if failed then jl.jl_failed <- jl.jl_failed + 1;
     if jl.jl_remaining = 0 then begin
       let count = List.length jl.jl_pids in
@@ -171,7 +213,8 @@ let start_local_tasks t ~jobid ~prog ~args ~per_rank ~rank_index ~ntasks =
       jl.jl_pids <- pid :: jl.jl_pids
     done
 
-let handle_exec t payload =
+let handle_exec t (ev : Message.t) =
+  let payload = ev.Message.payload in
   let jobid = Json.to_string_v (Json.member "jobid" payload) in
   let prog = Json.to_string_v (Json.member "prog" payload) in
   let args = Json.member "args" payload in
@@ -180,9 +223,33 @@ let handle_exec t payload =
   let rank = Session.rank t.b in
   match List.find_index (fun r -> r = rank) ranks with
   | Some rank_index ->
+    wemit t ~name:"start" ?parent:ev.Message.trace
+      ~fields:[ ("jobid", Json.string jobid); ("ntasks", Json.int per_rank) ]
+      ();
+    wcount t ~name:"wexec.tasks.started" per_rank;
     start_local_tasks t ~jobid ~prog ~args ~per_rank ~rank_index
       ~ntasks:(per_rank * List.length ranks)
   | None -> ()
+
+(* The master has closed this job: any task still running locally is a
+   straggler whose work can no longer be acknowledged. The canonical
+   case is a revived broker replaying the event backlog it missed while
+   down — the replayed [wexec.exec] spawns tasks for a job the master
+   death-accounted long ago, and without this teardown they would
+   execute side effects AFTER the job's completion was acked (the
+   requeued copy having run elsewhere). The [wexec.complete] event sits
+   later in the same backlog, so replay kills the zombies in the same
+   engine step that spawned them, before their first suspension point
+   resumes. Silent on purpose: the accounting is already final. *)
+let handle_complete_event t jobid =
+  match Hashtbl.find_opt t.jobs jobid with
+  | None -> ()
+  | Some jl ->
+    jl.jl_killed <- true;
+    let eng = Session.b_engine t.b in
+    List.iter (fun pid -> Proc.kill eng pid) jl.jl_pids;
+    if jl.jl_remaining > 0 then wcount t ~name:"wexec.tasks.stale_killed" jl.jl_remaining;
+    Hashtbl.remove t.jobs jobid
 
 let handle_kill t jobid =
   match Hashtbl.find_opt t.jobs jobid with
@@ -195,6 +262,7 @@ let handle_kill t jobid =
          them here rather than waiting for the unwinding, since a killed
          task performs no further KVS bookkeeping. *)
       List.iter (fun pid -> Proc.kill eng pid) jl.jl_pids;
+      wcount t ~name:"wexec.tasks.killed" jl.jl_remaining;
       let count = List.length jl.jl_pids in
       let failed = jl.jl_failed + jl.jl_remaining in
       Hashtbl.remove t.jobs jobid;
@@ -229,7 +297,18 @@ let on_rank_down t r =
       (fun (jobid, mj) ->
         let prior = Option.value ~default:0 (Hashtbl.find_opt mj.mj_rank_done r) in
         let missing = mj.mj_per_rank - prior in
-        if missing > 0 then master_account t ~jobid ~rank:r ~count:missing ~failed:missing ())
+        if missing > 0 then begin
+          wemit t ~name:"death_account" ?parent:mj.mj_ctx
+            ~fields:
+              [
+                ("jobid", Json.string jobid);
+                ("rank", Json.int r);
+                ("missing", Json.int missing);
+              ]
+            ();
+          wcount t ~name:"wexec.tasks.death_accounted" missing;
+          master_account t ~jobid ~rank:r ~count:missing ~failed:missing ()
+        end)
       affected
   end
 
@@ -259,9 +338,14 @@ let module_of t =
                   mj_per_rank = per_rank;
                   mj_ranks = ranks;
                   mj_rank_done = Hashtbl.create 8;
+                  mj_ctx = req.Message.trace;
                 };
-              (* Broadcast the launch over the event plane. *)
-              Session.publish t.b ~topic:("wexec.exec." ^ jobid) p;
+              wcount t ~name:"wexec.jobs.launched" 1;
+              (* Broadcast the launch over the event plane, carrying the
+                 launching RPC's causal ctx so per-rank starts chain off
+                 the job's sched.submit -> sched.match spans. *)
+              Session.publish t.b ?trace_ctx:req.Message.trace
+                ~topic:("wexec.exec." ^ jobid) p;
               Session.respond t.b req Json.null;
               (* Ranks already dead at launch never start their tasks:
                  account them as failed now so the completion total is
@@ -297,10 +381,12 @@ let module_of t =
           Session.Consumed);
     on_event =
       (fun (ev : Message.t) ->
-        if Topic.prefixed ~prefix:"wexec.exec" ev.Message.topic then
-          handle_exec t ev.Message.payload
+        if Topic.prefixed ~prefix:"wexec.exec" ev.Message.topic then handle_exec t ev
         else if Topic.prefixed ~prefix:"wexec.kill" ev.Message.topic then
-          handle_kill t (Json.to_string_v (Json.member "jobid" ev.Message.payload)));
+          handle_kill t (Json.to_string_v (Json.member "jobid" ev.Message.payload))
+        else if Topic.prefixed ~prefix:"wexec.complete" ev.Message.topic then
+          handle_complete_event t
+            (Json.to_string_v (Json.member "jobid" ev.Message.payload)));
   }
 
 let load sess () =
@@ -311,6 +397,8 @@ let load sess () =
           master = r = 0;
           jobs = Hashtbl.create 8;
           master_jobs = Hashtbl.create 8;
+          wx_tracer = None;
+          wx_metrics = None;
         })
   in
   Session.load_module sess (fun b -> module_of instances.(Session.rank b));
@@ -324,7 +412,7 @@ let load sess () =
 
 type completion = { c_jobid : string; c_ntasks : int; c_failed : int }
 
-let run api ~jobid ~prog ?(args = Json.null) ?(per_rank = 1) ~ranks () =
+let run api ~jobid ~prog ?(args = Json.null) ?(per_rank = 1) ?trace_ctx ~ranks () =
   if not (Topic.is_valid ("wexec.complete." ^ jobid)) then
     Error (Printf.sprintf "invalid job id %S" jobid)
   else begin
@@ -344,7 +432,7 @@ let run api ~jobid ~prog ?(args = Json.null) ?(per_rank = 1) ~ranks () =
     let done_iv = Flux_sim.Ivar.create () in
     Api.subscribe api ~prefix:("wexec.complete." ^ jobid) (fun ~topic:_ p ->
         ignore (Flux_sim.Ivar.try_fill eng done_iv p : bool));
-    match Api.rpc api ~topic:"wexec.run" payload with
+    match Api.rpc api ?trace_ctx ~topic:"wexec.run" payload with
     | Error e -> Error e
     | Ok _ ->
       let p = Proc.await done_iv in

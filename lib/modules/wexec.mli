@@ -35,6 +35,22 @@ val load : Flux_cmb.Session.t -> unit -> t array
     dead node still completes — and the dead rank's local tasks are
     destroyed so a later revival cannot double-report. *)
 
+val set_tracer_all : t array -> Flux_trace.Tracer.t option -> unit
+(** Emit category ["wexec"] task-lifecycle events: ["start"] when a rank
+    begins its local tasks (child span of the launching RPC's ctx, which
+    rides the message envelope out-of-band — enabling tracing never
+    perturbs payload sizes or simulated timing), ["complete"] at the
+    master when the job's completion total is reached, and
+    ["death_account"] when a dead rank's unreported tasks are written
+    off. Together with {!Flux_core.Instance.set_tracer} this yields the
+    per-job [sched.submit -> sched.match -> wexec.start ->
+    wexec.complete] span chain. *)
+
+val set_metrics_all : t array -> Flux_trace.Metrics.t -> unit
+(** Per-rank counters: [wexec.jobs.launched] / [wexec.jobs.completed],
+    [wexec.tasks.started] / [.done] / [.failed] / [.killed] /
+    [.death_accounted]. *)
+
 type completion = {
   c_jobid : string;
   c_ntasks : int;
@@ -47,13 +63,16 @@ val run :
   prog:string ->
   ?args:Flux_json.Json.t ->
   ?per_rank:int ->
+  ?trace_ctx:Flux_trace.Tracer.ctx ->
   ranks:int list ->
   unit ->
   (completion, string) result
 (** Launch [per_rank] (default 1) tasks of [prog] on each listed rank
     and block until the whole job completes. Must run inside a
     {!Flux_sim.Proc} body. Job ids must be fresh and form a valid topic
-    component (letters, digits, [-], [_]). *)
+    component (letters, digits, [-], [_]). [trace_ctx] links the whole
+    launch (run RPC, per-rank starts, completion event) into the
+    caller's causal trace. *)
 
 val kill : Flux_cmb.Api.t -> jobid:string -> unit
 (** Deliver a kill signal: every task of the job is terminated; the job

@@ -16,6 +16,8 @@ module Json = Flux_json.Json
 module Engine = Flux_sim.Engine
 module Proc = Flux_sim.Proc
 module Session = Flux_cmb.Session
+module Api = Flux_cmb.Api
+module Metrics = Flux_trace.Metrics
 
 let check = Alcotest.check
 let expect_ok label = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" label e
@@ -226,6 +228,215 @@ let test_manifest_roundtrip () =
   | None -> ()
   | Some _ -> Alcotest.fail "partial object parsed as a manifest"
 
+(* --- Wexec lifecycle edges -------------------------------------------------- *)
+
+(* A small center with wexec loaded and metrics attached, plus a ledger
+   of which rank executed how many task bodies to completion. *)
+let wexec_rig ~size =
+  let eng = Engine.create () in
+  let sess = Session.create eng ~fanout:2 ~size () in
+  ignore (Kvs.load sess () : Kvs.t array);
+  ignore (Flux_modules.Barrier.load sess () : Flux_modules.Barrier.t array);
+  let wx = Wexec.load sess () in
+  let metrics = Metrics.create () in
+  Wexec.set_metrics_all wx metrics;
+  let execs = Array.make size 0 in
+  (eng, sess, metrics, execs)
+
+let counter m name = Metrics.counter_total m ~name
+
+let test_die_before_ack () =
+  (* A worker dies mid-task: the master must death-account its share
+     exactly once, the job must still complete (with the failure), and
+     the killed task body must never reach its final statement. *)
+  let eng, sess, metrics, execs = wexec_rig ~size:4 in
+  Wexec.register_program "life.slow" (fun ctx ->
+      Proc.sleep 0.5;
+      execs.(ctx.Wexec.px_rank) <- execs.(ctx.Wexec.px_rank) + 1);
+  let result = ref None in
+  ignore
+    (Proc.spawn eng ~name:"driver" (fun () ->
+         let api = Api.connect sess ~rank:0 in
+         result :=
+           Some (Wexec.run api ~jobid:"j-die" ~prog:"life.slow" ~ranks:[ 1; 3 ] ()))
+      : Proc.pid);
+  ignore
+    (Proc.spawn eng ~name:"assassin" (fun () ->
+         Proc.sleep 0.1;
+         Session.mark_down sess 3;
+         Proc.sleep 0.5;
+         Session.mark_up sess 3)
+      : Proc.pid);
+  Engine.run eng;
+  (match !result with
+  | Some (Ok c) ->
+    check Alcotest.int "both tasks accounted" 2 c.Wexec.c_ntasks;
+    check Alcotest.int "the dead rank's task failed" 1 c.Wexec.c_failed
+  | Some (Error e) -> Alcotest.failf "run failed outright: %s" e
+  | None -> Alcotest.fail "run never returned");
+  check Alcotest.int "survivor executed" 1 execs.(1);
+  check Alcotest.int "dead rank never finished its body" 0 execs.(3);
+  check Alcotest.int "death-accounted exactly once" 1
+    (counter metrics "wexec.tasks.death_accounted");
+  check Alcotest.int "job completed exactly once" 1 (counter metrics "wexec.jobs.completed")
+
+let test_no_zombie_after_revival () =
+  (* Regression for the event-backlog zombie: a rank that is down at
+     launch gets death-accounted immediately, but the wexec.exec event
+     sits in the global log — on revival the backlog replays and, with
+     no teardown, the revived rank would execute side effects for a job
+     whose failure was acked (and whose work was requeued) long ago.
+     The replayed wexec.complete must kill the replayed launch in the
+     same engine step. *)
+  let eng, sess, metrics, execs = wexec_rig ~size:4 in
+  Wexec.register_program "life.tiny" (fun ctx ->
+      Proc.sleep 0.05;
+      execs.(ctx.Wexec.px_rank) <- execs.(ctx.Wexec.px_rank) + 1);
+  let result = ref None in
+  ignore
+    (Proc.spawn eng ~name:"driver" (fun () ->
+         Session.mark_down sess 3;
+         Proc.sleep 0.05;
+         let api = Api.connect sess ~rank:0 in
+         result :=
+           Some (Wexec.run api ~jobid:"j-zombie" ~prog:"life.tiny" ~ranks:[ 1; 3 ] ());
+         (* Job is over (rank 3 death-accounted). Now revive: the
+            backlog replay must not resurrect rank 3's task. *)
+         Proc.sleep 0.2;
+         Session.mark_up sess 3;
+         Proc.sleep 1.0)
+      : Proc.pid);
+  Engine.run eng;
+  (match !result with
+  | Some (Ok c) -> check Alcotest.int "dead-at-launch share failed" 1 c.Wexec.c_failed
+  | Some (Error e) -> Alcotest.failf "run failed outright: %s" e
+  | None -> Alcotest.fail "run never returned");
+  check Alcotest.int "live rank executed" 1 execs.(1);
+  check Alcotest.int "revived rank executed nothing" 0 execs.(3);
+  check Alcotest.int "replayed launch was torn down" 1
+    (counter metrics "wexec.tasks.stale_killed")
+
+let test_duplicate_done_idempotent () =
+  (* Completion accounting must be idempotent per rank: a duplicate (or
+     forged) wexec.done for a rank already at its per-rank quota is
+     clamped to zero during the run and ignored entirely after it. *)
+  let eng, sess, metrics, execs = wexec_rig ~size:4 in
+  Wexec.register_program "life.quick" (fun ctx ->
+      Proc.sleep 0.2;
+      execs.(ctx.Wexec.px_rank) <- execs.(ctx.Wexec.px_rank) + 1);
+  let forged r =
+    Json.obj
+      [
+        ("jobid", Json.string "j-dup");
+        ("count", Json.int 1);
+        ("failed", Json.int 1);
+        ("rank", Json.int r);
+      ]
+  in
+  let result = ref None in
+  ignore
+    (Proc.spawn eng ~name:"driver" (fun () ->
+         let api = Api.connect sess ~rank:0 in
+         result :=
+           Some (Wexec.run api ~jobid:"j-dup" ~prog:"life.quick" ~ranks:[ 1; 2 ] ()))
+      : Proc.pid);
+  ignore
+    (Proc.spawn eng ~name:"forger" (fun () ->
+         let api = Api.connect sess ~rank:2 in
+         (* Mid-run: rank 2 has not reported yet; the forged failure
+            claims its quota. The real report must then be clamped, not
+            double-counted. *)
+         Proc.sleep 0.1;
+         (match Api.rpc api ~topic:"wexec.done" (forged 2) with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "mid-run duplicate rejected: %s" e);
+         (* Post-completion: the job is gone from the master's table;
+            the stale report must be ignored without error. *)
+         Proc.sleep 0.5;
+         match Api.rpc api ~topic:"wexec.done" (forged 1) with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "post-run duplicate rejected: %s" e)
+      : Proc.pid);
+  Engine.run eng;
+  (match !result with
+  | Some (Ok c) ->
+    check Alcotest.int "totals reach exactly ntasks" 2 c.Wexec.c_ntasks;
+    (* The forged failure won rank 2's quota slot; the real success was
+       clamped. What matters is the totals are exact, not inflated. *)
+    check Alcotest.int "failures never exceed the forgery" 1 c.Wexec.c_failed
+  | Some (Error e) -> Alcotest.failf "run failed outright: %s" e
+  | None -> Alcotest.fail "run never returned");
+  check Alcotest.int "both bodies still executed" 2 (execs.(1) + execs.(2));
+  check Alcotest.int "job completed exactly once" 1 (counter metrics "wexec.jobs.completed")
+
+let test_requeue_resumes_from_manifest () =
+  (* Death mid-epoch, then a requeue of the same logical job: the second
+     attempt must find the first attempt's newest durable manifest and
+     resume past it, interleaving the wexec failure path with the
+     checkpoint machinery. *)
+  let eng, sess, metrics, execs = wexec_rig ~size:4 in
+  ignore metrics;
+  let resumes = ref [] in
+  let epochs_done = ref [] in
+  Wexec.register_program "life.ckpt" (fun ctx ->
+      let resume =
+        match Wexec.newest_manifest ctx.Wexec.px_kvs ~jobid:ctx.Wexec.px_jobid ~max_epoch:2 with
+        | Some m -> m.Wexec.m_epoch
+        | None -> 0
+      in
+      if ctx.Wexec.px_global_index = 0 then resumes := resume :: !resumes;
+      for e = resume + 1 to 2 do
+        Proc.sleep 0.2;
+        match Wexec.checkpoint ~timeout:1.0 ctx ~epoch:e with
+        | Ok _ ->
+          if ctx.Wexec.px_global_index = 0 then epochs_done := e :: !epochs_done
+        | Error er -> raise (Wexec.Task_failure er)
+      done;
+      execs.(ctx.Wexec.px_rank) <- execs.(ctx.Wexec.px_rank) + 1);
+  let first = ref None and second = ref None in
+  ignore
+    (Proc.spawn eng ~name:"driver" (fun () ->
+         let api = Api.connect sess ~rank:0 in
+         first := Some (Wexec.run api ~jobid:"j-rq" ~prog:"life.ckpt" ~ranks:[ 1; 2 ] ());
+         (* The worker died mid-epoch-2; requeue the same logical job
+            once the rank is back. *)
+         Proc.sleep 0.5;
+         second := Some (Wexec.run api ~jobid:"j-rq" ~prog:"life.ckpt" ~ranks:[ 1; 2 ] ()))
+      : Proc.pid);
+  ignore
+    (Proc.spawn eng ~name:"assassin" (fun () ->
+         (* Epoch 1 fences at ~0.2; strike during epoch 2's work phase,
+            then revive well before the requeue. *)
+         Proc.sleep 0.3;
+         Session.mark_down sess 2;
+         Proc.sleep 0.3;
+         Session.mark_up sess 2)
+      : Proc.pid);
+  Engine.run eng;
+  (match !first with
+  | Some (Ok c) -> check Alcotest.bool "first attempt failed tasks" true (c.Wexec.c_failed > 0)
+  | Some (Error e) -> Alcotest.failf "first attempt errored: %s" e
+  | None -> Alcotest.fail "first attempt never returned");
+  (match !second with
+  | Some (Ok c) -> check Alcotest.int "requeue completed clean" 0 c.Wexec.c_failed
+  | Some (Error e) -> Alcotest.failf "requeue errored: %s" e
+  | None -> Alcotest.fail "requeue never returned");
+  (match List.rev !resumes with
+  | [ 0; r2 ] ->
+    check Alcotest.int "requeue resumed from the epoch-1 manifest" 1 r2
+  | rs -> Alcotest.failf "unexpected resume trail: [%s]"
+            (String.concat "; " (List.map string_of_int rs)));
+  check Alcotest.bool "epoch 2 eventually checkpointed" true (List.mem 2 !epochs_done);
+  (* The epoch-2 manifest from the successful attempt must verify. *)
+  ignore
+    (Proc.spawn eng ~name:"reader" (fun () ->
+         let kvs = Client.connect sess ~rank:0 in
+         match Wexec.newest_manifest kvs ~jobid:"j-rq" ~max_epoch:2 with
+         | Some m -> check Alcotest.int "newest manifest is epoch 2" 2 m.Wexec.m_epoch
+         | None -> Alcotest.fail "no manifest after successful requeue")
+      : Proc.pid);
+  Engine.run eng
+
 (* --- Sharded snapshot/restore ---------------------------------------------- *)
 
 let test_sharded_roundtrip () =
@@ -331,6 +542,16 @@ let () =
         ] );
       ( "manifests",
         [ Alcotest.test_case "json round-trip is total" `Quick test_manifest_roundtrip ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "rank dies before completion ack" `Quick test_die_before_ack;
+          Alcotest.test_case "no zombie execution after revival" `Quick
+            test_no_zombie_after_revival;
+          Alcotest.test_case "duplicate completion reports are idempotent" `Quick
+            test_duplicate_done_idempotent;
+          Alcotest.test_case "requeue resumes from the newest manifest" `Quick
+            test_requeue_resumes_from_manifest;
+        ] );
       ( "sharded",
         [
           Alcotest.test_case "snapshot/restore round-trip across volumes" `Quick

@@ -534,8 +534,63 @@ let test_instance_nested_session_isolation () =
     (List.length (Flux_cmb.Session.child_sessions c.Center.sess));
   (* And the nested instance cannot be resized (dedicated session). *)
   match Instance.children c.Center.root with
-  | [ child ] -> check int "nested grow denied" 0 (Instance.request_grow child ~nnodes:2)
+  | [ child ] ->
+    check bool "nested grow denied" true
+      (Instance.request_grow child ~nnodes:2 = Error Instance.Resize_nested)
   | _ -> Alcotest.fail "expected one child"
+
+(* Regression: resizes that move nothing used to return a bare 0 that
+   read as success. Every no-op path must now name its reason. *)
+let test_instance_resize_structured_errors () =
+  let c = Center.create ~nodes:8 () in
+  (* The root has no parent: both directions are structural errors. *)
+  check bool "root grow" true
+    (Instance.request_grow c.Center.root ~nnodes:2 = Error Instance.Resize_root);
+  check bool "root shrink" true
+    (Instance.request_shrink c.Center.root ~nnodes:2 = Error Instance.Resize_root);
+  (* The keepalive pins all 4 child nodes, so the child has no free
+     node to give back either. *)
+  let keepalive =
+    { Job.sub_after = 0.0; sub_spec = Jobspec.make ~nnodes:4 (); sub_payload = Job.Sleep 10.0 }
+  in
+  ignore
+    (Instance.submit c.Center.root ~spec:(Jobspec.make ~nnodes:4 ())
+       ~payload:(Job.Child { policy = "fcfs"; workload = [ keepalive ] })
+      : Job.t);
+  (* Parent's remaining 4 nodes are pinned by a long job: the child's
+     grow request finds nothing to take. *)
+  ignore
+    (Instance.submit c.Center.root ~spec:(Jobspec.make ~nnodes:4 ()) ~payload:(Job.Sleep 50.0)
+      : Job.t);
+  ignore
+    (Engine.schedule c.Center.eng ~delay:1.0 (fun () ->
+         match Instance.children c.Center.root with
+         | [ child ] ->
+           check bool "invalid nnodes" true
+             (Instance.request_grow child ~nnodes:0 = Error (Instance.Resize_invalid 0));
+           check bool "negative nnodes" true
+             (Instance.request_shrink child ~nnodes:(-3)
+             = Error (Instance.Resize_invalid (-3)));
+           check bool "grow exhausted" true
+             (Instance.request_grow child ~nnodes:2 = Error Instance.Resize_exhausted);
+           (* The child's own 4 nodes are all held by its running job:
+              shrink has no free node to return either. *)
+           check bool "shrink exhausted" true
+             (Instance.request_shrink child ~nnodes:2 = Error Instance.Resize_exhausted);
+           check bool "error strings are distinct" true
+             (List.length
+                (List.sort_uniq compare
+                   (List.map Instance.resize_error_to_string
+                      [
+                        Instance.Resize_invalid 0;
+                        Instance.Resize_nested;
+                        Instance.Resize_root;
+                        Instance.Resize_exhausted;
+                      ]))
+             = 4)
+         | _ -> Alcotest.fail "expected one child")
+      : Engine.handle);
+  drain c
 
 let test_instance_grow_shrink () =
   let c = Center.create ~nodes:16 () in
@@ -555,9 +610,13 @@ let test_instance_grow_shrink () =
     (Engine.schedule c.Center.eng ~delay:1.0 (fun () ->
          match Instance.children c.Center.root with
          | [ child ] ->
-           grew := Instance.request_grow child ~nnodes:4;
+           (match Instance.request_grow child ~nnodes:4 with
+           | Ok n -> grew := n
+           | Error e -> Alcotest.fail (Instance.resize_error_to_string e));
            check int "child pool grew" 8 (Pool.total_nodes (Instance.pool child));
-           shrunk := Instance.request_shrink child ~nnodes:2;
+           (match Instance.request_shrink child ~nnodes:2 with
+           | Ok n -> shrunk := n
+           | Error e -> Alcotest.fail (Instance.resize_error_to_string e));
            check int "child pool shrank" 6 (Pool.total_nodes (Instance.pool child))
          | _ -> Alcotest.fail "expected one child")
       : Engine.handle);
@@ -586,7 +645,9 @@ let test_instance_grow_bounded_by_parent () =
   ignore
     (Engine.schedule c.Center.eng ~delay:1.0 (fun () ->
          match Instance.children c.Center.root with
-         | [ child ] -> granted := Instance.request_grow child ~nnodes:10
+         | [ child ] ->
+           granted :=
+             (match Instance.request_grow child ~nnodes:10 with Ok n -> n | Error _ -> 0)
          | _ -> Alcotest.fail "expected one child")
       : Engine.handle);
   drain c;
@@ -888,6 +949,8 @@ let () =
           Alcotest.test_case "nested session isolation" `Quick
             test_instance_nested_session_isolation;
           Alcotest.test_case "grow/shrink" `Quick test_instance_grow_shrink;
+          Alcotest.test_case "resize structured errors" `Quick
+            test_instance_resize_structured_errors;
           Alcotest.test_case "grow bounded" `Quick test_instance_grow_bounded_by_parent;
           Alcotest.test_case "power cap" `Quick test_instance_power_cap;
           Alcotest.test_case "dynamic power cap" `Quick test_instance_power_cap_dynamic;

@@ -6,6 +6,7 @@
 
 module Kap = Flux_kap.Kap
 module Chaos = Flux_kap.Chaos
+module Sched = Flux_kap.Sched
 module Export = Flux_trace.Export
 
 let check = Alcotest.check
@@ -92,6 +93,30 @@ let test_chaos_run_twice () =
   check (Alcotest.float 0.0) "final clock" r1.Chaos.final_clock r2.Chaos.final_clock;
   check Alcotest.int "sim events" r1.Chaos.sim_events r2.Chaos.sim_events
 
+(* The scheduling ablation at depth 2, run twice with the same seed:
+   the throughput counters, final simulated clock, engine event count,
+   and the span-chain counter fingerprint
+   (sched.submit/sched.match/wexec.start/wexec.complete) must repeat
+   bit-for-bit — the harness builds its own session, tracer, and
+   instance tree, so this covers the whole stack end to end. *)
+let sched_cfg =
+  { Sched.default with Sched.seed = 11; nodes = 8; depth = 2; children = 2; tasks = 60 }
+
+let test_sched_run_twice () =
+  let r1 = Sched.run sched_cfg in
+  let r2 = Sched.run sched_cfg in
+  check Alcotest.int "acked" r1.Sched.r_acked r2.Sched.r_acked;
+  check (Alcotest.float 0.0) "jobs/s" r1.Sched.r_jobs_per_s r2.Sched.r_jobs_per_s;
+  check (Alcotest.float 0.0) "makespan" r1.Sched.r_makespan r2.Sched.r_makespan;
+  check (Alcotest.float 0.0) "final clock" r1.Sched.r_final_clock r2.Sched.r_final_clock;
+  check Alcotest.int "sim events" r1.Sched.r_sim_events r2.Sched.r_sim_events;
+  check Alcotest.int "sched cycles" r1.Sched.r_sched_cycles r2.Sched.r_sched_cycles;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "span chain counts" r1.Sched.r_spans r2.Sched.r_spans;
+  if Sched.fingerprint r1 <> Sched.fingerprint r2 then
+    Alcotest.fail "sched fingerprint drifted across same-seed runs"
+
 let () =
   Alcotest.run "flux_determinism"
     [
@@ -101,5 +126,7 @@ let () =
           Alcotest.test_case "tracing on vs off is unobservable" `Quick
             test_trace_on_off_identical;
           Alcotest.test_case "chaos seed repeats exactly" `Quick test_chaos_run_twice;
+          Alcotest.test_case "sched depth-2 ablation repeats exactly" `Quick
+            test_sched_run_twice;
         ] );
     ]

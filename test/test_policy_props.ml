@@ -155,6 +155,56 @@ let prop_easy_backfill_protects_head =
           ok
         end)
 
+let prop_no_double_allocation =
+  QCheck.Test.make ~name:"granting every start yields pairwise-disjoint node sets"
+    ~count:300 (QCheck.make gen_scene) (fun scene ->
+      for_all_policies scene (fun _ pool _ starts ->
+          (* Actually apply the schedule: every start must be grantable
+             in order, and no node may appear in two grants (or in a
+             grant and a running job's allocation — the pool state
+             already excludes running nodes, so a grant containing one
+             would be the overlap). *)
+          let grants =
+            List.map
+              (fun s ->
+                match
+                  Pool.try_grant pool ~spec:s.Policy.s_job.Job.spec ~nnodes:s.Policy.s_nnodes
+                with
+                | Some g -> g.Pool.g_nodes
+                | None -> Alcotest.fail "scheduled start not grantable")
+              starts
+          in
+          let all = List.concat grants in
+          List.length (List.sort_uniq compare all) = List.length all))
+
+let prop_grant_release_roundtrip =
+  QCheck.Test.make ~name:"allocate then free restores the pool exactly" ~count:300
+    (QCheck.make gen_scene) (fun scene ->
+      for_all_policies scene (fun _ pool _ starts ->
+          let before = List.sort compare (Pool.free_node_list pool) in
+          let grants =
+            List.filter_map
+              (fun s ->
+                Pool.try_grant pool ~spec:s.Policy.s_job.Job.spec ~nnodes:s.Policy.s_nnodes)
+              starts
+          in
+          List.iter (Pool.release pool) grants;
+          List.sort compare (Pool.free_node_list pool) = before))
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"same seed, same scene, same schedule" ~count:300
+    (QCheck.make gen_scene) (fun scene ->
+      List.for_all
+        (fun (module P : Policy.S) ->
+          let run () =
+            let pool, queue, running = build_scene scene in
+            List.map
+              (fun s -> (s.Policy.s_job.Job.jid, s.Policy.s_nnodes))
+              (P.schedule ~now:0.0 ~pool ~queue ~running)
+          in
+          run () = run ())
+        policies)
+
 let () =
   Alcotest.run "flux_policy_props"
     [
@@ -166,5 +216,8 @@ let () =
             prop_node_counts_within_spec;
             prop_fcfs_head_priority;
             prop_easy_backfill_protects_head;
+            prop_no_double_allocation;
+            prop_grant_release_roundtrip;
+            prop_deterministic;
           ] );
     ]
