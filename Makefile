@@ -1,4 +1,4 @@
-.PHONY: all build test fmt chaos overload shard ckpt sched check clean
+.PHONY: all build test fmt chaos overload shard ckpt sched telem check clean
 
 all: build
 
@@ -65,10 +65,21 @@ sched:
 	dune exec test/test_sched.exe -- -q
 	dune exec bench/main.exe -- sched
 
+# Live telemetry plane: the snapshot-algebra qcheck oracle, the
+# Series/Detect/Flight unit suites, the four fault scenarios (straggler,
+# kill, silent, growth — each asserting the plane catches its fault in
+# time), the mon-module reduction suite, and the rollup-overhead bench
+# (BENCH_TELEM.json — telem-off fingerprint stability and on/off
+# events/s at two cadences).
+telem:
+	dune exec test/test_telem.exe -- -q
+	dune exec test/test_mon.exe -- -q
+	dune exec bench/main.exe -- telem
+
 # The pre-merge gate: format (when available), build with warnings
 # promoted to errors under lib/ (see lib/dune), and run every test,
-# then the chaos, overload, shard, ckpt and sched sweeps.
-check: fmt build test chaos overload shard ckpt sched
+# then the chaos, overload, shard, ckpt, sched and telem sweeps.
+check: fmt build test chaos overload shard ckpt sched telem
 
 clean:
 	dune clean

@@ -3,7 +3,7 @@
 
    Usage: main.exe [experiment...] where experiment is one of
      table1 fig2 fig3 fig4a fig4b sweep model ablate-sched ablate-fanout
-     ablate-shards faults chaos micro overload shard ckpt sched observe perf
+     ablate-shards faults chaos micro overload shard ckpt sched observe telem perf
    No arguments runs everything. Scales can be reduced with
    BENCH_FAST=1 for a quick pass. *)
 
@@ -31,6 +31,7 @@ module Overload = Flux_kap.Overload
 module Shard = Flux_kap.Shard
 module Ckpt = Flux_kap.Ckpt
 module Sched = Flux_kap.Sched
+module KTelem = Flux_kap.Telem
 module Export = Flux_trace.Export
 
 let fast = Sys.getenv_opt "BENCH_FAST" <> None
@@ -1029,6 +1030,168 @@ let observe () =
     Printf.printf "  wrote BENCH_TRACE.json and METRICS.csv (%d nodes x %d procs)\n%!" nodes
       cfg.Kap.procs_per_node
 
+(* --- Telem: telemetry-plane overhead and rollup footprint ----------------- *)
+
+(* Two questions the telemetry plane must answer before it is allowed
+   on by default anywhere: (a) what does running it in-band cost — the
+   overload soak with [telem] off twice (proving the fingerprint is
+   untouched when disabled) and once with it on, comparing wall-clock
+   events/s; (b) how much TBON traffic do rollups generate per epoch as
+   the interval shrinks — a fault-free Telem harness sweep. Rows land
+   in BENCH_TELEM.json. *)
+
+let telem () =
+  header "Telem: in-band rollup overhead (off vs on) and bytes/epoch vs interval";
+  let size = if fast then 48 else 256 in
+  let nproducers = if fast then 6 else 12 in
+  let producers = List.init nproducers (fun i -> size - nproducers + i) in
+  let duration = if fast then 0.25 else 0.4 in
+  let base = { Overload.default with Overload.size; producers; duration } in
+  let cap = Overload.master_capacity base in
+  let base = { base with Overload.rate = cap } in
+  let timed cfg =
+    Gc.compact ();
+    let s0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    let r = Overload.run cfg in
+    let wall = Unix.gettimeofday () -. t0 in
+    let s1 = Gc.quick_stat () in
+    let alloc = s1.Gc.minor_words +. s1.Gc.major_words -. s1.Gc.promoted_words
+                -. (s0.Gc.minor_words +. s0.Gc.major_words -. s0.Gc.promoted_words) in
+    (wall, alloc, r)
+  in
+  Printf.printf "(%d nodes, %d producers, %.2fs soak at 1x capacity)\n%!" size nproducers
+    duration;
+  Printf.printf "%-12s %10s %12s %12s %10s %8s %8s %8s\n" "run" "wall(s)" "sim-events"
+    "events/s" "alloc(Mw)" "epochs" "alerts" "dumps";
+  (* Discard a warm-up run so the first timed row doesn't pay code and
+     allocator warm-up that the later rows don't. *)
+  ignore (Overload.run { base with Overload.telem = false });
+  let w_off1, a_off1, off1 = timed { base with Overload.telem = false } in
+  let w_off2, a_off2, off2 = timed { base with Overload.telem = false } in
+  (* Two cadences: coarse (2 rollup epochs over the window — the
+     realistic regime, where a soak window is a fraction of one
+     telemetry epoch) and aggressive (10 epochs — oversampling, to make
+     the plane's marginal cost visible). *)
+  let w_on, a_on, on =
+    timed
+      { base with Overload.telem = true; telem_interval = base.Overload.duration /. 2.0 }
+  in
+  let w_fast, a_fast, on_fast =
+    timed
+      { base with Overload.telem = true; telem_interval = base.Overload.duration /. 10.0 }
+  in
+  let rate_of wall (r : Overload.report) = float_of_int r.Overload.sim_events /. wall in
+  let soak_row name wall alloc (r : Overload.report) =
+    Printf.printf "%-12s %10.2f %12d %12.0f %10.1f %8d %8d %8d\n%!" name wall
+      r.Overload.sim_events (rate_of wall r) (alloc /. 1e6) r.Overload.telem_epochs
+      r.Overload.telem_alerts r.Overload.telem_dumps;
+    Json.obj
+      [
+        ("run", Json.string name);
+        ("wall_s", Json.float wall);
+        ("sim_events", Json.int r.Overload.sim_events);
+        ("events_per_s", Json.float (rate_of wall r));
+        ("alloc_words", Json.float alloc);
+        ("acked", Json.int r.Overload.acked);
+        ("telem_epochs", Json.int r.Overload.telem_epochs);
+        ("telem_alerts", Json.int r.Overload.telem_alerts);
+        ("telem_dumps", Json.int r.Overload.telem_dumps);
+        ("violations", Json.int (List.length r.Overload.violations));
+      ]
+  in
+  let row1 = soak_row "telem-off/1" w_off1 a_off1 off1 in
+  let row2 = soak_row "telem-off/2" w_off2 a_off2 off2 in
+  let row3 = soak_row "telem-on" w_on a_on on in
+  let row4 = soak_row "telem-on/10x" w_fast a_fast on_fast in
+  let soak_rows = [ row1; row2; row3; row4 ] in
+  let fingerprint_stable = off1.Overload.sim_events = off2.Overload.sim_events in
+  (* Wall-clock is noisy; take the faster of the two off runs as the
+     baseline so measured overhead is conservative (an upper bound),
+     and record the off-run spread as the noise floor the overhead
+     should be judged against. *)
+  let off_rate = Float.max (rate_of w_off1 off1) (rate_of w_off2 off2) in
+  let off_spread_pct =
+    100.0
+    *. ((off_rate /. Float.min (rate_of w_off1 off1) (rate_of w_off2 off2)) -. 1.0)
+  in
+  let overhead_of wall r =
+    let rate = rate_of wall r in
+    if rate > 0.0 then 100.0 *. ((off_rate /. rate) -. 1.0) else 0.0
+  in
+  let overhead_pct = overhead_of w_on on in
+  let overhead_fast_pct = overhead_of w_fast on_fast in
+  Printf.printf
+    "  telem-off fingerprint %s (%d = %d); off-run spread %.1f%%\n\
+    \  telem-on overhead %+.1f%% events/s (%d epochs); %+.1f%% oversampled (%d epochs)\n\
+     %!"
+    (if fingerprint_stable then "IDENTICAL" else "DIVERGED")
+    off1.Overload.sim_events off2.Overload.sim_events off_spread_pct overhead_pct
+    on.Overload.telem_epochs overhead_fast_pct on_fast.Overload.telem_epochs;
+  Printf.printf "%-10s %8s %12s %12s %8s %8s %6s\n" "interval" "epochs" "bytes" "bytes/ep"
+    "alerts" "late" "viol";
+  let intervals = if fast then [ 0.025; 0.05; 0.1 ] else [ 0.0125; 0.025; 0.05; 0.1 ] in
+  let sweep_rows =
+    List.map
+      (fun interval ->
+        let cfg =
+          {
+            KTelem.default with
+            KTelem.straggler = None;
+            interval;
+            epochs = (if fast then 10 else 20);
+            size = (if fast then 16 else 32);
+          }
+        in
+        let r = KTelem.run cfg in
+        let per_epoch =
+          if r.KTelem.t_epochs > 0 then
+            float_of_int r.KTelem.t_rollup_bytes /. float_of_int r.KTelem.t_epochs
+          else 0.0
+        in
+        Printf.printf "%-10.4f %8d %12d %12.0f %8d %8d %6d\n%!" interval r.KTelem.t_epochs
+          r.KTelem.t_rollup_bytes per_epoch
+          (List.length r.KTelem.t_alerts)
+          r.KTelem.t_late_drops
+          (List.length r.KTelem.t_violations);
+        List.iter
+          (fun v -> Printf.printf "    violation: %s\n%!" v)
+          r.KTelem.t_violations;
+        Json.obj
+          [
+            ("interval", Json.float interval);
+            ("epochs", Json.int r.KTelem.t_epochs);
+            ("rollup_bytes", Json.int r.KTelem.t_rollup_bytes);
+            ("bytes_per_epoch", Json.float per_epoch);
+            ("alerts", Json.int (List.length r.KTelem.t_alerts));
+            ("late_drops", Json.int r.KTelem.t_late_drops);
+            ("sim_events", Json.int r.KTelem.t_events);
+            ("violations", Json.int (List.length r.KTelem.t_violations));
+          ])
+      intervals
+  in
+  let doc =
+    Json.obj
+      [
+        ("experiment", Json.string "telem");
+        ("tier", Json.string (if fast then "fast" else "paper-scale"));
+        ("soak_nodes", Json.int size);
+        ("soak_duration", Json.float duration);
+        ("fingerprint_stable", Json.bool fingerprint_stable);
+        ("off_spread_pct", Json.float off_spread_pct);
+        ("telem_overhead_pct", Json.float overhead_pct);
+        ("telem_overhead_oversampled_pct", Json.float overhead_fast_pct);
+        ("soak", Json.list soak_rows);
+        ("interval_sweep", Json.list sweep_rows);
+      ]
+  in
+  let oc = open_out "BENCH_TELEM.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_TELEM.json (%d soak runs, %d sweep points)\n%!"
+    (List.length soak_rows) (List.length sweep_rows)
+
 (* --- Perf tier: paper-scale workloads with a machine-readable baseline ---- *)
 
 (* Runs fig2/fig4-shaped KAP workloads at the paper's largest published
@@ -1142,6 +1305,7 @@ let experiments =
     ("ckpt", ckpt);
     ("sched", sched);
     ("observe", observe);
+    ("telem", telem);
     ("perf", perf);
   ]
 

@@ -52,6 +52,9 @@ let one_of name allowed v =
   else
     Some (Printf.sprintf "%s must be one of %s (got %s)" name (String.concat "|" allowed) v)
 
+let positive_f name v =
+  if v <= 0.0 then Some (Printf.sprintf "%s must be positive (got %g)" name v) else None
+
 let base_checks nodes fanout = [ positive "-N/--nodes" nodes; at_least "-k/--fanout" 2 fanout ]
 
 let run_to_completion eng f =
@@ -761,12 +764,128 @@ let sched_cmd =
         (const run $ nodes_arg $ fanout_arg $ depth_arg $ children_arg $ tasks_arg
        $ seed_arg $ policy_arg $ central_arg $ kill_arg))
 
+(* --- flux telem ---------------------------------------------------------- *)
+
+let telem_cmd =
+  let module Telem = Flux_kap.Telem in
+  let module Series = Flux_trace.Series in
+  let module Flight = Flux_trace.Flight in
+  let module Detect = Flux_trace.Detect in
+  let interval_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Rollup epoch length in sim-seconds.")
+  in
+  let epochs_arg =
+    Arg.(value & opt int 12 & info [ "epochs" ] ~docv:"EPOCHS" ~doc:"Rollup epochs to run.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Series ring capacity and trend-detector window, in epochs.")
+  in
+  let ppn_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "ppn" ] ~docv:"PPN" ~doc:"Work items per rank per epoch (the sampled load).")
+  in
+  let fault_arg =
+    Arg.(
+      value & opt string "straggler"
+      & info [ "fault" ] ~docv:"KIND"
+          ~doc:
+            "Injected fault: straggler (one slow rank), kill (mark_down mid-run), silent \
+             (telemetry agent dies, rank stays up), growth (queue gauge ramp), or none.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+  in
+  let csv_arg =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Print the rollup series as CSV instead of the top-style table.")
+  in
+  let flight_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flight-out" ] ~docv:"FILE"
+          ~doc:"Write the first flight-recorder dump as Perfetto trace-event JSON.")
+  in
+  let run nodes fanout interval epochs window ppn fault seed csv flight_out =
+    checked
+      [
+        at_least "-N/--nodes" 4 nodes;
+        at_least "-k/--fanout" 2 fanout;
+        positive_f "--interval" interval;
+        at_least "--epochs" 4 epochs;
+        positive "--window" window;
+        positive "--ppn" ppn;
+        positive "--seed" seed;
+        one_of "--fault" [ "straggler"; "kill"; "silent"; "growth"; "none" ] fault;
+      ]
+    @@ fun () ->
+    let base =
+      match fault with
+      | "kill" -> Telem.kill_case
+      | "silent" -> Telem.silent_case
+      | "growth" -> Telem.growth_case
+      | "none" -> { Telem.default with Telem.straggler = None }
+      | _ -> Telem.straggler_case
+    in
+    let adjust r = if r >= nodes then (nodes / 2) + 1 else r in
+    let cfg =
+      {
+        base with
+        Telem.seed;
+        size = nodes;
+        fanout;
+        interval;
+        epochs;
+        window;
+        work_per_epoch = ppn;
+        straggler = Option.map (fun (r, f) -> (adjust r, f)) base.Telem.straggler;
+        kill = Option.map adjust base.Telem.kill;
+        mute = Option.map adjust base.Telem.mute;
+      }
+    in
+    let r = Telem.run cfg in
+    Format.printf "%a@." Telem.pp_report r;
+    List.iter
+      (fun a -> Format.printf "  %a@." Detect.pp_alert a)
+      r.Telem.t_alerts;
+    if csv then print_string (Series.to_csv r.Telem.t_series)
+    else print_string (Series.render_top r.Telem.t_series);
+    (match flight_out with
+    | Some path -> (
+      match Flight.dumps r.Telem.t_flight with
+      | [] -> Printf.printf "no flight dumps taken; %s not written\n" path
+      | d :: _ ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Flight.dump_to_perfetto d));
+        Printf.printf "flight dump (rank %d, %s) written to %s\n" d.Flight.d_rank
+          d.Flight.d_reason path)
+    | None -> ());
+    if r.Telem.t_violations = [] then `Ok ()
+    else `Error (false, "telemetry run ended with violations")
+  in
+  Cmd.v
+    (Cmd.info "telem"
+       ~doc:
+         "Run the live telemetry plane over a synthetic workload with an injected fault \
+          and show the rollup series, alerts, and flight-recorder activity.")
+    Term.(
+      ret
+        (const run $ nodes_arg $ fanout_arg $ interval_arg $ epochs_arg $ window_arg
+       $ ppn_arg $ fault_arg $ seed_arg $ csv_arg $ flight_out_arg))
+
 let main_cmd =
   let doc = "command-line access to the simulated Flux framework" in
   Cmd.group (Cmd.info "flux" ~version:"0.1.0" ~doc)
     [
       ping_cmd; topo_cmd; kvs_cmd; resource_cmd; schedule_cmd; kap_cmd; exec_cmd;
       barrier_cmd; down_cmd; watch_cmd; volumes_cmd; trace_cmd; ckpt_cmd; sched_cmd;
+      telem_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

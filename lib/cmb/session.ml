@@ -75,6 +75,9 @@ type t = {
   mutable next_seq : int; (* event sequence, assigned at the root *)
   mutable tracer : Tracer.t option;
   mutable metrics : Metrics.t option;
+  (* (overall, per-depth) RPC latency histogram families, resolved once
+     when a registry attaches — [instrument_reply] runs per RPC. *)
+  mutable lat_fams : (Metrics.hist_family * Metrics.hist_family array) option;
   mutable parent : (t * int list) option; (* parent session + host ranks *)
   mutable children : t list; (* creation order, live only *)
   mutable destroyed : bool;
@@ -138,8 +141,16 @@ let set_tracer t tr =
   Net.set_tracer t.event_net tr;
   Net.set_tracer t.ring_net tr
 
+let depth_latency_names = Array.init 64 (Printf.sprintf "cmb.rpc.latency.depth%d")
+
 let set_metrics t m =
   t.metrics <- m;
+  t.lat_fams <-
+    Option.map
+      (fun m ->
+        ( Metrics.hist_family m ~name:"cmb.rpc.latency",
+          Array.map (fun n -> Metrics.hist_family m ~name:n) depth_latency_names ))
+      m;
   Net.set_metrics t.rpc_net ~label:"net.rpc" m;
   Net.set_metrics t.event_net ~label:"net.event" m;
   Net.set_metrics t.ring_net ~label:"net.ring" m
@@ -582,7 +593,10 @@ let respond_error b req err = deliver_response b (Message.error_response ~of_:re
 
 (* Wrap [reply] to record the RPC completion: an [rpc.done] event in
    the request's span and a latency histogram keyed by the origin's
-   depth in the RPC tree (the paper's per-level latency view). *)
+   depth in the RPC tree (the paper's per-level latency view). The
+   histogram families were resolved at [set_metrics]: this runs once
+   per RPC, where a name lookup (let alone a sprintf) would rival the
+   histogram update it labels. *)
 let instrument_reply b ~topic ~ctx reply =
   let t = b.b_session in
   match (t.tracer, t.metrics) with
@@ -591,13 +605,13 @@ let instrument_reply b ~topic ~ctx reply =
     let t0 = Engine.now t.eng in
     fun r ->
       let dur = Engine.now t.eng -. t0 in
-      (match t.metrics with
+      (match t.lat_fams with
       | None -> ()
-      | Some m ->
-        Metrics.observe m ~name:"cmb.rpc.latency" ~rank:b.b_rank dur;
-        Metrics.observe m
-          ~name:(Printf.sprintf "cmb.rpc.latency.depth%d" (Treemath.depth ~k:t.k b.b_rank))
-          ~rank:b.b_rank dur);
+      | Some (overall, by_depth) ->
+        Metrics.family_observe overall ~rank:b.b_rank dur;
+        let d = Treemath.depth ~k:t.k b.b_rank in
+        if d < Array.length by_depth then
+          Metrics.family_observe by_depth.(d) ~rank:b.b_rank dur);
       trace t ~name:"rpc.done" ~rank:b.b_rank ?ctx
         ~fields:
           [
@@ -874,6 +888,7 @@ let create eng ?net_config ?(fanout = 2) ?(rank_topology = Ring)
       next_seq = 0;
       tracer = None;
       metrics = None;
+      lat_fams = None;
       parent = None;
       children = [];
       destroyed = false;

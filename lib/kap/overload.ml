@@ -8,6 +8,10 @@ module Session = Flux_cmb.Session
 module Api = Flux_cmb.Api
 module Kvs = Flux_kvs.Kvs_module
 module Client = Flux_kvs.Client
+module Tracer = Flux_trace.Tracer
+module Metrics = Flux_trace.Metrics
+module Flight = Flux_trace.Flight
+module Tmod = Flux_modules.Telem
 
 type profile = Sustained | Bursty
 
@@ -28,6 +32,8 @@ type config = {
   link_limits : Net.queue_limits option;
   kvs : Kvs.config;
   chaos_kill : bool;
+  telem : bool; (* run the live telemetry plane in-band with the soak *)
+  telem_interval : float; (* rollup epoch length; <= 0 means duration/10 *)
 }
 
 let master_capacity cfg =
@@ -68,6 +74,8 @@ let default =
         admission_max_intake = 256;
       };
     chaos_kill = false;
+    telem = false;
+    telem_interval = 0.0;
   }
 
 type report = {
@@ -96,6 +104,9 @@ type report = {
   final_version : int;
   final_clock : float;
   sim_events : int;
+  telem_epochs : int; (* 0 when the plane is off *)
+  telem_alerts : int;
+  telem_dumps : int;
 }
 
 (* Shared mutable state of one soak run. *)
@@ -113,13 +124,22 @@ type state = {
   mutable monotonic_violations : int;
   mutable last_ack : float; (* when the final ack landed *)
   mutable violations : string list; (* reversed *)
+  mutable flight : Flight.t option;
 }
 
 let violate st fmt =
   Printf.ksprintf
     (fun s ->
       st.violations <-
-        Printf.sprintf "t=%.3f %s" (Engine.now st.eng) s :: st.violations)
+        Printf.sprintf "t=%.3f %s" (Engine.now st.eng) s :: st.violations;
+      (* A tripped guarantee preserves its own evidence: the first one
+         dumps the master's recent events before the trace moves on. *)
+      match st.flight with
+      | Some f ->
+        ignore
+          (Flight.dump_once f ~rank:0 ~tag:"violation" ~reason:("guarantee tripped: " ^ s)
+            : Flight.dump option)
+      | None -> ())
     fmt
 
 (* --- Open-loop producers -------------------------------------------------- *)
@@ -310,7 +330,41 @@ let run cfg =
       monotonic_violations = 0;
       last_ack = 0.0;
       violations = [];
+      flight = None;
     }
+  in
+  (* Optional live telemetry plane, riding the same overloaded tree as
+     the soak traffic — the rollups themselves contend for the links,
+     credits, and admission gate under test. *)
+  let telem =
+    if not cfg.telem then None
+    else begin
+      (* The plane samples the *metric* registry — counters, gauges and
+         histograms every layer already maintains — so metrics attach to
+         the whole stack. Full per-event tracing is a separate opt-in
+         (the observe experiment): at soak rates it costs ~2x wall
+         clock, so the tracer here is a small dedicated ring carrying
+         only the plane's own rollup/alert events and feeding the
+         flight recorder. *)
+      let tr = Tracer.create ~capacity:8192 ~now:(fun () -> Engine.now eng) () in
+      let m = Metrics.create () in
+      Session.set_metrics sess (Some m);
+      Kvs.set_metrics_all kvs m;
+      let f = Flight.create ~capacity:128 tr in
+      st.flight <- Some f;
+      let ts =
+        Tmod.load sess
+          ~config:{ Tmod.default_config with Tmod.interval =
+              (if cfg.telem_interval > 0.0 then cfg.telem_interval
+               else cfg.duration /. 10.0) }
+          ()
+      in
+      Tmod.set_metrics_all ts m;
+      Tmod.set_tracer_all ts tr;
+      Tmod.set_flight_all ts f;
+      Tmod.start ~until:cfg.duration ts;
+      Some ts
+    end
   in
   List.iter (fun r -> producer st ~rank:r) cfg.producers;
   monitor st;
@@ -363,6 +417,9 @@ let run cfg =
     final_version = Kvs.version kvs.(0);
     final_clock = Engine.now eng;
     sim_events = Engine.events_executed eng;
+    telem_epochs = (match telem with Some ts -> Tmod.epochs_completed ts | None -> 0);
+    telem_alerts = (match telem with Some ts -> List.length (Tmod.alerts ts) | None -> 0);
+    telem_dumps = (match st.flight with Some f -> List.length (Flight.dumps f) | None -> 0);
   }
 
 let pp_report ppf (r : report) =
@@ -371,11 +428,13 @@ let pp_report ppf (r : report) =
      admission sheds: %d (intake hwm %d)@,flow defers/sheds: %d/%d (stash hwm %d)@,\
      link defers/drops: %d/%d (depth hwm %d)@,rpc busy/retries/timeouts: %d/%d/%d@,\
      lost acks: %d, monotonic violations: %d, drained: %b@,\
+     telem: %d epochs, %d alerts, %d dumps@,\
      final: v%d clock %.6f (%d events)@,violations: %d%a@]"
     r.offered r.acked r.shed r.failed r.goodput r.ack_p50 r.ack_p99 r.admission_sheds
     r.intake_hwm r.flow_defers r.flow_sheds r.flow_stash_hwm r.link_defers r.link_drops
     r.link_depth_hwm r.rpc_busy_retries r.rpc_retries r.rpc_timeouts r.lost_acks
-    r.monotonic_violations r.drained r.final_version r.final_clock r.sim_events
+    r.monotonic_violations r.drained r.telem_epochs r.telem_alerts r.telem_dumps
+    r.final_version r.final_clock r.sim_events
     (List.length r.violations)
     (fun ppf -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v))
     r.violations

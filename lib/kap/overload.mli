@@ -62,6 +62,15 @@ type config = {
   chaos_kill : bool;
       (** overlay one interior-rank kill/revive mid-run, proving the
           invariants hold across a fault under load *)
+  telem : bool;
+      (** run the live telemetry plane ({!Flux_modules.Telem}) in-band
+          with the soak: rollups contend for the same links, credits,
+          and admission gate; guarantee trips and chaos kills take
+          flight-recorder dumps *)
+  telem_interval : float;
+      (** rollup epoch length in virtual seconds; [<= 0] (the default)
+          picks [duration / 10]. The telemetry bench sweeps this — the
+          plane's cost is proportional to rollup cadence. *)
 }
 
 val default : config
@@ -99,6 +108,9 @@ type report = {
   final_version : int;
   final_clock : float;
   sim_events : int;  (** engine callbacks fired (determinism fingerprint) *)
+  telem_epochs : int;  (** rollup epochs finalized (0 with [telem] off) *)
+  telem_alerts : int;
+  telem_dumps : int;  (** flight-recorder dumps taken *)
 }
 
 val run : config -> report

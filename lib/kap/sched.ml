@@ -31,6 +31,8 @@ module Jobspec = Flux_core.Jobspec
 module Pool = Flux_core.Pool
 module Workload = Flux_core.Workload
 module Central = Flux_baseline.Central
+module Flight = Flux_trace.Flight
+module Tmod = Flux_modules.Telem
 
 type task_kind =
   | Sleep_tasks  (** synthetic: pure scheduler study, no launch stack *)
@@ -54,6 +56,8 @@ type config = {
   kill_frac : float;  (** strike once this fraction of tasks has acked *)
   revive_after : float;
   max_requeues : int;
+  telem : bool;  (** run the live telemetry plane alongside the workload *)
+  telem_interval : float;
 }
 
 let default =
@@ -75,6 +79,8 @@ let default =
     kill_frac = 0.25;
     revive_after = 1.0;
     max_requeues = 5;
+    telem = false;
+    telem_interval = 0.25;
   }
 
 type level = {
@@ -104,6 +110,9 @@ type report = {
   r_spans : (string * int) list;  (** span-chain counter fingerprint *)
   r_wexec_started : int;
   r_wexec_done : int;
+  r_telem_epochs : int;  (** 0 when the plane is off *)
+  r_telem_alerts : int;
+  r_telem_dumps : int;
   r_violations : string list;
   r_final_clock : float;
   r_sim_events : int;
@@ -129,12 +138,21 @@ type state = {
   mutable kills : int;
   mutable revives : int;
   mutable violations : string list;  (** reversed *)
+  mutable flight : Flight.t option;
 }
 
 let violate st fmt =
   Printf.ksprintf
     (fun s ->
-      st.violations <- Printf.sprintf "t=%.3f %s" (Engine.now st.eng) s :: st.violations)
+      st.violations <- Printf.sprintf "t=%.3f %s" (Engine.now st.eng) s :: st.violations;
+      (* A tripped guarantee preserves its own evidence: the first one
+         dumps the master's recent events before the trace moves on. *)
+      match st.flight with
+      | Some f ->
+        ignore
+          (Flight.dump_once f ~rank:0 ~tag:"violation" ~reason:("guarantee tripped: " ^ s)
+            : Flight.dump option)
+      | None -> ())
     fmt
 
 let prog_name = "sched.task"
@@ -460,6 +478,7 @@ let run cfg =
       kills = 0;
       revives = 0;
       violations = [];
+      flight = None;
     }
   in
   Wexec.register_program prog_name (task_body st);
@@ -474,6 +493,54 @@ let run cfg =
       ~nnodes:cfg.nodes stream
   in
   Instance.submit_plan root plan;
+  (* Optional live telemetry plane alongside the workload. Its rollup
+     length is data-dependent (the makespan is what the harness
+     measures), so a watcher proc stops the plane once every task has
+     resolved and the engine is free to drain. *)
+  let telem =
+    if not cfg.telem then None
+    else begin
+      if cfg.telem_interval <= 0.0 then
+        invalid_arg "Sched.run: telem_interval must be positive";
+      let ts =
+        Tmod.load sess
+          ~config:{ Tmod.default_config with Tmod.interval = cfg.telem_interval }
+          ()
+      in
+      Tmod.set_metrics_all ts metrics;
+      (match tracer with
+      | Some tr ->
+        Tmod.set_tracer_all ts tr;
+        let f = Flight.create ~capacity:128 tr in
+        st.flight <- Some f;
+        Tmod.set_flight_all ts f
+      | None -> ());
+      Tmod.start ts;
+      ignore
+        (Proc.spawn eng ~name:"sched-telem-stop" (fun () ->
+             (* Ground truth: every logical task has arrived and every
+                job attempt is terminal. (The ack ledger only updates
+                in kill mode, so it cannot drive this.) *)
+             let workload_done () =
+               let js = task_jobs st in
+               List.length js >= cfg.tasks
+               && List.for_all
+                    (fun (j : Job.t) ->
+                      match j.Job.jstate with
+                      | Job.Complete | Job.Failed _ -> true
+                      | _ -> false)
+                    js
+             in
+             while (not (workload_done ())) && Engine.now eng < time_limit do
+               Proc.sleep cfg.telem_interval
+             done;
+             (* One grace epoch so the final deltas still roll up. *)
+             Proc.sleep (2.0 *. cfg.telem_interval);
+             Tmod.stop ts)
+          : Proc.pid);
+      Some ts
+    end
+  in
   if cfg.kill_leaf then begin
     ignore (Proc.spawn eng ~name:"sched-assassin" (fun () -> assassin st) : Proc.pid);
     ignore (Proc.spawn eng ~name:"sched-monitor" (fun () -> monitor st) : Proc.pid);
@@ -547,6 +614,9 @@ let run cfg =
     r_spans = spans;
     r_wexec_started = Metrics.counter_total metrics ~name:"wexec.tasks.started";
     r_wexec_done = Metrics.counter_total metrics ~name:"wexec.tasks.done";
+    r_telem_epochs = (match telem with Some ts -> Tmod.epochs_completed ts | None -> 0);
+    r_telem_alerts = (match telem with Some ts -> List.length (Tmod.alerts ts) | None -> 0);
+    r_telem_dumps = (match st.flight with Some f -> List.length (Flight.dumps f) | None -> 0);
     r_violations = List.rev st.violations;
     r_final_clock = Engine.now eng;
     r_sim_events = Engine.events_executed eng;

@@ -13,6 +13,9 @@ module Api = Flux_cmb.Api
 module Kvs = Flux_kvs.Kvs_module
 module Volumes = Flux_kvs.Volumes
 module Proto = Flux_kvs.Proto
+module Tracer = Flux_trace.Tracer
+module Metrics = Flux_trace.Metrics
+module Tmod = Flux_modules.Telem
 
 (* First path components that route to each volume, found by search so
    harness keys land on the shard we intend. *)
@@ -40,6 +43,7 @@ type soak_config = {
   op_timeout : float;
   op_attempts : int;
   kvs : Kvs.config;
+  telem : bool; (* run the live telemetry plane in-band with the soak *)
 }
 
 let soak_default =
@@ -62,6 +66,7 @@ let soak_default =
         Kvs.apply_cpu_per_tuple = 100e-6;
         admission_max_intake = 256;
       };
+    telem = false;
   }
 
 let soak_capacity cfg =
@@ -85,6 +90,8 @@ type soak_report = {
   violations : string list;
   final_clock : float;
   sim_events : int;
+  telem_epochs : int; (* 0 when the plane is off *)
+  telem_alerts : int;
 }
 
 type soak_state = {
@@ -215,6 +222,26 @@ let soak cfg =
       violations = [];
     }
   in
+  (* Optional telemetry plane: rollups ride the same tree as the
+     sharded write streams, so per-shard pressure shows up live. *)
+  let telem =
+    if not cfg.telem then None
+    else begin
+      let tr = Tracer.create ~capacity:500_000 ~now:(fun () -> Engine.now eng) () in
+      let m = Metrics.create () in
+      Session.set_tracer sess (Some tr);
+      Session.set_metrics sess (Some m);
+      let ts =
+        Tmod.load sess
+          ~config:{ Tmod.default_config with Tmod.interval = cfg.duration /. 10.0 }
+          ()
+      in
+      Tmod.set_metrics_all ts m;
+      Tmod.set_tracer_all ts tr;
+      Tmod.start ~until:cfg.duration ts;
+      Some ts
+    end
+  in
   List.iteri (fun idx rank -> soak_producer st ~idx ~rank) cfg.producers;
   Engine.run eng;
   let drain_clock = Float.max cfg.duration st.last_ack in
@@ -255,6 +282,8 @@ let soak cfg =
     violations = List.rev st.violations;
     final_clock = Engine.now eng;
     sim_events = Engine.events_executed eng;
+    telem_epochs = (match telem with Some ts -> Tmod.epochs_completed ts | None -> 0);
+    telem_alerts = (match telem with Some ts -> List.length (Tmod.alerts ts) | None -> 0);
   }
 
 let pp_soak_report ppf (r : soak_report) =
@@ -262,10 +291,11 @@ let pp_soak_report ppf (r : soak_report) =
     "@[<v>shards: %d@,offered/acked/shed/failed: %d/%d/%d/%d@,\
      goodput: %.0f ops/s (ack p50 %.6f p99 %.6f)@,\
      admission sheds: %d (intake hwm %d), busy retries: %d@,\
-     lost acks: %d, drained: %b@,clock: %.6f (%d events)@,violations: %d%a@]"
+     lost acks: %d, drained: %b@,telem: %d epochs, %d alerts@,\
+     clock: %.6f (%d events)@,violations: %d%a@]"
     r.shards r.offered r.acked r.shed r.failed r.goodput r.ack_p50 r.ack_p99
     r.admission_sheds r.intake_hwm r.rpc_busy_retries r.lost_acks r.drained
-    r.final_clock r.sim_events
+    r.telem_epochs r.telem_alerts r.final_clock r.sim_events
     (List.length r.violations)
     (fun ppf -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v))
     r.violations

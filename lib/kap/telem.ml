@@ -1,0 +1,294 @@
+(* Telemetry-plane harness: a seeded synthetic workload with injectable
+   faults, run under the live telemetry plane, checking that the plane
+   actually sees them. Every rank runs a timed-work loop feeding the
+   [telem.work] histogram; the faults are a straggler (one rank's work
+   items slow down by a factor mid-run), a kill (mark_down, which must
+   produce a flight dump of the victim's last events), a mute (one
+   rank's telemetry agent dies while the rank stays up — the silent-rank
+   case), and a queue ramp (a gauge growing linearly, the trend the
+   elasticity roadmap item wants detected). Guarantees trip into the
+   violations list and themselves take a flight dump, so every failed
+   run carries its own evidence. *)
+
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Rng = Flux_util.Rng
+module Session = Flux_cmb.Session
+module Metrics = Flux_trace.Metrics
+module Tracer = Flux_trace.Tracer
+module Flight = Flux_trace.Flight
+module Series = Flux_trace.Series
+module Detect = Flux_trace.Detect
+module Tmod = Flux_modules.Telem
+
+type config = {
+  seed : int;
+  size : int;
+  fanout : int;
+  interval : float; (* rollup epoch length *)
+  epochs : int; (* run duration = epochs * interval *)
+  window : int;
+  straggler_k : float;
+  slope_threshold : float;
+  work_mean : float; (* mean work-item duration *)
+  work_per_epoch : int; (* work items per rank per epoch *)
+  straggler : (int * float) option; (* rank, slowdown factor *)
+  onset_frac : float; (* fault onset as a fraction of the run *)
+  kill : int option; (* rank marked down at onset *)
+  mute : int option; (* rank whose telemetry agent dies at onset *)
+  ramp : float option; (* telem.qdepth gauge growth, units/epoch *)
+}
+
+let default =
+  {
+    seed = 1;
+    size = 16;
+    fanout = 2;
+    interval = 0.05;
+    epochs = 12;
+    window = 32;
+    straggler_k = 4.0;
+    slope_threshold = 1.0;
+    work_mean = 0.002;
+    work_per_epoch = 4;
+    straggler = Some (11, 10.0);
+    onset_frac = 0.3;
+    kill = None;
+    mute = None;
+    ramp = None;
+  }
+
+let straggler_case = default
+let kill_case = { default with straggler = None; kill = Some 9 }
+let silent_case = { default with straggler = None; mute = Some 7 }
+let growth_case = { default with straggler = None; ramp = Some 4.0 }
+
+type report = {
+  t_epochs : int; (* rollup epochs the root finalized *)
+  t_alerts : Detect.alert list;
+  t_stragglers : int;
+  t_growth : int;
+  t_silent : int;
+  t_first_straggler_epoch : int; (* -1 when none fired *)
+  t_onset_epoch : int; (* rollup epoch containing the fault onset *)
+  t_dumps : int;
+  t_victim_dump_events : int; (* events in the killed rank's dump; -1 without a kill *)
+  t_rollup_bytes : int;
+  t_late_drops : int;
+  t_alert_fingerprint : string; (* determinism check: kind:epoch:rank:metric;... *)
+  t_violations : string list;
+  t_clock : float;
+  t_events : int; (* engine fingerprint *)
+  t_series : Series.t;
+  t_flight : Flight.t;
+  t_tracer : Tracer.t;
+  t_metrics : Metrics.t;
+}
+
+let alert_fingerprint alerts =
+  String.concat ";"
+    (List.map
+       (fun (a : Detect.alert) ->
+         Printf.sprintf "%s:%d:%d:%s"
+           (Detect.kind_to_string a.Detect.al_kind)
+           a.Detect.al_epoch a.Detect.al_rank a.Detect.al_metric)
+       alerts)
+
+let run cfg =
+  if cfg.size < 4 then invalid_arg "Telem.run: need at least 4 ranks";
+  if cfg.epochs < 4 then invalid_arg "Telem.run: need at least 4 epochs";
+  if cfg.interval <= 0.0 || cfg.work_mean <= 0.0 then
+    invalid_arg "Telem.run: interval and work_mean must be positive";
+  if cfg.work_per_epoch <= 0 then invalid_arg "Telem.run: work_per_epoch must be positive";
+  if cfg.onset_frac < 0.0 || cfg.onset_frac >= 1.0 then
+    invalid_arg "Telem.run: onset_frac must be in [0, 1)";
+  let check_rank what = function
+    | Some r when r <= 0 || r >= cfg.size ->
+      invalid_arg (Printf.sprintf "Telem.run: %s rank out of range (1..size-1)" what)
+    | _ -> ()
+  in
+  check_rank "kill" cfg.kill;
+  check_rank "mute" cfg.mute;
+  (match cfg.straggler with
+  | Some (r, f) ->
+    check_rank "straggler" (Some r);
+    if f <= 1.0 then invalid_arg "Telem.run: straggler factor must exceed 1"
+  | None -> ());
+  let eng = Engine.create () in
+  let sess = Session.create eng ~fanout:cfg.fanout ~size:cfg.size () in
+  let tracer = Tracer.create ~capacity:500_000 ~now:(fun () -> Engine.now eng) () in
+  let metrics = Metrics.create () in
+  Session.set_tracer sess (Some tracer);
+  Session.set_metrics sess (Some metrics);
+  let flight = Flight.create ~capacity:128 tracer in
+  let tconfig =
+    {
+      Tmod.default_config with
+      Tmod.interval = cfg.interval;
+      window = cfg.window;
+      straggler_k = cfg.straggler_k;
+      slope_threshold = cfg.slope_threshold;
+      straggler_metrics = [ "telem.work" ];
+      queue_metrics = (match cfg.ramp with Some _ -> [ "telem.qdepth" ] | None -> []);
+    }
+  in
+  let telem = Tmod.load sess ~config:tconfig () in
+  Tmod.set_metrics_all telem metrics;
+  Tmod.set_tracer_all telem tracer;
+  Tmod.set_flight_all telem flight;
+  let duration = float_of_int cfg.epochs *. cfg.interval in
+  let onset = cfg.onset_frac *. duration in
+  (* A quarter-interval of slack so the final epoch's tick (exactly at
+     [duration]) fires before the timers are cancelled. *)
+  Tmod.start ~until:(duration +. (0.25 *. cfg.interval)) telem;
+  (* Timed-work loops: one per rank, [work_per_epoch] items per epoch,
+     durations jittered deterministically per (seed, rank). *)
+  for rank = 0 to cfg.size - 1 do
+    let rng = Rng.create (cfg.seed lxor ((rank + 1) * 0x9e3779b1)) in
+    let period = cfg.interval /. float_of_int cfg.work_per_epoch in
+    let rec arm () =
+      ignore
+        (Engine.schedule eng ~delay:period (fun () ->
+             let now = Engine.now eng in
+             if now < duration then begin
+               if not (Session.is_down sess rank) then begin
+                 let slow =
+                   match cfg.straggler with
+                   | Some (r, f) when r = rank && now >= onset -> f
+                   | _ -> 1.0
+                 in
+                 let dur = cfg.work_mean *. slow *. (0.75 +. (0.5 *. Rng.float rng 1.0)) in
+                 Tracer.emit tracer ~cat:"work" ~name:"item" ~rank
+                   ~fields:[ ("dur", Json.float dur) ]
+                   ();
+                 Metrics.observe metrics ~name:"telem.work" ~rank dur;
+                 match cfg.ramp with
+                 | Some per_epoch when rank = 0 ->
+                   Metrics.set_gauge metrics ~name:"telem.qdepth" ~rank
+                     (per_epoch *. now /. cfg.interval)
+                 | _ -> ()
+               end;
+               arm ()
+             end)
+          : Engine.handle)
+    in
+    arm ()
+  done;
+  (match cfg.kill with
+  | Some r ->
+    ignore
+      (Engine.schedule eng ~delay:onset (fun () -> Session.mark_down sess r)
+        : Engine.handle)
+  | None -> ());
+  (match cfg.mute with
+  | Some r ->
+    ignore
+      (Engine.schedule eng ~delay:onset (fun () -> Tmod.mute telem ~rank:r)
+        : Engine.handle)
+  | None -> ());
+  Engine.run eng;
+  (* --- Guarantees -------------------------------------------------------- *)
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf
+      (fun s ->
+        violations := s :: !violations;
+        (* A tripped guarantee preserves its own evidence. *)
+        ignore
+          (Flight.dump_once flight ~rank:0 ~tag:("violation:" ^ s)
+             ~reason:("guarantee tripped: " ^ s)
+            : Flight.dump option))
+      fmt
+  in
+  let alerts = Tmod.alerts telem in
+  let count k =
+    List.length (List.filter (fun (a : Detect.alert) -> a.Detect.al_kind = k) alerts)
+  in
+  let onset_epoch = int_of_float (onset /. cfg.interval) + 1 in
+  let first_straggler =
+    match cfg.straggler with
+    | None -> -1
+    | Some (r, _) -> (
+      match
+        List.find_opt
+          (fun (a : Detect.alert) ->
+            a.Detect.al_kind = Detect.Straggler && a.Detect.al_rank = r)
+          alerts
+      with
+      | Some a -> a.Detect.al_epoch
+      | None -> -1)
+  in
+  (match cfg.straggler with
+  | Some (r, _) ->
+    if first_straggler < 0 then violate "no straggler alert for rank %d" r
+    else if first_straggler > onset_epoch + 2 then
+      violate "straggler alert late: epoch %d, onset epoch %d" first_straggler onset_epoch
+  | None -> ());
+  let victim_dump_events =
+    match cfg.kill with
+    | None -> -1
+    | Some r -> (
+      match
+        List.find_opt
+          (fun (d : Flight.dump) ->
+            d.Flight.d_rank = r && String.equal d.Flight.d_reason "mark_down")
+          (Flight.dumps flight)
+      with
+      | None ->
+        violate "no flight dump for killed rank %d" r;
+        0
+      | Some d ->
+        let n = List.length d.Flight.d_events in
+        if n = 0 then violate "killed rank %d flight dump is empty" r;
+        n)
+  in
+  (match cfg.mute with
+  | Some r ->
+    if
+      not
+        (List.exists
+           (fun (a : Detect.alert) ->
+             a.Detect.al_kind = Detect.Silent && a.Detect.al_rank = r)
+           alerts)
+    then violate "no silent alert for muted rank %d" r
+  | None -> ());
+  (match cfg.ramp with
+  | Some _ -> if count Detect.Queue_growth = 0 then violate "no queue-growth alert"
+  | None -> ());
+  let rollups = Tmod.epochs_completed telem in
+  if rollups < cfg.epochs - 2 then
+    violate "only %d/%d rollup epochs completed" rollups cfg.epochs;
+  {
+    t_epochs = rollups;
+    t_alerts = alerts;
+    t_stragglers = count Detect.Straggler;
+    t_growth = count Detect.Queue_growth;
+    t_silent = count Detect.Silent;
+    t_first_straggler_epoch = first_straggler;
+    t_onset_epoch = onset_epoch;
+    t_dumps = List.length (Flight.dumps flight);
+    t_victim_dump_events = victim_dump_events;
+    t_rollup_bytes = Tmod.rollup_bytes telem;
+    t_late_drops = Tmod.late_drops telem;
+    t_alert_fingerprint = alert_fingerprint alerts;
+    t_violations = List.rev !violations;
+    t_clock = Engine.now eng;
+    t_events = Engine.events_executed eng;
+    t_series = Tmod.series telem;
+    t_flight = flight;
+    t_tracer = tracer;
+    t_metrics = metrics;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>epochs: %d, alerts: %d (straggler %d, growth %d, silent %d)@,\
+     first straggler epoch: %d (onset %d)@,\
+     flight dumps: %d (victim events %d)@,\
+     rollup bytes: %d, late drops: %d@,clock %.6f (%d events)@,violations: %d%a@]"
+    r.t_epochs (List.length r.t_alerts) r.t_stragglers r.t_growth r.t_silent
+    r.t_first_straggler_epoch r.t_onset_epoch r.t_dumps r.t_victim_dump_events
+    r.t_rollup_bytes r.t_late_drops r.t_clock r.t_events
+    (List.length r.t_violations)
+    (fun ppf -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v))
+    r.t_violations

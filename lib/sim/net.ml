@@ -72,9 +72,36 @@ type 'msg t = {
   (* Observability hooks; [None] (the default) costs one branch per
      drop/send and allocates nothing. *)
   mutable tracer : Tracer.t option;
-  mutable metrics : Metrics.t option;
+  mutable metrics : metric_families option;
   mutable label : string;
 }
+
+(* Per-plane metric families, resolved once at [set_metrics]: the send
+   path fires several metric updates per message, and rebuilding
+   [label ^ ".queue_wait"]-style names there (or hashing them) would
+   dominate the cost of the updates themselves. *)
+and metric_families = {
+  mf_overload_drop : Metrics.counter_family;
+  mf_link_defer : Metrics.counter_family;
+  mf_queue_wait : Metrics.hist_family;
+  mf_transit : Metrics.hist_family;
+  mf_link_bytes : Metrics.counter_family;
+  mf_link_backlog : Metrics.gauge_family;
+  mf_link_depth : Metrics.gauge_family;
+  mf_link_depth_hwm : Metrics.gauge_family;
+}
+
+let resolve_families label m =
+  {
+    mf_overload_drop = Metrics.counter_family m ~name:(label ^ ".overload_drop");
+    mf_link_defer = Metrics.counter_family m ~name:(label ^ ".link_defer");
+    mf_queue_wait = Metrics.hist_family m ~name:(label ^ ".queue_wait");
+    mf_transit = Metrics.hist_family m ~name:(label ^ ".transit");
+    mf_link_bytes = Metrics.counter_family m ~name:(label ^ ".link_bytes");
+    mf_link_backlog = Metrics.gauge_family m ~name:(label ^ ".link_backlog");
+    mf_link_depth = Metrics.gauge_family m ~name:(label ^ ".link_depth");
+    mf_link_depth_hwm = Metrics.gauge_family m ~name:(label ^ ".link_depth_hwm");
+  }
 
 let create eng ?(config = default_config) ?(fault_seed = 0x464c5558) ~nodes () =
   if nodes <= 0 then invalid_arg "Net.create: need at least one node";
@@ -107,7 +134,7 @@ let set_tracer t tr = t.tracer <- tr
 
 let set_metrics t ?label m =
   (match label with Some l -> t.label <- l | None -> ());
-  t.metrics <- m
+  t.metrics <- Option.map (resolve_families t.label) m
 let nodes t = t.n
 let config t = t.cfg
 
@@ -218,7 +245,7 @@ let overload_drop t ~wire ~src =
   | Some tr -> Tracer.add_count tr ~cat:"net" ~name:"overload_drop" 1);
   match t.metrics with
   | None -> ()
-  | Some m -> Metrics.incr m ~name:(t.label ^ ".overload_drop") ~rank:src
+  | Some mf -> Metrics.family_incr mf.mf_overload_drop ~rank:src
 
 (* Occupancy released when the message leaves the wire (arrival, loss
    point, or eviction). *)
@@ -338,7 +365,7 @@ let rec send_remote t ~src ~dst ~size m =
       t.overload_defers <- t.overload_defers + 1;
       (match t.metrics with
       | None -> ()
-      | Some mx -> Metrics.incr mx ~name:(t.label ^ ".link_defer") ~rank:src);
+      | Some mf -> Metrics.family_incr mf.mf_link_defer ~rank:src);
       ignore
         (Engine.schedule_at t.eng ~time:at (fun () -> send_remote t ~src ~dst ~size m)
           : Engine.handle)
@@ -355,24 +382,24 @@ let rec send_remote t ~src ~dst ~size m =
       occupy link ~wire;
       (match t.metrics with
       | None -> ()
-      | Some m ->
+      | Some mf ->
         (* Send-side per-link accounting: how long the message waited
            for the FIFO pipe, its full transit time, wire bytes pushed,
            the backlog the pipe now holds, and queue occupancy. *)
-        Metrics.observe m ~name:(t.label ^ ".queue_wait") ~rank:src (start -. now);
-        Metrics.observe m ~name:(t.label ^ ".transit") ~rank:src (arrive -. now);
-        Metrics.add m ~name:(t.label ^ ".link_bytes") ~rank:src wire;
-        Metrics.set_gauge m ~name:(t.label ^ ".link_backlog") ~rank:src (link.free_at -. now);
-        Metrics.set_gauge m ~name:(t.label ^ ".link_depth") ~rank:src
+        Metrics.family_observe mf.mf_queue_wait ~rank:src (start -. now);
+        Metrics.family_observe mf.mf_transit ~rank:src (arrive -. now);
+        Metrics.family_add mf.mf_link_bytes ~rank:src wire;
+        Metrics.family_set_gauge mf.mf_link_backlog ~rank:src (link.free_at -. now);
+        Metrics.family_set_gauge mf.mf_link_depth ~rank:src
           (float_of_int link.q_msgs);
         let hwm = float_of_int link.q_hwm in
         let prev =
-          match Metrics.gauge m ~name:(t.label ^ ".link_depth_hwm") ~rank:src with
+          match Metrics.family_gauge mf.mf_link_depth_hwm ~rank:src with
           | Some g -> g
           | None -> 0.0
         in
         if hwm > prev then
-          Metrics.set_gauge m ~name:(t.label ^ ".link_depth_hwm") ~rank:src hwm);
+          Metrics.family_set_gauge mf.mf_link_depth_hwm ~rank:src hwm);
       if t.limits = None then begin
         (* Unbounded fast path: occupancy tracked with plain counters,
            no per-message record. *)

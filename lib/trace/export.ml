@@ -57,7 +57,7 @@ let counters_csv t =
    "dur" field were emitted at span end, so the complete-event start is
    ts - dur; everything else becomes a thread-scoped instant. Times are
    microseconds per the format. *)
-let to_perfetto t =
+let events_to_perfetto events =
   let us s = s *. 1e6 in
   let tids = Hashtbl.create 8 in
   let metadata = ref [] in
@@ -111,7 +111,7 @@ let to_perfetto t =
             :: ("ts", Json.float (us e.Tracer.ev_ts))
             :: ("s", Json.string "t")
             :: common))
-      (Tracer.events t)
+      events
   in
   Json.to_string
     (Json.obj
@@ -119,6 +119,8 @@ let to_perfetto t =
          ("traceEvents", Json.list (List.rev_append !metadata rows));
          ("displayTimeUnit", Json.string "ms");
        ])
+
+let to_perfetto t = events_to_perfetto (Tracer.events t)
 
 (* Critical path of one traced fence (the paper's Fig. 4 components):
 
@@ -271,5 +273,7 @@ let summary t =
            (if dur > 0.0 then Printf.sprintf "%.6f" dur else "-")))
     (Tracer.counters t);
   (if Tracer.dropped t > 0 then
-     Buffer.add_string buf (Printf.sprintf "(%d events dropped by capacity)\n" (Tracer.dropped t)));
+     Buffer.add_string buf
+       (Printf.sprintf "(!) %d events dropped by the %d-event capacity: the stream is truncated\n"
+          (Tracer.dropped t) (Tracer.capacity t)));
   Buffer.contents buf

@@ -4,6 +4,9 @@ val to_jsonl : Tracer.t -> string
 (** One JSON object per line (ts, cat, name, rank, fields) — the format
     external analysis tools would ingest. *)
 
+val event_to_json : Tracer.event -> Flux_json.Json.t
+(** One event as the {!to_jsonl} row object. *)
+
 val event_of_json : Flux_json.Json.t -> Tracer.event
 (** Parse one line back (inverse of the {!to_jsonl} row encoding). *)
 
@@ -24,6 +27,10 @@ val to_perfetto : Tracer.t -> string
     ["dur"] field become complete ("X") slices anchored at span start,
     others thread-scoped instants. Load with ui.perfetto.dev or
     chrome://tracing. *)
+
+val events_to_perfetto : Tracer.event list -> string
+(** Same rendering over an explicit event list — what a flight-recorder
+    dump (a slice of one rank's recent history) exports. *)
 
 type fence_breakdown = {
   fb_name : string;

@@ -50,6 +50,30 @@ val observe : t -> name:string -> rank:int -> float -> unit
 (** Record one observation (typically a latency in seconds; any
     non-negative magnitude works). *)
 
+(** {1 Family handles — amortizing the name lookup}
+
+    The registry is stored name-major: each metric name owns a rank
+    table. A family handle is that inner table, resolved once; updates
+    through it skip hashing the name string entirely. Subsystems that
+    fire several updates per message (the RPC net, the broker's latency
+    instrumentation) resolve their families when a registry is attached
+    and pay one int-keyed lookup per update thereafter. Handles stay
+    valid for the registry's lifetime. *)
+
+type counter_family
+type gauge_family
+type hist_family
+
+val counter_family : t -> name:string -> counter_family
+val gauge_family : t -> name:string -> gauge_family
+val hist_family : t -> name:string -> hist_family
+
+val family_add : counter_family -> rank:int -> int -> unit
+val family_incr : counter_family -> rank:int -> unit
+val family_set_gauge : gauge_family -> rank:int -> float -> unit
+val family_gauge : gauge_family -> rank:int -> float option
+val family_observe : hist_family -> rank:int -> float -> unit
+
 val summary : t -> name:string -> rank:int -> summary option
 (** [None] when the histogram has no observations. *)
 
@@ -68,3 +92,80 @@ val to_csv : t -> string
 val to_json : t -> Json.t
 (** Counters summed across ranks, gauges per rank, histogram summaries
     merged across ranks — the shape embedded in BENCH_*.json. *)
+
+(** {1 Snapshots — the unit of in-band telemetry}
+
+    A snapshot is an immutable, key-sorted view of (a rank slice of) a
+    registry. The telemetry plane samples one per rollup epoch, ships
+    the {!diff} against the previous epoch up the TBON, and {!merge}s
+    sibling deltas at every level — counters sum, gauges carry the
+    freshest per-rank last-value, histograms merge bucket-wise — so the
+    root reassembles an exact center-wide delta for the epoch. *)
+
+type hist_snap = {
+  hs_buckets : (int * int) list;
+      (** (bucket index, count) for non-empty buckets, ascending *)
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+}
+
+type snap = {
+  sn_counters : ((string * int) * int) list;
+  sn_gauges : ((string * int) * float) list;
+  sn_hists : ((string * int) * hist_snap) list;
+}
+(** All three binding lists are sorted by (name, rank) key. *)
+
+val snap_empty : snap
+val snap_is_empty : snap -> bool
+
+val snapshot : ?rank:int -> t -> snap
+(** Capture the registry (or just one rank's slice — what a broker's
+    telemetry module contributes). *)
+
+val diff : base:snap -> snap -> snap
+(** [diff ~base next] is the per-key delta: counters and histogram
+    buckets subtract (zero entries dropped), gauges keep [next]'s value
+    but omit keys unchanged since [base]. [merge base (diff ~base next)]
+    reconstructs [next] exactly for counters and histogram contents
+    (histogram min/max are over-approximated by [next]'s range — they
+    are not invertible). *)
+
+val merge : snap -> snap -> snap
+(** Keyed union: counters sum, gauges right-biased (the second operand
+    is the fresher contribution), histograms add bucket-wise. *)
+
+val snap_record : t -> snap -> unit
+(** Fold a snapshot into a registry (counters add, gauges set,
+    histogram buckets accumulate) — the restore side of the round-trip,
+    used by tests and by tools replaying a rollup stream. *)
+
+val hist_snap_summary : hist_snap -> summary option
+(** Percentile summary of one histogram snapshot ([None] when empty). *)
+
+(** {2 Snapshot accessors} *)
+
+val snap_counter_names : snap -> string list
+val snap_gauge_names : snap -> string list
+val snap_hist_names : snap -> string list
+
+val snap_counters_of : snap -> name:string -> (int * int) list
+(** Per-rank (rank, count) bindings of one counter, rank-ascending. *)
+
+val snap_gauges_of : snap -> name:string -> (int * float) list
+val snap_hists_of : snap -> name:string -> (int * hist_snap) list
+val snap_counter_total : snap -> name:string -> int
+val snap_hist_merged : snap -> name:string -> summary option
+val snap_ranks : snap -> int list
+(** Ranks contributing at least one binding, ascending. *)
+
+(** {2 Wire codec} *)
+
+val snap_to_json : snap -> Json.t
+(** Deterministic (key-sorted) compact encoding; the payload the
+    telemetry module ships up the tree. *)
+
+val snap_of_json : Json.t -> snap
+(** Raises [Json.Type_error] on malformed input. *)

@@ -32,6 +32,8 @@ let create ?(capacity = 100_000) ~now () =
     next_id = 1;
   }
 
+let now t = t.now ()
+
 let fresh_id t =
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -68,7 +70,12 @@ let emit t ~cat ~name ?(rank = -1) ?ctx ?(fields = []) () =
   if retained t cat then begin
     let fields = match ctx with None -> fields | Some c -> ctx_fields c @ fields in
     let ev = { ev_ts = t.now (); ev_cat = cat; ev_name = name; ev_rank = rank; ev_fields = fields } in
+    let dropped_before = Ring_buffer.dropped t.buf in
     Ring_buffer.push t.buf ev;
+    (* Capacity truncation is itself an observable: exports surface the
+       [trace.dropped] counter so a truncated stream can never be
+       mistaken for a complete one. *)
+    if Ring_buffer.dropped t.buf > dropped_before then bump t ("trace", "dropped");
     List.iter (fun f -> f ev) t.subscribers
   end
 
@@ -100,6 +107,8 @@ let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 let events t = Ring_buffer.to_list t.buf
 
 let dropped t = Ring_buffer.dropped t.buf
+
+let capacity t = Ring_buffer.capacity t.buf
 
 let count t ~cat ~name =
   match Hashtbl.find_opt t.counts (cat, name) with Some c -> c | None -> 0

@@ -34,6 +34,9 @@ val create : ?capacity:int -> now:(unit -> float) -> unit -> t
 (** [capacity] bounds retained events (default 100_000, oldest dropped);
     counters are never dropped. *)
 
+val now : t -> float
+(** The tracer's clock (virtual time in a simulation). *)
+
 val root_ctx : t -> ctx
 (** Start a new trace: a fresh root span whose id doubles as the
     trace id. *)
@@ -83,7 +86,13 @@ val events : t -> event list
 (** Retained events, oldest first. *)
 
 val dropped : t -> int
-(** Events discarded by the capacity bound. *)
+(** Events discarded by the capacity bound. Each drop also bumps the
+    [trace.dropped] counter, so truncation shows up in
+    {!Export.counters_csv} and {!Export.summary} alongside every other
+    signal. *)
+
+val capacity : t -> int
+(** The retained-event bound this tracer was created with. *)
 
 val count : t -> cat:string -> name:string -> int
 (** Occurrences of [cat.name] since creation (includes filtered ones). *)
