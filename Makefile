@@ -1,4 +1,4 @@
-.PHONY: all build test fmt chaos overload shard ckpt sched telem check clean
+.PHONY: all build test fmt chaos overload shard ckpt sched telem elastic check clean
 
 all: build
 
@@ -76,10 +76,21 @@ telem:
 	dune exec test/test_mon.exe -- -q
 	dune exec bench/main.exe -- telem
 
+# Closed-loop elasticity: control-law qcheck properties (cooldown
+# freeze, step/min/max bounds, no-flap over random input sequences),
+# the drain-before-shrink and on_job_failed regression suites, and the
+# three-regime bursty soak (unprotected collapses, protected plateaus,
+# elastic recovers >= 1.5x protected goodput; zero acked-write loss
+# across every rescale; same-seed determinism — BENCH_ELASTIC.json).
+elastic:
+	dune exec test/test_elastic.exe -- -q
+	dune exec bench/main.exe -- elastic
+
 # The pre-merge gate: format (when available), build with warnings
 # promoted to errors under lib/ (see lib/dune), and run every test,
-# then the chaos, overload, shard, ckpt, sched and telem sweeps.
-check: fmt build test chaos overload shard ckpt sched telem
+# then the chaos, overload, shard, ckpt, sched, telem and elastic
+# sweeps.
+check: fmt build test chaos overload shard ckpt sched telem elastic
 
 clean:
 	dune clean

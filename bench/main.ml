@@ -3,7 +3,8 @@
 
    Usage: main.exe [experiment...] where experiment is one of
      table1 fig2 fig3 fig4a fig4b sweep model ablate-sched ablate-fanout
-     ablate-shards faults chaos micro overload shard ckpt sched observe telem perf
+     ablate-shards faults chaos micro overload shard ckpt sched observe telem
+     elastic perf
    No arguments runs everything. Scales can be reduced with
    BENCH_FAST=1 for a quick pass. *)
 
@@ -32,6 +33,7 @@ module Shard = Flux_kap.Shard
 module Ckpt = Flux_kap.Ckpt
 module Sched = Flux_kap.Sched
 module KTelem = Flux_kap.Telem
+module KElastic = Flux_kap.Elastic
 module Export = Flux_trace.Export
 
 let fast = Sys.getenv_opt "BENCH_FAST" <> None
@@ -1192,6 +1194,103 @@ let telem () =
   Printf.printf "  wrote BENCH_TELEM.json (%d soak runs, %d sweep points)\n%!"
     (List.length soak_rows) (List.length sweep_rows)
 
+(* --- Elasticity: three-regime bursty soak --------------------------------- *)
+
+(* One seeded bursty task stream against a small child instance under
+   the three protection regimes: unprotected (the queue grows without
+   bound and scheduler-cycle cost collapses goodput), protected (PR 5's
+   static shed bounds the queue; goodput plateaus at the child's fixed
+   capacity), and elastic (the closed-loop controller buys nodes from
+   the root's headroom while the burst lasts and returns them after).
+   The headline number is the recovery ratio — elastic goodput over
+   protected goodput at the same (over-capacity) offered load — plus
+   the safety counters: zero acked-write loss across every rescale and
+   a same-seed fingerprint match over a double run. Rows land in
+   BENCH_ELASTIC.json. *)
+
+let elastic () =
+  header "Elastic: unprotected collapse vs static shed vs closed-loop autoscale";
+  let base =
+    if fast then { KElastic.default with KElastic.duration = 3.0; drain = 1.5 }
+    else KElastic.default
+  in
+  let row mode =
+    let r = KElastic.run { base with KElastic.mode } in
+    Printf.printf
+      "  %-12s goodput %6.1f/s  acked %4d/%-4d shed %4d  queue^ %4d  nodes %2d^%-2d  \
+       grows %d shrinks %d denied %d  viol %d\n\
+       %!"
+      (KElastic.mode_to_string r.KElastic.e_mode)
+      r.KElastic.e_goodput r.KElastic.e_acked r.KElastic.e_offered r.KElastic.e_shed
+      r.KElastic.e_queue_peak r.KElastic.e_nodes_final r.KElastic.e_nodes_peak
+      r.KElastic.e_grows r.KElastic.e_shrinks r.KElastic.e_denied
+      (List.length r.KElastic.e_violations);
+    List.iter (fun v -> Printf.printf "      violation: %s\n%!" v) r.KElastic.e_violations;
+    r
+  in
+  Printf.printf "(%d ranks, child of %d, %.1fs arrivals + %.1fs drain, cap %d)\n%!"
+    base.KElastic.size base.KElastic.child_nodes base.KElastic.duration
+    base.KElastic.drain base.KElastic.queue_cap;
+  let unprot = row KElastic.Unprotected in
+  let prot = row KElastic.Protected in
+  let elas = row KElastic.Elastic in
+  let recovery =
+    if prot.KElastic.e_goodput > 0.0 then elas.KElastic.e_goodput /. prot.KElastic.e_goodput
+    else 0.0
+  in
+  let elas2 = KElastic.run { base with KElastic.mode = KElastic.Elastic } in
+  let deterministic = String.equal elas.KElastic.e_fingerprint elas2.KElastic.e_fingerprint in
+  Printf.printf "  recovery ratio (elastic/protected): %.2fx\n%!" recovery;
+  Printf.printf "  same-seed double run: %s\n%!"
+    (if deterministic then "fingerprints match" else "FINGERPRINT MISMATCH");
+  let regime_json (r : KElastic.report) =
+    Json.obj
+      [
+        ("mode", Json.string (KElastic.mode_to_string r.KElastic.e_mode));
+        ("offered", Json.int r.KElastic.e_offered);
+        ("submitted", Json.int r.KElastic.e_submitted);
+        ("shed", Json.int r.KElastic.e_shed);
+        ("acked", Json.int r.KElastic.e_acked);
+        ("failed", Json.int r.KElastic.e_failed);
+        ("cancelled", Json.int r.KElastic.e_cancelled);
+        ("goodput_per_s", Json.float r.KElastic.e_goodput);
+        ("queue_peak", Json.int r.KElastic.e_queue_peak);
+        ("nodes_final", Json.int r.KElastic.e_nodes_final);
+        ("nodes_peak", Json.int r.KElastic.e_nodes_peak);
+        ("grows", Json.int r.KElastic.e_grows);
+        ("shrinks", Json.int r.KElastic.e_shrinks);
+        ("denied", Json.int r.KElastic.e_denied);
+        ("drains", Json.int r.KElastic.e_drains);
+        ("decisions", Json.int r.KElastic.e_decisions);
+        ("telem_epochs", Json.int r.KElastic.e_telem_epochs);
+        ("alerts", Json.int r.KElastic.e_alerts);
+        ("write_loss", Json.int r.KElastic.e_write_loss);
+        ( "node_trajectory",
+          Json.list
+            (List.map
+               (fun (t, n) -> Json.obj [ ("t", Json.float t); ("nodes", Json.int n) ])
+               r.KElastic.e_trajectory) );
+        ("fingerprint", Json.string r.KElastic.e_fingerprint);
+        ("violations", Json.strings r.KElastic.e_violations);
+        ("sim_events", Json.int r.KElastic.e_events);
+      ]
+  in
+  let doc =
+    Json.obj
+      [
+        ("bench", Json.string "elastic");
+        ("fast", Json.int (if fast then 1 else 0));
+        ("regimes", Json.list (List.map regime_json [ unprot; prot; elas ]));
+        ("recovery_ratio", Json.float recovery);
+        ("deterministic", Json.int (if deterministic then 1 else 0));
+      ]
+  in
+  let oc = open_out "BENCH_ELASTIC.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_ELASTIC.json (3 regimes, recovery %.2fx)\n%!" recovery
+
 (* --- Perf tier: paper-scale workloads with a machine-readable baseline ---- *)
 
 (* Runs fig2/fig4-shaped KAP workloads at the paper's largest published
@@ -1306,6 +1405,7 @@ let experiments =
     ("sched", sched);
     ("observe", observe);
     ("telem", telem);
+    ("elastic", elastic);
     ("perf", perf);
   ]
 

@@ -879,13 +879,129 @@ let telem_cmd =
         (const run $ nodes_arg $ fanout_arg $ interval_arg $ epochs_arg $ window_arg
        $ ppn_arg $ fault_arg $ seed_arg $ csv_arg $ flight_out_arg))
 
+(* --- flux elastic --------------------------------------------------------- *)
+
+let elastic_cmd =
+  let module E = Flux_kap.Elastic in
+  let module Ctl = Flux_core.Elastic in
+  let mode_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Protection regime: unprotected (no admission bound, no controller), \
+             protected (static submission shedding), elastic (shedding plus the \
+             closed-loop controller), or all (run the three-way comparison).")
+  in
+  let child_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "child-nodes" ] ~docv:"N" ~doc:"Worker child's initial pool size.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 6.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Arrival window, sim-seconds.")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "drain" ] ~docv:"SECONDS"
+          ~doc:"Controller/telemetry run-on after arrivals stop.")
+  in
+  let cap_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "cap" ] ~docv:"JOBS"
+          ~doc:"Queue cap for submission shedding (protected and elastic modes).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+  in
+  let silence_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "silence-at" ] ~docv:"SECONDS"
+          ~doc:
+            "Stop the telemetry plane at this sim time — exercises the \
+             telemetry-silent fallback (elastic mode).")
+  in
+  let trajectory_arg =
+    Arg.(
+      value & flag
+      & info [ "trajectory" ]
+          ~doc:"Print the sampled (time, child nodes) trajectory for elastic runs.")
+  in
+  let run nodes fanout mode child_nodes duration drain cap seed silence_at trajectory =
+    checked
+      [
+        at_least "-N/--nodes" 8 nodes;
+        at_least "-k/--fanout" 2 fanout;
+        positive "--child-nodes" child_nodes;
+        positive_f "--duration" duration;
+        positive "--cap" cap;
+        positive "--seed" seed;
+        one_of "--mode" [ "unprotected"; "protected"; "elastic"; "all" ] mode;
+      ]
+    @@ fun () ->
+    let base =
+      {
+        E.default with
+        E.seed;
+        size = nodes;
+        fanout;
+        child_nodes;
+        duration;
+        drain;
+        queue_cap = cap;
+        silence_at;
+      }
+    in
+    let one m =
+      let r = E.run { base with E.mode = m } in
+      Format.printf "%a@." E.pp_report r;
+      if trajectory && m = E.Elastic then
+        List.iter
+          (fun (t, n) -> Printf.printf "  t=%6.2f  nodes=%d\n" t n)
+          r.E.e_trajectory;
+      r
+    in
+    let reports =
+      match mode with
+      | "unprotected" -> [ one E.Unprotected ]
+      | "protected" -> [ one E.Protected ]
+      | "elastic" -> [ one E.Elastic ]
+      | _ ->
+        let u = one E.Unprotected in
+        let p = one E.Protected in
+        let e = one E.Elastic in
+        if p.E.e_goodput > 0.0 then
+          Printf.printf "recovery ratio (elastic/protected goodput): %.2fx\n"
+            (e.E.e_goodput /. p.E.e_goodput);
+        [ u; p; e ]
+    in
+    let violations = List.concat_map (fun r -> r.E.e_violations) reports in
+    if violations = [] then `Ok ()
+    else `Error (false, "elasticity run ended with violations")
+  in
+  Cmd.v
+    (Cmd.info "elastic"
+       ~doc:
+         "Run the closed-loop elasticity soak: a bursty task stream against a child \
+          instance, unprotected vs statically protected vs autoscaled by the \
+          telemetry-driven controller.")
+    Term.(
+      ret
+        (const run $ nodes_arg $ fanout_arg $ mode_arg $ child_arg $ duration_arg
+       $ drain_arg $ cap_arg $ seed_arg $ silence_arg $ trajectory_arg))
+
 let main_cmd =
   let doc = "command-line access to the simulated Flux framework" in
   Cmd.group (Cmd.info "flux" ~version:"0.1.0" ~doc)
     [
       ping_cmd; topo_cmd; kvs_cmd; resource_cmd; schedule_cmd; kap_cmd; exec_cmd;
       barrier_cmd; down_cmd; watch_cmd; volumes_cmd; trace_cmd; ckpt_cmd; sched_cmd;
-      telem_cmd;
+      telem_cmd; elastic_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

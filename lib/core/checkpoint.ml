@@ -14,6 +14,19 @@ type outcome = {
 
 let attempt_jobid base k = if k = 0 then base else Printf.sprintf "%s.r%d" base k
 
+(* Merge a resume manifest into object args; wrap anything else so
+   non-object args still round-trip under "base". Shared by the requeue
+   driver below and by {!Instance.request_shrink}'s preemption requeue. *)
+let with_resume args m =
+  match m with
+  | None -> args
+  | Some m -> (
+    let mjson = Wexec.manifest_to_json m in
+    match args with
+    | Json.Null -> Json.obj [ ("resume", mjson) ]
+    | Json.Obj _ -> Json.set_member "resume" mjson args
+    | _ -> Json.obj [ ("base", args); ("resume", mjson) ])
+
 (* The newest verified manifest across the attempt chain: attempts write
    manifests under their own jobid (each attempt fences under fresh
    names — see {!Wexec.checkpoint}), so scan past attempts newest-first
@@ -56,18 +69,7 @@ let run_resilient api ~kvs ?metrics ?(max_requeues = 3) ?(max_epoch = 64) ~jobid
       Error (Printf.sprintf "job %S: no live ranks left to requeue on" jobid)
     end
     else begin
-      let args =
-        match resumed with
-        | None -> args
-        | Some m -> (
-          let mjson = Wexec.manifest_to_json m in
-          (* Merge the resume manifest into object args; wrap anything
-             else so non-object args still round-trip under "base". *)
-          match args with
-          | Json.Null -> Json.obj [ ("resume", mjson) ]
-          | Json.Obj _ -> Json.set_member "resume" mjson args
-          | _ -> Json.obj [ ("base", args); ("resume", mjson) ])
-      in
+      let args = with_resume args resumed in
       match Wexec.run api ~jobid:this ~prog ~args ~per_rank ~ranks:live () with
       | Error e ->
         active := false;

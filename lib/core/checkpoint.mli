@@ -11,6 +11,28 @@
     Non-object args are wrapped as [{"base": args, "resume": ...}] on
     requeue. *)
 
+val attempt_jobid : string -> int -> string
+(** [attempt_jobid base k] — the jobid of requeue attempt [k]: [base]
+    itself for [k = 0], [<base>.r<k>] after. Fresh per attempt so a
+    requeued job's checkpoint fences cannot collide with aggregation
+    state stranded by the attempt it replaces. *)
+
+val with_resume :
+  Flux_json.Json.t -> Flux_modules.Wexec.manifest option -> Flux_json.Json.t
+(** Merge a resume manifest into a job's args under the ["resume"]
+    member (non-object args are wrapped as [{"base": args; ...}]);
+    identity when the manifest is [None]. *)
+
+val newest_across :
+  Flux_kvs.Client.t ->
+  jobids:string list ->
+  max_epoch:int ->
+  Flux_modules.Wexec.manifest option
+(** The newest verified manifest found across an attempt chain: each
+    jobid is scanned with {!Flux_modules.Wexec.newest_manifest} and the
+    highest epoch wins. Blocking — must run inside a
+    {!Flux_sim.Proc} body. *)
+
 type outcome = {
   o_jobid : string;  (** jobid of the attempt that completed *)
   o_attempts : int;  (** total attempts, including the first *)

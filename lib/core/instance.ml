@@ -52,6 +52,17 @@ type t = {
   (* Live span per non-terminal job: rooted at sched.submit, re-spanned
      at sched.match, threaded through wexec for App payloads. *)
   job_ctxs : (string, Flux_trace.Tracer.ctx) Hashtbl.t;
+  (* Failure hooks: fired on every transition to Failed, here and
+     bubbled up the ancestor chain — the instance-resident requeue
+     policy (jobs preempted by a shrink are excluded; the instance
+     requeues those itself). *)
+  mutable fail_hooks : (t -> Job.t -> unit) list;
+  (* Drain-before-shrink bookkeeping: jobs killed to free their nodes
+     for a pending donation, the attempt chain of requeued jobs
+     (jid -> base, attempt), and nodes still owed to the parent. *)
+  preempted : (string, unit) Hashtbl.t;
+  origins : (string, string * int) Hashtbl.t;
+  mutable pending_donation : int;
 }
 
 let name t = t.i_name
@@ -120,6 +131,15 @@ let span_job t (job : Job.t) ~name ?(fields = []) () =
         @ fields)
       ()
 
+(* Failure hooks bubble: a leaf job's failure is visible to the leaf's
+   own hooks and to every ancestor's, so a center-level requeue policy
+   registers once at the root and still sees the whole tree. *)
+let rec fire_fail_hooks t ~owner job =
+  List.iter (fun f -> f owner job) t.fail_hooks;
+  match t.i_parent with Some p -> fire_fail_hooks p ~owner job | None -> ()
+
+let on_job_failed t f = t.fail_hooks <- t.fail_hooks @ [ f ]
+
 let transition t job s =
   Job.set_state job ~now:(Engine.now t.eng) s;
   trace t
@@ -138,7 +158,11 @@ let transition t job s =
       ]
     ();
   if Job.is_terminal s then Hashtbl.remove t.job_ctxs job.Job.jid;
-  record_state t job
+  record_state t job;
+  match s with
+  | Job.Failed _ when not (Hashtbl.mem t.preempted job.Job.jid) ->
+    fire_fail_hooks t ~owner:t job
+  | _ -> ()
 
 (* --- Idle detection ------------------------------------------------------ *)
 
@@ -242,9 +266,66 @@ and finish t job grant outcome =
     in
     t.running <- List.filter (fun (j, _) -> j != job) t.running;
     Pool.release t.i_pool current;
+    (* Nodes owed to the parent from a draining shrink leave before the
+       scheduler can re-grant them to queued work. *)
+    settle_pending_donation t;
+    if Hashtbl.mem t.preempted job.Job.jid then begin
+      Hashtbl.remove t.preempted job.Job.jid;
+      requeue_preempted t job
+    end;
     kick t;
     check_idle t
   end
+
+and settle_pending_donation t =
+  if t.pending_donation > 0 then begin
+    match t.i_parent with
+    | None -> t.pending_donation <- 0
+    | Some p ->
+      let moved = Pool.donate_nodes t.i_pool t.pending_donation in
+      if moved <> [] then begin
+        t.pending_donation <- t.pending_donation - List.length moved;
+        Pool.absorb_nodes p.i_pool moved;
+        trace t ~name:"shrink.donate"
+          ~fields:[ ("nodes", Flux_json.Json.int (List.length moved)) ]
+          ();
+        kick p
+      end
+  end
+
+(* A job killed to free its nodes for a shrink is requeued, not
+   stranded: it re-enters this instance's queue under a fresh attempt
+   jobid (wexec requires fresh ids, and the Checkpoint convention keeps
+   its fence names from colliding with state stranded by the killed
+   attempt), resuming from the newest checkpoint manifest any prior
+   attempt recorded. A job the shrunken pool can no longer hold is
+   handed to the {!on_job_failed} chain instead — the center-level
+   policy decides where it goes. *)
+and requeue_preempted t job =
+  let base, k =
+    match Hashtbl.find_opt t.origins job.Job.jid with
+    | Some (b, k) -> (b, k)
+    | None -> (job.Job.jid, 0)
+  in
+  let fresh = Checkpoint.attempt_jobid base (k + 1) in
+  Hashtbl.replace t.origins fresh (base, k + 1);
+  match job.Job.job_payload with
+  | Job.App { prog; args; per_rank; duration } ->
+    if Jobspec.min_nodes job.Job.spec > Pool.total_nodes t.i_pool then
+      fire_fail_hooks t ~owner:t job
+    else
+      ignore
+        (Proc.spawn t.eng ~name:("requeue-" ^ fresh) (fun () ->
+             let kvs = Flux_kvs.Client.connect t.sess ~rank:0 in
+             let past = List.init (k + 1) (Checkpoint.attempt_jobid base) in
+             let resumed = Checkpoint.newest_across kvs ~jobids:past ~max_epoch:16 in
+             let args = Checkpoint.with_resume args resumed in
+             ignore
+               (submit ~jid:fresh t ~spec:job.Job.spec
+                  ~payload:(Job.App { prog; args; per_rank; duration })
+                 : Job.t))
+          : Proc.pid)
+  | Job.Sleep _ | Job.Child _ | Job.Nested _ -> fire_fail_hooks t ~owner:t job
 
 and launch t job grant =
   t.running <- (job, grant) :: t.running;
@@ -350,6 +431,10 @@ and create_child t ~policy ~sess ~nested ~nodes ~power_budget ~job ~grant =
       i_nested = nested;
       tracer = t.tracer;
       job_ctxs = Hashtbl.create 16;
+      fail_hooks = [];
+      preempted = Hashtbl.create 8;
+      origins = Hashtbl.create 8;
+      pending_donation = 0;
     }
   in
   t.i_children <- child :: t.i_children;
@@ -417,12 +502,19 @@ type resize_error =
   | Resize_nested  (** a dedicated comms session cannot be resized *)
   | Resize_root  (** the root has no parent to trade nodes with *)
   | Resize_exhausted  (** the parent chain had no free node to move *)
+  | Resize_draining of int
+      (** no node moved yet, but this many are being drained: running
+          tasks were preempted (and requeued) and their nodes flow to
+          the parent as the grants release *)
 
 let resize_error_to_string = function
   | Resize_invalid n -> Printf.sprintf "invalid node count %d (must be positive)" n
   | Resize_nested -> "nested instance: a dedicated comms session cannot be resized"
   | Resize_root -> "root instance: no parent to trade nodes with"
   | Resize_exhausted -> "no free nodes available to move"
+  | Resize_draining n ->
+    Printf.sprintf "draining: %d node%s freeing as preempted tasks requeue" n
+      (if n = 1 then "" else "s")
 
 (* A resize that moves zero nodes is an error, not Ok 0: callers that
    treated the old bare-int no-op as success silently stalled the
@@ -447,15 +539,64 @@ let rec request_grow t ~nnodes =
         Ok (List.length granted)
       end)
 
+(* Drain-before-shrink: when free nodes cannot cover the request, kill
+   running wexec jobs (newest launch first — the least work lost) and
+   requeue them under fresh attempt ids; their nodes flow to the parent
+   as the grants release. Sleep jobs are pure timers that cannot be
+   interrupted and Child/Nested jobs own their nodes outright, so only
+   App payloads are preemptible. Returns the node count being drained. *)
+let preempt_for_shrink t ~need =
+  let victims =
+    let rec pick covered acc = function
+      | [] -> List.rev acc
+      | (job, grant) :: rest ->
+        if covered >= need then List.rev acc
+        else begin
+          match job.Job.job_payload with
+          | Job.App _
+            when job.Job.jstate = Job.Running
+                 && not (Hashtbl.mem t.preempted job.Job.jid) ->
+            pick (covered + List.length grant.Pool.g_nodes) ((job, grant) :: acc) rest
+          | _ -> pick covered acc rest
+        end
+    in
+    pick 0 [] t.running
+  in
+  let covered =
+    List.fold_left (fun acc (_, g) -> acc + List.length g.Pool.g_nodes) 0 victims
+  in
+  let draining = min covered need in
+  if draining > 0 then begin
+    t.pending_donation <- t.pending_donation + draining;
+    let api = Api.connect t.sess ~rank:0 in
+    List.iter
+      (fun ((job : Job.t), _) ->
+        Hashtbl.replace t.preempted job.Job.jid ();
+        trace t ~name:"job.preempt" ?ctx:(job_ctx t job)
+          ~fields:
+            [
+              ("jid", Flux_json.Json.string job.Job.jid);
+              ("nodes", Flux_json.Json.int (List.length job.Job.granted_nodes));
+            ]
+          ();
+        Wexec.kill api ~jobid:job.Job.jid)
+      victims
+  end;
+  draining
+
 let request_shrink t ~nnodes =
   resize_guard t ~nnodes (fun p ->
       let returned = Pool.donate_nodes t.i_pool nnodes in
       Pool.absorb_nodes p.i_pool returned;
-      if returned = [] then Error Resize_exhausted
-      else begin
+      let moved = List.length returned in
+      let shortfall = nnodes - moved in
+      let draining = if shortfall > 0 then preempt_for_shrink t ~need:shortfall else 0 in
+      if moved > 0 then begin
         kick p;
-        Ok (List.length returned)
-      end)
+        Ok moved
+      end
+      else if draining > 0 then Error (Resize_draining draining)
+      else Error Resize_exhausted)
 
 let set_power_cap t w =
   let old = Pool.power_budget t.i_pool in
@@ -492,6 +633,10 @@ let create_root sess ?(policy = "fcfs") ?(cost_model = default_cost_model)
     i_nested = false;
     tracer = None;
     job_ctxs = Hashtbl.create 16;
+    fail_hooks = [];
+    preempted = Hashtbl.create 8;
+    origins = Hashtbl.create 8;
+    pending_donation = 0;
   }
 
 (* --- Cancellation ----------------------------------------------------------------- *)

@@ -76,6 +76,16 @@ val on_idle : t -> (unit -> unit) -> unit
 (** [f] fires whenever the instance drains (empty queue, nothing
     running, no submissions pending). *)
 
+val on_job_failed : t -> (t -> Job.t -> unit) -> unit
+(** [on_job_failed t f] calls [f owner job] whenever a job transitions
+    to [Failed] — in this instance or any descendant ([owner] is the
+    instance the job belongs to; failures bubble up the ancestor
+    chain), so a center-level requeue policy registers once at the root
+    and sees the whole tree. Hooks run synchronously at the transition,
+    in registration order, before the dying job's grant is released.
+    Jobs preempted by a draining {!request_shrink} are excluded: the
+    instance requeues those itself. *)
+
 (** {1 Elasticity (parental-consent rule)} *)
 
 type resize_error =
@@ -83,6 +93,12 @@ type resize_error =
   | Resize_nested  (** a dedicated comms session cannot be resized *)
   | Resize_root  (** the root has no parent to trade nodes with *)
   | Resize_exhausted  (** the parent chain had no free node to move *)
+  | Resize_draining of int
+      (** no node moved yet, but this many are being drained: running
+          wexec jobs were preempted (killed and requeued under fresh
+          attempt ids) and their nodes flow to the parent as the grants
+          release — the caller should treat this as an action in
+          progress, not a refusal *)
 
 val resize_error_to_string : resize_error -> string
 
@@ -94,9 +110,17 @@ val request_grow : t -> nnodes:int -> (int, resize_error) result
     distinguish a partial grant from a silent no-op. *)
 
 val request_shrink : t -> nnodes:int -> (int, resize_error) result
-(** Return up to [nnodes] free nodes to the parent; [Ok n] is the count
-    that actually moved ([n >= 1]); same error contract as
-    {!request_grow}. *)
+(** Return up to [nnodes] nodes to the parent. Free nodes move
+    immediately ([Ok n], [n >= 1] counting only those). A shortfall is
+    covered by {e drain-before-shrink}: running wexec jobs are
+    preempted newest-first — killed, then requeued on this instance
+    under fresh Checkpoint-style attempt jobids ([<jid>.r<k>]) resuming
+    from the newest verified manifest any prior attempt recorded — and
+    their nodes are donated as the grants release. When nothing is free
+    but a drain started, the result is [Error (Resize_draining n)];
+    when not even a drain is possible, [Error Resize_exhausted]. A
+    preempted job the shrunken pool can no longer hold is handed to the
+    {!on_job_failed} chain instead of silently stranding. *)
 
 (** {1 Power (site-wide constraint)} *)
 

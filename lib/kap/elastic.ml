@@ -1,0 +1,491 @@
+(* Elasticity soak harness: one seeded bursty task stream, three
+   protection regimes. The collapse mechanism is the instance cost
+   model itself — scheduler-cycle cost grows with queue length, so an
+   unbounded queue slows the very cycles that could drain it. The
+   protected regime bounds the queue by shedding arrivals (the PR 5
+   admission analog at the submission side); the elastic regime keeps
+   the same bound but lets the controller buy capacity from the root's
+   free headroom when the rolled-up queue gauge climbs. *)
+
+module Json = Flux_json.Json
+module Engine = Flux_sim.Engine
+module Proc = Flux_sim.Proc
+module Rng = Flux_util.Rng
+module Session = Flux_cmb.Session
+module Kvs = Flux_kvs.Kvs_module
+module Client = Flux_kvs.Client
+module Tracer = Flux_trace.Tracer
+module Metrics = Flux_trace.Metrics
+module Flight = Flux_trace.Flight
+module Detect = Flux_trace.Detect
+module Tmod = Flux_modules.Telem
+module Wexec = Flux_modules.Wexec
+module Instance = Flux_core.Instance
+module Jobspec = Flux_core.Jobspec
+module Job = Flux_core.Job
+module Pool = Flux_core.Pool
+module Ctl = Flux_core.Elastic
+
+type mode = Unprotected | Protected | Elastic
+
+let mode_to_string = function
+  | Unprotected -> "unprotected"
+  | Protected -> "protected"
+  | Elastic -> "elastic"
+
+type config = {
+  seed : int;
+  size : int;
+  fanout : int;
+  child_nodes : int;
+  mode : mode;
+  duration : float;
+  drain : float;
+  base_rate : float;
+  burst_factor : float;
+  burst_period : float;
+  mean_duration : float;
+  min_duration : float;
+  queue_cap : int;
+  telem_interval : float;
+  telem_window : int;
+  slope_threshold : float;
+  policy : Ctl.policy;
+  silence_at : float option;
+  cost_model : Instance.cost_model;
+  converge_margin : float;
+}
+
+let default =
+  {
+    seed = 1;
+    size = 32;
+    fanout = 2;
+    child_nodes = 4;
+    mode = Elastic;
+    duration = 6.0;
+    drain = 2.0;
+    base_rate = 15.0;
+    burst_factor = 4.0;
+    burst_period = 1.0;
+    mean_duration = 0.2;
+    min_duration = 0.02;
+    queue_cap = 40;
+    telem_interval = 0.25;
+    telem_window = 16;
+    slope_threshold = 3.0;
+    policy =
+      {
+        Ctl.p_metric = "elastic.queue";
+        p_high = 12.0;
+        p_low = 3.0;
+        p_step = 4;
+        p_min_nodes = 2;
+        p_max_nodes = 24;
+        p_cooldown = 0.5;
+        p_period = 0.25;
+        (* Pressure-driven for the soak: sheds pin the queue at the cap,
+           flattening the slope, so alert-gated grows would stall after
+           the first step. Alerts still fire and are counted. *)
+        p_require_alert = false;
+        p_silence = 1.0;
+      };
+    silence_at = None;
+    (* A heavier per-job cycle cost than the default model: this is the
+       regime the paper's admission-control argument lives in, where an
+       unbounded queue slows the very scheduler that must drain it. At
+       the protected cap (40) a cycle costs ~80 ms — painful but below
+       the 200 ms mean task, so goodput plateaus; an unbounded queue in
+       the hundreds pushes cycles past the task duration and the
+       collapse feeds itself. *)
+    cost_model = { Instance.default_cost_model with Instance.decision_per_job = 2e-3 };
+    converge_margin = 1.0;
+  }
+
+let unprotected_case = { default with mode = Unprotected }
+let protected_case = { default with mode = Protected }
+let elastic_case = { default with mode = Elastic }
+
+let silent_case =
+  { default with mode = Elastic; silence_at = Some (0.45 *. default.duration) }
+
+type report = {
+  e_mode : mode;
+  e_offered : int;
+  e_submitted : int;
+  e_shed : int;
+  e_acked : int;
+  e_failed : int;
+  e_cancelled : int;
+  e_goodput : float;
+  e_queue_peak : int;
+  e_nodes_final : int;
+  e_nodes_peak : int;
+  e_grows : int;
+  e_shrinks : int;
+  e_denied : int;
+  e_drains : int;
+  e_decisions : int;
+  e_fallback_entries : int;
+  e_telem_epochs : int;
+  e_alerts : int;
+  e_write_loss : int;
+  e_trajectory : (float * int) list;
+  e_fingerprint : string;
+  e_violations : string list;
+  e_clock : float;
+  e_events : int;
+}
+
+let prog_name = "elastic.task"
+let key_of_tid tid = Printf.sprintf "elastic.t%d" tid
+
+(* The task body: compute, then commit the result to the KVS before
+   completing. A task preempted mid-body never reaches the commit of
+   the final epoch of work — but its requeued attempt does, which is
+   exactly what the acked-write audit verifies. *)
+let task_body (ctx : Wexec.proc_ctx) =
+  let d = Json.to_float (Json.member "duration" ctx.px_args) in
+  let tid = Json.to_int (Json.member "tid" ctx.px_args) in
+  Proc.sleep d;
+  (match Client.put ctx.px_kvs ~key:(key_of_tid tid) (Json.int tid) with
+  | Ok () -> ()
+  | Error e -> failwith ("elastic task put: " ^ e));
+  match Client.commit ctx.px_kvs with
+  | Ok _ -> ()
+  | Error e -> failwith ("elastic task commit: " ^ e)
+
+let validate cfg =
+  if cfg.size < 8 then invalid_arg "Elastic.run: need at least 8 ranks";
+  if cfg.child_nodes < 2 || cfg.child_nodes >= cfg.size then
+    invalid_arg "Elastic.run: child_nodes must be in 2..size-1";
+  if cfg.duration <= 0.0 || cfg.drain < 0.0 then
+    invalid_arg "Elastic.run: duration must be positive, drain non-negative";
+  if cfg.base_rate <= 0.0 || cfg.burst_factor < 1.0 || cfg.burst_period <= 0.0 then
+    invalid_arg "Elastic.run: rates must be positive, burst_factor >= 1";
+  if cfg.mean_duration <= 0.0 || cfg.min_duration <= 0.0 then
+    invalid_arg "Elastic.run: task durations must be positive";
+  if cfg.queue_cap < 1 then invalid_arg "Elastic.run: queue_cap must be >= 1";
+  if cfg.telem_interval <= 0.0 || cfg.telem_window < 4 then
+    invalid_arg "Elastic.run: telem_interval positive, telem_window >= 4";
+  match Ctl.validate_policy cfg.policy with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Elastic.run: policy: " ^ e)
+
+let run cfg =
+  validate cfg;
+  let t_end = cfg.duration +. cfg.drain in
+  let eng = Engine.create () in
+  let sess = Session.create eng ~fanout:cfg.fanout ~size:cfg.size () in
+  let kvs_mod = Kvs.load sess () in
+  ignore (Flux_modules.Barrier.load sess () : Flux_modules.Barrier.t array);
+  let wexec = Wexec.load sess () in
+  let tracer = Tracer.create ~capacity:1_000_000 ~now:(fun () -> Engine.now eng) () in
+  let metrics = Metrics.create () in
+  Flux_kvs.Kvs_module.set_metrics_all kvs_mod metrics;
+  Wexec.set_metrics_all wexec metrics;
+  let flight = Flight.create ~capacity:128 tracer in
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf
+      (fun s ->
+        violations := Printf.sprintf "t=%.3f %s" (Engine.now eng) s :: !violations;
+        ignore
+          (Flight.dump_once flight ~rank:0 ~tag:("violation:" ^ s)
+             ~reason:("guarantee tripped: " ^ s)
+            : Flight.dump option))
+      fmt
+  in
+  Wexec.register_program prog_name task_body;
+  (* Telemetry plane: rolls up the queue gauge the harness publishes,
+     trend-checks it, and feeds the controller. On in every mode so the
+     regimes differ only in protection, not observability. *)
+  let tconfig =
+    {
+      Tmod.default_config with
+      Tmod.interval = cfg.telem_interval;
+      window = cfg.telem_window;
+      slope_threshold = cfg.slope_threshold;
+      queue_metrics = [ cfg.policy.Ctl.p_metric ];
+    }
+  in
+  let telem = Tmod.load sess ~config:tconfig () in
+  Tmod.set_metrics_all telem metrics;
+  Tmod.set_tracer_all telem tracer;
+  Tmod.set_flight_all telem flight;
+  Tmod.start ~until:(t_end +. (0.25 *. cfg.telem_interval)) telem;
+  (match cfg.silence_at with
+  | Some at ->
+    ignore (Engine.schedule eng ~delay:at (fun () -> Tmod.stop telem) : Engine.handle)
+  | None -> ());
+  let root =
+    Instance.create_root sess ~policy:"fcfs" ~cost_model:cfg.cost_model ~name:"elastic" ()
+  in
+  Instance.set_tracer root (Some tracer);
+  (* The worker child: carved from the root, kept alive past the
+     horizon by a sentinel sleep so momentary idleness between
+     arrivals cannot complete the child job under the workload. *)
+  let sentinel =
+    {
+      Job.sub_after = 0.0;
+      sub_spec = Jobspec.make ~nnodes:1 ~walltime_est:(t_end +. 1.0) ();
+      sub_payload = Job.Sleep (t_end +. 0.5);
+    }
+  in
+  ignore
+    (Instance.submit root
+       ~spec:(Jobspec.make ~nnodes:cfg.child_nodes ~walltime_est:(t_end +. 1.0) ())
+       ~payload:(Job.Child { policy = "fcfs"; workload = [ sentinel ] })
+      : Job.t);
+  let child = ref None in
+  let ctl = ref None in
+  let offered = ref 0 in
+  let submitted = ref 0 in
+  let shed = ref 0 in
+  let queue_peak = ref 0 in
+  let nodes_peak = ref cfg.child_nodes in
+  let trajectory = ref [] in
+  let write_loss = ref 0 in
+  let durations : (int, float) Hashtbl.t = Hashtbl.create 512 in
+  let arr_rng = Rng.create cfg.seed in
+  let rate_at now =
+    let phase = Float.rem now cfg.burst_period in
+    if phase < 0.5 *. cfg.burst_period then cfg.base_rate *. cfg.burst_factor
+    else cfg.base_rate
+  in
+  let setup_at = 0.05 in
+  ignore
+    (Engine.schedule eng ~delay:setup_at (fun () ->
+         let c =
+           match Instance.children root with
+           | [ c ] -> c
+           | cs ->
+             invalid_arg
+               (Printf.sprintf "Elastic.run: expected 1 child, found %d" (List.length cs))
+         in
+         child := Some c;
+         (* Elastic regime only: wire the controller to the child. *)
+         (match cfg.mode with
+         | Elastic ->
+           let k = Ctl.create sess ~instance:c ~telem ~policy:cfg.policy () in
+           Ctl.set_tracer k tracer;
+           Ctl.set_metrics k metrics;
+           Ctl.set_flight k flight;
+           Ctl.start ~until:(t_end -. setup_at) k;
+           ctl := Some k
+         | Unprotected | Protected -> ());
+         (* Queue gauge + trajectory sampler. *)
+         let sampler =
+           Engine.every eng ~period:0.05 (fun () ->
+               let q = Instance.queue_length c in
+               queue_peak := max !queue_peak q;
+               Metrics.set_gauge metrics ~name:cfg.policy.Ctl.p_metric ~rank:0
+                 (float_of_int q);
+               let n = Pool.total_nodes (Instance.pool c) in
+               nodes_peak := max !nodes_peak n;
+               trajectory := (Engine.now eng, n) :: !trajectory)
+         in
+         ignore (Engine.schedule eng ~delay:(t_end -. setup_at) (fun () -> Engine.cancel sampler)
+                 : Engine.handle);
+         (* Open-loop bursty arrivals. The duration draw happens for
+            every arrival — shed or not — so the random stream, task
+            ids and durations are identical across the three modes. *)
+         let rec arrive () =
+           let now = Engine.now eng in
+           if now < cfg.duration then begin
+             let tid = !offered in
+             incr offered;
+             let d =
+               Float.max cfg.min_duration (Rng.exponential arr_rng cfg.mean_duration)
+             in
+             Hashtbl.replace durations tid d;
+             if cfg.mode <> Unprotected && Instance.queue_length c >= cfg.queue_cap then
+               incr shed
+             else begin
+               incr submitted;
+               ignore
+                 (Instance.submit c
+                    ~spec:(Jobspec.make ~nnodes:1 ~walltime_est:(2.0 *. d) ())
+                    ~payload:
+                      (Job.App
+                         {
+                           prog = prog_name;
+                           args = Json.obj [ ("tid", Json.int tid) ];
+                           per_rank = 1;
+                           duration = d;
+                         })
+                   : Job.t)
+             end;
+             let gap = Rng.exponential arr_rng (1.0 /. rate_at now) in
+             ignore (Engine.schedule eng ~delay:gap arrive : Engine.handle)
+           end
+         in
+         arrive ())
+      : Engine.handle);
+  (* Horizon: cancel what never started so the unbounded regime's
+     backlog does not stretch the run arbitrarily past the window the
+     regimes are compared over. *)
+  ignore
+    (Engine.schedule eng ~delay:t_end (fun () ->
+         match !child with
+         | None -> ()
+         | Some c ->
+           List.iter
+             (fun (j : Job.t) ->
+               match j.Job.jstate with
+               | Job.Pending ->
+                 ignore (Instance.cancel c ~jid:j.Job.jid : bool)
+               | _ -> ())
+             (Instance.jobs c))
+      : Engine.handle);
+  (* Acked-write audit, after the horizon sweep and the wexec tails:
+     every completed attempt's tid must have its committed key. *)
+  ignore
+    (Engine.schedule eng ~delay:(t_end +. 0.3) (fun () ->
+         ignore
+           (Proc.spawn eng ~name:"elastic-audit" (fun () ->
+                match !child with
+                | None -> ()
+                | Some c ->
+                  let kv = Client.connect sess ~rank:0 in
+                  List.iter
+                    (fun (j : Job.t) ->
+                      match (j.Job.jstate, j.Job.job_payload) with
+                      | Job.Complete, Job.App { args; _ } -> (
+                        match Json.member_opt "tid" args with
+                        | None -> ()
+                        | Some t -> (
+                          let tid = Json.to_int t in
+                          match Client.get kv ~key:(key_of_tid tid) with
+                          | Ok v when Json.to_int v = tid -> ()
+                          | Ok _ ->
+                            incr write_loss;
+                            violate "task %d: key holds wrong value" tid
+                          | Error _ ->
+                            incr write_loss;
+                            violate "task %d acked but its write is gone" tid))
+                      | _ -> ())
+                    (Instance.jobs c))
+              : Proc.pid))
+      : Engine.handle);
+  Engine.run eng;
+  (* --- Outcome accounting ------------------------------------------------ *)
+  let c = match !child with Some c -> c | None -> invalid_arg "Elastic.run: no child" in
+  let acked_tids : (int, unit) Hashtbl.t = Hashtbl.create 512 in
+  let failed = ref 0 in
+  let cancelled = ref 0 in
+  List.iter
+    (fun (j : Job.t) ->
+      match (j.Job.jstate, j.Job.job_payload) with
+      | Job.Complete, Job.App { args; _ } -> (
+        match Json.member_opt "tid" args with
+        | Some t -> Hashtbl.replace acked_tids (Json.to_int t) ()
+        | None -> ())
+      | Job.Failed _, Job.App _ -> incr failed
+      | Job.Cancelled, Job.App _ -> incr cancelled
+      | _ -> ())
+    (Instance.jobs c);
+  let acked = Hashtbl.length acked_tids in
+  let actions = match !ctl with None -> [] | Some k -> Ctl.actions k in
+  let grows =
+    List.length (List.filter (fun (_, d) -> match d with Ctl.Grow _ -> true | _ -> false) actions)
+  in
+  let shrinks =
+    List.length
+      (List.filter (fun (_, d) -> match d with Ctl.Shrink _ -> true | _ -> false) actions)
+  in
+  (* --- Guarantees -------------------------------------------------------- *)
+  (match
+     List.find_opt
+       (fun (j : Job.t) -> match j.Job.job_payload with Job.Sleep _ -> true | _ -> false)
+       (Instance.jobs c)
+   with
+  | Some j when j.Job.jstate <> Job.Complete ->
+    violate "sentinel job ended %s" (Job.state_to_string j.Job.jstate)
+  | Some _ -> ()
+  | None -> violate "sentinel job missing");
+  (match !ctl with
+  | None -> ()
+  | Some k ->
+    (* Convergence: once arrivals stop (plus rollup lag), growing must
+       stop — a controller that keeps buying nodes for an empty queue
+       has not converged. *)
+    List.iter
+      (fun (ts, d) ->
+        match d with
+        | Ctl.Grow _ when ts > cfg.duration +. cfg.converge_margin ->
+          violate "grow at t=%.3f, %.3f after arrivals stopped" ts (ts -. cfg.duration)
+        | _ -> ())
+      (Ctl.actions k);
+    (match cfg.silence_at with
+    | Some at ->
+      if Ctl.fallback_entries k = 0 then violate "telemetry went silent, no fallback";
+      let deadline = at +. cfg.policy.Ctl.p_silence +. (2.0 *. cfg.policy.Ctl.p_period) in
+      List.iter
+        (fun (ts, _) ->
+          if ts > deadline then violate "action at t=%.3f on silent telemetry" ts)
+        (Ctl.actions k)
+    | None ->
+      if Tmod.alerts telem = [] then violate "overload ran but telemetry never alerted"));
+  if cfg.mode = Unprotected && !shed > 0 then violate "unprotected mode shed arrivals";
+  if !write_loss > 0 then violate "%d acked writes lost" !write_loss;
+  let alerts = Tmod.alerts telem in
+  let fingerprint =
+    let ctl_fp = match !ctl with None -> "-" | Some k -> Ctl.fingerprint k in
+    let alert_fp =
+      String.concat ";"
+        (List.map
+           (fun (a : Detect.alert) ->
+             Printf.sprintf "%s:%d:%d"
+               (Detect.kind_to_string a.Detect.al_kind)
+               a.Detect.al_epoch a.Detect.al_rank)
+           alerts)
+    in
+    Digest.to_hex
+      (Digest.string
+         (Printf.sprintf "%s|%d|%d|%d|%s|%d|%d" ctl_fp !offered !shed acked alert_fp
+            (Engine.events_executed eng)
+            (Pool.total_nodes (Instance.pool c))))
+  in
+  {
+    e_mode = cfg.mode;
+    e_offered = !offered;
+    e_submitted = !submitted;
+    e_shed = !shed;
+    e_acked = acked;
+    e_failed = !failed;
+    e_cancelled = !cancelled;
+    e_goodput = float_of_int acked /. cfg.duration;
+    e_queue_peak = !queue_peak;
+    e_nodes_final = Pool.total_nodes (Instance.pool c);
+    e_nodes_peak = !nodes_peak;
+    e_grows = grows;
+    e_shrinks = shrinks;
+    e_denied = (match !ctl with None -> 0 | Some k -> Ctl.denied k);
+    e_drains = (match !ctl with None -> 0 | Some k -> Ctl.drains k);
+    e_decisions = (match !ctl with None -> 0 | Some k -> List.length (Ctl.decisions k));
+    e_fallback_entries = (match !ctl with None -> 0 | Some k -> Ctl.fallback_entries k);
+    e_telem_epochs = Tmod.epochs_completed telem;
+    e_alerts = List.length alerts;
+    e_write_loss = !write_loss;
+    e_trajectory = List.rev !trajectory;
+    e_fingerprint = fingerprint;
+    e_violations = List.rev !violations;
+    e_clock = Engine.now eng;
+    e_events = Engine.events_executed eng;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: offered %d (submitted %d, shed %d), acked %d (%.1f/s)@,\
+     failed %d, cancelled %d, queue peak %d@,\
+     nodes: final %d, peak %d; grows %d, shrinks %d (drains %d, denied %d)@,\
+     decisions %d, fallbacks %d; telem: %d epochs, %d alerts@,\
+     write loss %d@,clock %.3f (%d events)@,violations: %d%a@]"
+    (mode_to_string r.e_mode) r.e_offered r.e_submitted r.e_shed r.e_acked r.e_goodput
+    r.e_failed r.e_cancelled r.e_queue_peak r.e_nodes_final r.e_nodes_peak r.e_grows
+    r.e_shrinks r.e_drains r.e_denied r.e_decisions r.e_fallback_entries r.e_telem_epochs
+    r.e_alerts r.e_write_loss r.e_clock r.e_events
+    (List.length r.e_violations)
+    (fun ppf -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v))
+    r.e_violations

@@ -1,0 +1,100 @@
+(** Closed-loop elasticity soak: one bursty open-loop task stream run
+    against a child instance under three protection regimes —
+    [Unprotected] (no admission bound, no controller: the queue grows
+    without bound and scheduler-cycle cost grows with it, collapsing
+    goodput), [Protected] (PR 5-style static protection: arrivals are
+    shed at a queue cap, goodput plateaus at the child's fixed
+    capacity), and [Elastic] (same cap, plus the
+    {!Flux_core.Elastic} controller growing the child out of the
+    root's headroom when the telemetry plane reports queue pressure,
+    and shrinking it back — drain-before-shrink included — once the
+    burst subsides).
+
+    Tasks are wexec launches whose bodies commit a KVS key before
+    completing, so the harness can audit the rescale safety guarantee
+    directly: every acked (completed) task's write is present after
+    the run, across every grow, preemption and requeue — zero
+    acked-write loss. Convergence is audited too: once arrivals stop,
+    the controller must stop growing. *)
+
+module Detect = Flux_trace.Detect
+module Ctl = Flux_core.Elastic
+
+type mode = Unprotected | Protected | Elastic
+
+val mode_to_string : mode -> string
+
+type config = {
+  seed : int;
+  size : int;  (** session ranks; the root instance owns them all *)
+  fanout : int;
+  child_nodes : int;  (** the worker child's initial pool *)
+  mode : mode;
+  duration : float;  (** arrival window, sim-seconds *)
+  drain : float;  (** controller/telemetry run-on after arrivals stop *)
+  base_rate : float;  (** off-burst arrival rate, tasks/s *)
+  burst_factor : float;  (** rate multiplier during the burst half *)
+  burst_period : float;  (** square-wave period; burst = first half *)
+  mean_duration : float;  (** exponential task-duration mean *)
+  min_duration : float;
+  queue_cap : int;  (** Protected/Elastic submission-shed bound *)
+  telem_interval : float;  (** rollup epoch length *)
+  telem_window : int;
+  slope_threshold : float;  (** queue-growth alert slope, units/epoch *)
+  policy : Ctl.policy;  (** controller policy (Elastic mode only) *)
+  silence_at : float option;
+      (** stop the telemetry plane at this sim time — the
+          telemetry-silent fallback case *)
+  cost_model : Flux_core.Instance.cost_model;
+  converge_margin : float;
+      (** no grow may fire later than [duration + converge_margin] *)
+}
+
+val default : config
+(** 32 ranks, child of 4, 6 s of arrivals (15/s base, 4x bursts every
+    1 s) + 2 s drain, 0.2 s mean tasks, cap 40, pressure-driven
+    controller (band 3..12, step 4, nodes 2..24, cooldown 0.5 s),
+    [Elastic] mode. *)
+
+val unprotected_case : config
+val protected_case : config
+val elastic_case : config
+
+val silent_case : config
+(** [Elastic] with the telemetry plane killed mid-run: the controller
+    must detect the silence, hold everything, and never act on stale
+    pressure again. *)
+
+type report = {
+  e_mode : mode;
+  e_offered : int;  (** arrivals generated (shed ones included) *)
+  e_submitted : int;
+  e_shed : int;
+  e_acked : int;  (** logical tasks with a completed attempt *)
+  e_failed : int;  (** failed attempts (preemptions included) *)
+  e_cancelled : int;  (** attempts cancelled at the horizon *)
+  e_goodput : float;  (** acked / duration *)
+  e_queue_peak : int;
+  e_nodes_final : int;
+  e_nodes_peak : int;
+  e_grows : int;  (** applied grow decisions *)
+  e_shrinks : int;  (** applied shrink decisions (drains included) *)
+  e_denied : int;
+  e_drains : int;
+  e_decisions : int;  (** every controller tick's decision *)
+  e_fallback_entries : int;
+  e_telem_epochs : int;
+  e_alerts : int;  (** root-raised telemetry alerts *)
+  e_write_loss : int;  (** acked tasks whose KVS key was missing *)
+  e_trajectory : (float * int) list;  (** sampled (time, child nodes) *)
+  e_fingerprint : string;  (** determinism witness *)
+  e_violations : string list;
+  e_clock : float;
+  e_events : int;
+}
+
+val run : config -> report
+(** One soak under one regime. Raises [Invalid_argument] on a config
+    that cannot be run (bad sizes, rates, or controller policy). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -244,8 +244,11 @@ let assassin st =
 (* Requeue failed task attempts onto a surviving sibling leaf: the
    logical task id rides along, the jobid is fresh (wexec requires
    fresh ids), and acked tasks are never requeued — that is exactly the
-   no-double-execution guarantee under test. *)
-let monitor st =
+   no-double-execution guarantee under test. Event-driven: one
+   {!Instance.on_job_failed} registration at the root sees every
+   descendant leaf's failures the instant they transition, instead of a
+   polling scan over every job record. *)
+let install_monitor st =
   let requeued_jids : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   let pick_target =
     let cursor = ref 0 in
@@ -270,37 +273,35 @@ let monitor st =
       in
       scan 0
   in
-  while unresolved st && Engine.now st.eng < time_limit do
-    List.iter
-      (fun i ->
-        List.iter
-          (fun (j : Job.t) ->
-            match j.Job.jstate with
-            | Job.Failed _ when not (Hashtbl.mem requeued_jids j.Job.jid) -> (
-              Hashtbl.replace requeued_jids j.Job.jid ();
-              match tid_of_payload j.Job.job_payload with
-              | None -> ()
-              | Some tid ->
-                let ts = st.tasks.(tid) in
-                if ts.ts_acks = 0 && ts.ts_requeues < st.cfg.max_requeues then begin
-                  ts.ts_requeues <- ts.ts_requeues + 1;
-                  match pick_target () with
-                  | None ->
-                    (* No live leaf this tick; retry on the next one. *)
-                    ts.ts_requeues <- ts.ts_requeues - 1;
-                    Hashtbl.remove requeued_jids j.Job.jid
-                  | Some target ->
-                    st.requeues <- st.requeues + 1;
-                    ignore
-                      (Instance.submit target ~spec:j.Job.spec
-                         ~payload:j.Job.job_payload
-                        : Job.t)
-                end)
-            | _ -> ())
-          (Instance.jobs i))
-      (leaves st);
-    Proc.sleep 0.001
-  done
+  let rec handle _owner (j : Job.t) =
+    match j.Job.jstate with
+    | Job.Failed _ when not (Hashtbl.mem requeued_jids j.Job.jid) -> (
+      Hashtbl.replace requeued_jids j.Job.jid ();
+      match tid_of_payload j.Job.job_payload with
+      | None -> ()
+      | Some tid ->
+        let ts = st.tasks.(tid) in
+        if ts.ts_acks = 0 && ts.ts_requeues < st.cfg.max_requeues then begin
+          ts.ts_requeues <- ts.ts_requeues + 1;
+          match pick_target () with
+          | None ->
+            (* No live leaf right now (a revive may be in flight):
+               give the budget back and retry shortly. *)
+            ts.ts_requeues <- ts.ts_requeues - 1;
+            Hashtbl.remove requeued_jids j.Job.jid;
+            if Engine.now st.eng < time_limit then
+              ignore
+                (Engine.schedule st.eng ~delay:0.001 (fun () -> handle _owner j)
+                  : Engine.handle)
+          | Some target ->
+            st.requeues <- st.requeues + 1;
+            ignore
+              (Instance.submit target ~spec:j.Job.spec ~payload:j.Job.job_payload
+                : Job.t)
+        end)
+    | _ -> ()
+  in
+  Instance.on_job_failed st.root handle
 
 (* --- Span-chain decomposition --------------------------------------------- *)
 
@@ -542,8 +543,8 @@ let run cfg =
     end
   in
   if cfg.kill_leaf then begin
+    install_monitor st;
     ignore (Proc.spawn eng ~name:"sched-assassin" (fun () -> assassin st) : Proc.pid);
-    ignore (Proc.spawn eng ~name:"sched-monitor" (fun () -> monitor st) : Proc.pid);
     ignore (Proc.spawn eng ~name:"sched-acks" (fun () -> ack_watcher st) : Proc.pid)
   end;
   Engine.run eng;

@@ -89,6 +89,8 @@ type t = {
   series : Series.t;
   mutable alerts : Detect.alert list; (* newest first *)
   mutable rollups : int;
+  mutable alert_subs : (Detect.alert -> unit) list; (* registration order *)
+  mutable rollup_subs : (int -> unit) list;
 }
 
 let reduce_window t =
@@ -96,6 +98,13 @@ let reduce_window t =
 
 let set_metrics t m = t.metrics <- m
 let set_metrics_all ts m = Array.iter (fun t -> set_metrics t (Some m)) ts
+
+(* Subscriptions live on the rollup master (rank 0): that is where
+   epochs finalize and alerts are raised. Callbacks run synchronously
+   inside the finalize, in registration order, so a same-seed run
+   replays the identical alert->action sequence. *)
+let on_alert ts f = ts.(0).alert_subs <- ts.(0).alert_subs @ [ f ]
+let on_rollup ts f = ts.(0).rollup_subs <- ts.(0).rollup_subs @ [ f ]
 let set_tracer_all ts tr = Array.iter (fun t -> t.tracer <- Some tr) ts
 let set_flight_all ts f = Array.iter (fun t -> t.flight <- Some f) ts
 
@@ -136,14 +145,15 @@ let handle_alert t al =
   (* First alert per (rank, kind:metric) preserves the evidence: the
      flight recorder dumps the rank's recent events exactly once even
      when a persistent straggler re-fires every epoch. *)
-  match t.flight with
+  (match t.flight with
   | Some f when al.Detect.al_rank >= 0 ->
     ignore
       (Flight.dump_once f ~rank:al.Detect.al_rank
          ~tag:(Detect.kind_to_string al.Detect.al_kind ^ ":" ^ al.Detect.al_metric)
          ~reason:(Format.asprintf "%a" Detect.pp_alert al)
         : Flight.dump option)
-  | _ -> ()
+  | _ -> ());
+  List.iter (fun f -> f al) t.alert_subs
 
 let finalize t epoch c =
   t.rollups <- t.rollups + 1;
@@ -178,7 +188,8 @@ let finalize t epoch c =
         ]
       ()
   | None -> ());
-  List.iter (handle_alert t) alerts
+  List.iter (handle_alert t) alerts;
+  List.iter (fun f -> f epoch) t.rollup_subs
 
 let forward t epoch a =
   match a.acc with
@@ -344,6 +355,8 @@ let load sess ?(config = default_config) () =
           series = Series.create ~window:config.window ();
           alerts = [];
           rollups = 0;
+          alert_subs = [];
+          rollup_subs = [];
         })
   in
   Session.load_module sess (fun b -> module_of instances.(Session.rank b));

@@ -80,6 +80,19 @@ val mute : t array -> rank:int -> unit
 (** Fault injection: kill one rank's telemetry agent while its broker
     stays up — the silent-rank case the detector exists for. *)
 
+val on_alert : t array -> (Detect.alert -> unit) -> unit
+(** Subscribe to the root's [telem.alert] stream. Callbacks run
+    synchronously as each alert is raised (after the trace event,
+    counter, and flight dump), in registration order — the hook an
+    elasticity controller hangs its grow trigger on. Same-seed runs
+    replay the identical callback sequence. *)
+
+val on_rollup : t array -> (int -> unit) -> unit
+(** Subscribe to epoch finalization at the root: called with the epoch
+    number after its delta is folded into {!series} and its detectors
+    have run. The liveness signal controllers use to tell "telemetry is
+    quiet" from "telemetry is dead". *)
+
 val series : t array -> Series.t
 (** The root's per-metric time series. *)
 

@@ -87,6 +87,9 @@ let scalar_of = function
   | P_gauge g -> if g.gp_n = 0 then 0.0 else g.gp_max
   | P_hist s -> s.Metrics.p95
 
+let latest_scalar t ~name =
+  Option.map (fun (e, p) -> (e, scalar_of p)) (latest t ~name)
+
 let tail_scalars t ~name ~n =
   let pts = points t ~name in
   let len = List.length pts in

@@ -40,6 +40,11 @@ val points : t -> name:string -> (int * point) list
 
 val latest : t -> name:string -> (int * point) option
 
+val latest_scalar : t -> name:string -> (int * float) option
+(** Newest point reduced to its trend scalar (counter delta, gauge max,
+    histogram p95) — the instantaneous pressure reading an elasticity
+    controller polls between trend alerts. *)
+
 val tail_scalars : t -> name:string -> n:int -> (int * float) list
 (** The last [n] points reduced to the trend scalar (counter delta,
     gauge max, histogram p95) — the queue-growth detector's input. *)
